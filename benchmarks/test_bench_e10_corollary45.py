@@ -1,0 +1,9 @@
+"""Benchmark E10: Corollary 4.5: Omega(log^2 n) energy under a c*n time budget.
+
+Regenerates the E10 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e10_corollary45(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E10")
+    assert result.rows

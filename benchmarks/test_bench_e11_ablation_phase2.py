@@ -1,0 +1,9 @@
+"""Benchmark E11: Ablation: Phase 2 of Algorithm 1.
+
+Regenerates the E11 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e11_ablation_phase2(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E11")
+    assert result.rows

@@ -1,0 +1,9 @@
+"""Benchmark E12: Ablation: the beta constants of Algorithms 1 and 3.
+
+Regenerates the E12 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e12_ablation_beta(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E12")
+    assert result.rows

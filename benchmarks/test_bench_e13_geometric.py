@@ -1,0 +1,9 @@
+"""Benchmark E13: Extension: random geometric (sensor-field) networks.
+
+Regenerates the E13 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e13_geometric(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E13")
+    assert result.rows

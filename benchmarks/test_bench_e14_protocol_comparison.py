@@ -1,0 +1,9 @@
+"""Benchmark E14: Related-work comparison matrix across all protocols.
+
+Regenerates the E14 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e14_protocol_comparison(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E14")
+    assert result.rows

@@ -1,0 +1,9 @@
+"""Benchmark E15: erasure (fading) robustness ablation.
+
+Regenerates the E15 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e15_erasure_robustness(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E15")
+    assert result.rows

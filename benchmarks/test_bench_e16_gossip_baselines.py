@@ -1,0 +1,9 @@
+"""Benchmark E16: Algorithm 2 vs composition-style gossip baselines.
+
+Regenerates the E16 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e16_gossip_baselines(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E16")
+    assert result.rows

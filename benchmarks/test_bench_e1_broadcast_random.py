@@ -1,0 +1,9 @@
+"""Benchmark E1: Theorem 2.1: Algorithm 1 broadcast time, per-node and total energy on G(n, p).
+
+Regenerates the E1 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e1_broadcast_random(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E1")
+    assert result.rows

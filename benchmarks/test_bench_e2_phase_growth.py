@@ -1,0 +1,9 @@
+"""Benchmark E2: Lemmas 2.3-2.5: Phase-wise growth of Algorithm 1's active set.
+
+Regenerates the E2 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e2_phase_growth(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E2")
+    assert result.rows

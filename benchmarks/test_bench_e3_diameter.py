@@ -1,0 +1,9 @@
+"""Benchmark E3: Lemma 3.1: diameter of directed G(n, p) vs ceil(log n / log d).
+
+Regenerates the E3 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e3_diameter(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E3")
+    assert result.rows

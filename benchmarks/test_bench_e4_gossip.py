@@ -1,0 +1,9 @@
+"""Benchmark E4: Theorem 3.2: Algorithm 2 gossip time and per-node transmissions.
+
+Regenerates the E4 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e4_gossip(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E4")
+    assert result.rows

@@ -1,0 +1,9 @@
+"""Benchmark E5: Theorem 4.1: Algorithm 3 vs Czumaj-Rytter time and energy.
+
+Regenerates the E5 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e5_general_broadcast(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E5")
+    assert result.rows

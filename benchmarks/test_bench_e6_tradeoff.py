@@ -1,0 +1,9 @@
+"""Benchmark E6: Theorem 4.2: lambda sweep of the time/energy tradeoff.
+
+Regenerates the E6 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e6_tradeoff(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E6")
+    assert result.rows

@@ -1,0 +1,9 @@
+"""Benchmark E7: Observation 4.3: total-transmission lower bound on the relay network.
+
+Regenerates the E7 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e7_lowerbound_total(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E7")
+    assert result.rows

@@ -1,0 +1,9 @@
+"""Benchmark E8: Theorem 4.4 / Fig. 2: time vs per-node energy frontier.
+
+Regenerates the E8 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e8_lowerbound_tradeoff(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E8")
+    assert result.rows

@@ -1,0 +1,9 @@
+"""Benchmark E9: Fig. 1: the alpha vs alpha' distributions.
+
+Regenerates the E9 table of EXPERIMENTS.md (run with ``-s`` to see it).
+"""
+
+
+def test_bench_e9_distributions(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "E9")
+    assert result.rows

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Sensor-field broadcast: the paper's motivating AdHoc scenario.
+
+A field of battery-powered sensors is modelled as a random geometric radio
+network (the model the paper's Section 5 names as the realistic one), with a
+variant in which sensors have *different* listening ranges — producing the
+asymmetric links that rule out acknowledgement-based protocols.
+
+A sink node broadcasts a configuration update.  We compare:
+
+* **Algorithm 3** (known diameter — e.g. learned from the deployment plan),
+* the **Czumaj–Rytter** known-diameter baseline, and
+* the **Decay** protocol (knows nothing, pays with energy),
+
+on both completion time and energy (transmissions), the quantity that
+determines sensor battery life.
+
+Run:  python examples/sensor_field_broadcast.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.baselines import DecayBroadcast, KnownDiameterCR
+from repro.core import KnownDiameterBroadcast
+from repro.graphs import heterogeneous_geometric_digraph
+from repro.graphs.geometric import connectivity_radius
+from repro.graphs.properties import diameter_estimate, is_strongly_connected
+from repro.radio import run_protocol
+
+
+def main(n: int = 512, seed: int = 7) -> None:
+    base_radius = 2.0 * connectivity_radius(n)
+    print(
+        f"Deploying {n} sensors uniformly in the unit square with listening radii in "
+        f"[{0.7 * base_radius:.3f}, {1.3 * base_radius:.3f}] (asymmetric links allowed)."
+    )
+    attempt = 0
+    while True:
+        network = heterogeneous_geometric_digraph(
+            n, 0.7 * base_radius, 1.3 * base_radius, rng=seed + attempt
+        )
+        if is_strongly_connected(network):
+            break
+        attempt += 1
+        if attempt > 20:
+            raise RuntimeError("could not sample a connected sensor field; increase the radius")
+    diameter = diameter_estimate(network, rng=seed)
+    degrees = network.in_degrees()
+    print(
+        f"  -> {network.num_edges} directed links, diameter ~ {diameter}, "
+        f"mean in-degree {degrees.mean():.1f}\n"
+    )
+
+    protocols = {
+        "Algorithm 3 (knows D)": KnownDiameterBroadcast(diameter),
+        "Czumaj-Rytter (knows D)": KnownDiameterCR(diameter),
+        "Decay (knows nothing)": DecayBroadcast(),
+    }
+
+    rows = []
+    for name, protocol in protocols.items():
+        result = run_protocol(network, protocol, rng=seed + 100, run_to_quiescence=True)
+        rows.append(
+            [
+                name,
+                "yes" if result.completed else "NO",
+                result.completion_round,
+                round(result.energy.mean_per_node, 2),
+                result.energy.max_per_node,
+                result.energy.total_transmissions,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "protocol",
+                "completed",
+                "rounds",
+                "mean tx/sensor",
+                "max tx/sensor",
+                "total tx",
+            ],
+            rows,
+            title="Configuration-update broadcast across the sensor field",
+        )
+    )
+    print()
+    print(
+        "Energy per transmission is what drains sensor batteries: Algorithm 3 buys the\n"
+        "same completion time as Czumaj-Rytter for a fraction of the transmissions, and\n"
+        "both windowed protocols stop spending energy once their windows expire, unlike\n"
+        "Decay which keeps contending until the broadcast happens to finish."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    main(n, seed)

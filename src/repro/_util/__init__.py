@@ -1,0 +1,43 @@
+"""Internal utilities shared across the :mod:`repro` package.
+
+The helpers here are intentionally small and dependency-free (NumPy only):
+
+* :mod:`repro._util.rng` — reproducible random-number-generator management
+  (seed spawning for independent repetitions and worker processes).
+* :mod:`repro._util.validation` — argument checking with consistent error
+  messages.
+* :mod:`repro._util.logmath` — the small pieces of "paper arithmetic"
+  (``log n``, ``log d``, ``T = floor(log n / log d)`` …) used by several
+  protocols, kept in one place so every algorithm parameterises itself the
+  same way the paper does.
+"""
+
+from repro._util.logmath import (
+    ceil_log_ratio,
+    floor_log_ratio,
+    ilog2,
+    log2_safe,
+    phase1_round_count,
+)
+from repro._util.rng import RngFactory, as_generator, spawn_generators
+from repro._util.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "ceil_log_ratio",
+    "floor_log_ratio",
+    "ilog2",
+    "log2_safe",
+    "phase1_round_count",
+]

@@ -1,0 +1,100 @@
+"""The paper's logarithm arithmetic in one place.
+
+Throughout Berenbrink–Cooper–Hu the protocols are parameterised by quantities
+such as ``T = floor(log n / log d)`` (Phase-1 length of Algorithm 1),
+``lambda = log(n / D)`` (Algorithm 3 / the tradeoff family), and
+``ceil(log n / log d)`` (diameter of G(n, p), Lemma 3.1).  All logarithms in
+the paper are base 2 unless stated otherwise; this module keeps those
+conventions and the guard rails (what happens when ``d <= 1`` or ``D >= n``)
+in one audited location so every protocol and experiment agrees.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log2_safe",
+    "ilog2",
+    "floor_log_ratio",
+    "ceil_log_ratio",
+    "phase1_round_count",
+    "lambda_of",
+    "expected_degree",
+]
+
+
+def log2_safe(x: float, *, minimum: float = 1.0) -> float:
+    """``log2(max(x, minimum))`` — the paper always treats log factors as >= 0.
+
+    ``minimum`` defaults to 1 so that ``log2_safe(x) >= 0`` for every input,
+    matching the convention that e.g. ``log(n/D)`` is taken as at least a
+    constant when ``D`` approaches ``n``.
+    """
+    if x != x:  # NaN
+        raise ValueError("log2_safe received NaN")
+    return math.log2(max(x, minimum))
+
+
+def ilog2(n: int) -> int:
+    """``floor(log2 n)`` for a positive integer ``n``."""
+    if n < 1:
+        raise ValueError(f"ilog2 requires n >= 1, got {n}")
+    return int(n).bit_length() - 1
+
+
+def floor_log_ratio(n: float, d: float) -> int:
+    """``floor(log n / log d)`` with the paper's conventions.
+
+    Used for ``T``, the number of Phase-1 rounds of Algorithm 1
+    (``T = floor(log n / log d)``).  For ``d <= 2`` the ratio is capped at
+    ``log2 n`` (a graph with expected degree <= 2 cannot have more than
+    ~log n doubling rounds, and the paper's regime ``p > delta log n / n``
+    implies ``d > delta log n`` anyway).
+    """
+    if n <= 1:
+        return 0
+    log_n = math.log2(n)
+    log_d = math.log2(d) if d > 1 else 0.0
+    if log_d <= 0:
+        return int(math.floor(log_n))
+    return max(0, int(math.floor(log_n / log_d)))
+
+
+def ceil_log_ratio(n: float, d: float) -> int:
+    """``ceil(log n / log d)`` — the w.h.p. diameter of G(n, p) (Lemma 3.1)."""
+    if n <= 1:
+        return 0
+    log_n = math.log2(n)
+    log_d = math.log2(d) if d > 1 else 0.0
+    if log_d <= 0:
+        return int(math.ceil(log_n))
+    return max(1, int(math.ceil(log_n / log_d)))
+
+
+def phase1_round_count(n: int, p: float) -> int:
+    """``T = floor(log n / log d)`` with ``d = n * p`` (Algorithm 1, Phase 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must lie in (0, 1], got {p}")
+    d = n * p
+    return floor_log_ratio(n, d)
+
+
+def lambda_of(n: int, diameter: int) -> float:
+    """``lambda = log(n / D)`` clamped to be >= 1 (Section 4)."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if diameter < 1:
+        raise ValueError(f"diameter must be >= 1, got {diameter}")
+    return max(1.0, math.log2(n / diameter))
+
+
+def expected_degree(n: int, p: float) -> float:
+    """``d = n * p`` — the expected in/out degree of directed G(n, p)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    return n * p

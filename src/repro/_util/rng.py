@@ -1,0 +1,127 @@
+"""Reproducible random number generation helpers.
+
+Every stochastic component in this package accepts either a seed (``int``),
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh OS entropy).
+Experiments that repeat a protocol many times use :func:`spawn_generators`
+(or an :class:`RngFactory`) so each repetition gets an *independent* stream
+derived from a single root seed — repetition ``i`` always sees the same
+stream regardless of how the repetitions are scheduled across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["SeedLike", "as_generator", "spawn_generators", "RngFactory"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        "seed must be None, an int, a numpy SeedSequence or a numpy Generator; "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so streams are
+    statistically independent and stable: generator ``i`` is a pure function
+    of ``(seed, i)``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # A Generator has no stable spawn key accessible pre-1.25 everywhere;
+        # derive children by drawing integer seeds from it.
+        child_seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed if seed is not None else None)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+class RngFactory:
+    """A reproducible factory of independent random generators.
+
+    ``RngFactory(seed)[i]`` is deterministic in ``(seed, i)`` — the factory is
+    safe to share (conceptually) across worker processes because each worker
+    only ever asks for its own index.
+
+    Examples
+    --------
+    >>> factory = RngFactory(1234)
+    >>> a = factory[0].integers(0, 100, 5)
+    >>> b = RngFactory(1234)[0].integers(0, 100, 5)
+    >>> bool((a == b).all())
+    True
+    """
+
+    def __init__(self, seed: SeedLike = None):
+        if isinstance(seed, np.random.Generator):
+            # Freeze a root seed drawn once from the provided generator so the
+            # factory itself is deterministic afterwards.
+            seed = int(seed.integers(0, 2**63 - 1))
+        if isinstance(seed, np.random.SeedSequence):
+            self._root = seed
+        else:
+            self._root = np.random.SeedSequence(seed)
+        self._seed = seed
+
+    def __getitem__(self, index: int) -> np.random.Generator:
+        if index < 0:
+            raise IndexError("RngFactory index must be non-negative")
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=(index,)
+        )
+        return np.random.default_rng(child)
+
+    def generators(self, count: int) -> List[np.random.Generator]:
+        """Return the first ``count`` generators."""
+        return [self[i] for i in range(count)]
+
+    def __iter__(self) -> Iterator[np.random.Generator]:  # pragma: no cover - trivial
+        i = 0
+        while True:
+            yield self[i]
+            i += 1
+
+    def __repr__(self) -> str:
+        return f"RngFactory(entropy={self._root.entropy!r})"
+
+
+def integer_seeds(seed: SeedLike, count: int) -> List[int]:
+    """Derive ``count`` plain integer seeds from ``seed``.
+
+    Useful when seeds must cross a process boundary as picklable integers.
+    """
+    gens = spawn_generators(seed, count)
+    return [int(g.integers(0, 2**63 - 1)) for g in gens]

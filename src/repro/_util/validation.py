@@ -1,0 +1,76 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+    "check_node_index",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str, *, minimum: int = 1) -> int:
+    """Raise unless ``value`` is an integer >= ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str, *, allow_zero: bool = True) -> float:
+    """Raise unless ``value`` lies in [0, 1] (or (0, 1] if ``allow_zero`` is False)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    lo_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (lo_ok and value <= 1.0):
+        bracket = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValueError(f"{name} must lie in {bracket}, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    inclusive: bool = True,
+) -> float:
+    """Raise unless ``low <= value <= high`` (or strict if ``inclusive`` is False)."""
+    value = float(value)
+    if low is not None:
+        ok = value >= low if inclusive else value > low
+        if not ok:
+            raise ValueError(f"{name} must be {'>=' if inclusive else '>'} {low}, got {value}")
+    if high is not None:
+        ok = value <= high if inclusive else value < high
+        if not ok:
+            raise ValueError(f"{name} must be {'<=' if inclusive else '<'} {high}, got {value}")
+    return value
+
+
+def check_node_index(node: int, n: int, name: str = "node") -> int:
+    """Raise unless ``node`` is a valid index into a graph with ``n`` nodes."""
+    if isinstance(node, bool) or not isinstance(node, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(node).__name__}")
+    node = int(node)
+    if not 0 <= node < n:
+        raise ValueError(f"{name} must lie in [0, {n - 1}], got {node}")
+    return node

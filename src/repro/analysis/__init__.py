@@ -1,0 +1,35 @@
+"""Statistical analysis of experiment results.
+
+* :mod:`repro.analysis.statistics` — summaries of repeated measurements
+  (mean, confidence intervals, success probabilities with Wilson bounds).
+* :mod:`repro.analysis.scaling` — least-squares fits of measured quantities
+  against the asymptotic forms the theorems claim (``log n``, ``log² n``,
+  ``d log n``, ``log n / p``, …) and simple model selection, used to check
+  the *shape* of each bound.
+* :mod:`repro.analysis.concentration` — empirical verification of the
+  phase-growth lemmas of Section 2 (Lemmas 2.3–2.5).
+* :mod:`repro.analysis.tables` — fixed-width text tables shared by the
+  experiment harness, the CLI and EXPERIMENTS.md.
+"""
+
+from repro.analysis.concentration import PhaseGrowthCheck, check_phase1_growth
+from repro.analysis.scaling import ScalingFit, candidate_models, fit_model, fit_scaling
+from repro.analysis.statistics import (
+    SummaryStatistics,
+    success_probability,
+    summarize,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "success_probability",
+    "ScalingFit",
+    "fit_model",
+    "fit_scaling",
+    "candidate_models",
+    "PhaseGrowthCheck",
+    "check_phase1_growth",
+    "format_table",
+]

@@ -1,0 +1,92 @@
+"""Empirical checks of the Section-2 phase-growth lemmas.
+
+Algorithm 1's analysis rests on three concentration statements:
+
+* **Lemma 2.3** — while ``|U_t| < 1/p``, the active set grows by a factor in
+  ``(d/16, 2d)`` each Phase-1 round (and tightly ``(1 ± o(1)) d`` in the
+  mid-range);
+* **Lemma 2.4** — after Phase 1, ``c₁ d^T ≤ |U_{T+1}| ≤ c₂ d^T``;
+* **Lemma 2.5** — after Phase 2, ``|U_{T+2}| ≥ c·n`` (sparse regime).
+
+:func:`check_phase1_growth` extracts the per-round growth factors from an
+Algorithm-1 run trace (the protocol records ``|U_t|`` each round) and reports
+how they compare with ``d`` — experiment E2 aggregates these over many seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["PhaseGrowthCheck", "check_phase1_growth"]
+
+
+@dataclass(frozen=True)
+class PhaseGrowthCheck:
+    """Per-run summary of Phase-1 growth behaviour."""
+
+    growth_factors: np.ndarray
+    normalized_growth: np.ndarray
+    final_phase1_active: int
+    predicted_phase1_active: float
+    phase1_ratio: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "growth_factors": self.growth_factors.tolist(),
+            "normalized_growth": self.normalized_growth.tolist(),
+            "final_phase1_active": self.final_phase1_active,
+            "predicted_phase1_active": self.predicted_phase1_active,
+            "phase1_ratio": self.phase1_ratio,
+        }
+
+
+def check_phase1_growth(
+    active_history: Sequence[int], T: int, d: float
+) -> PhaseGrowthCheck:
+    """Analyse the ``|U_t|`` series of one Algorithm-1 run.
+
+    Parameters
+    ----------
+    active_history:
+        ``|U_t|`` at the start of each round (the protocol's
+        ``active_history``); entry 0 is round 1 of Phase 1 (``|U_1| = 1``).
+    T:
+        Number of Phase-1 rounds.
+    d:
+        Expected degree ``n p``.
+
+    Returns
+    -------
+    PhaseGrowthCheck
+        ``growth_factors[i] = |U_{i+2}| / |U_{i+1}|`` for the Phase-1 rounds,
+        ``normalized_growth`` divides them by ``d``, and ``phase1_ratio`` is
+        ``|U_{T+1}| / d^T`` (Lemma 2.4 predicts a constant).
+    """
+    history = np.asarray(list(active_history), dtype=float)
+    if history.size == 0:
+        raise ValueError("active_history is empty")
+    if T < 1:
+        raise ValueError(f"T must be >= 1, got {T}")
+    if d <= 0:
+        raise ValueError(f"d must be positive, got {d}")
+
+    # Growth factors across Phase-1 rounds (need |U_1| .. |U_{T+1}|).
+    upper = min(T + 1, history.size)
+    phase1 = history[:upper]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factors = phase1[1:] / np.where(phase1[:-1] > 0, phase1[:-1], np.nan)
+    factors = factors[np.isfinite(factors)]
+
+    final_active = int(phase1[-1]) if phase1.size else 0
+    predicted = float(d**T)
+    ratio = final_active / predicted if predicted > 0 else float("nan")
+    return PhaseGrowthCheck(
+        growth_factors=factors,
+        normalized_growth=factors / d,
+        final_phase1_active=final_active,
+        predicted_phase1_active=predicted,
+        phase1_ratio=ratio,
+    )

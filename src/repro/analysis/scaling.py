@@ -1,0 +1,131 @@
+"""Asymptotic-shape checks: fit measurements against claimed growth models.
+
+A theorem of the form "quantity = O(f(n))" is checked empirically by fitting
+``y ≈ c · f(n)`` over a sweep of ``n`` (least squares through the origin) and
+inspecting
+
+* the fitted constant ``c`` (should be O(1) and stable),
+* the coefficient of determination ``R²``,
+* the ratio series ``y / f(n)`` (should be roughly flat — no systematic
+  growth).
+
+:func:`fit_scaling` additionally compares a measured series against several
+candidate models and reports which one fits best, which is how EXPERIMENTS.md
+distinguishes e.g. ``log n`` growth from ``log² n`` growth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ScalingFit", "fit_model", "fit_scaling", "candidate_models", "ratio_spread"]
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Result of fitting ``y ≈ c · f(x)``."""
+
+    model_name: str
+    constant: float
+    r_squared: float
+    ratios: np.ndarray
+
+    @property
+    def ratio_spread(self) -> float:
+        """``max(y/f) / min(y/f)`` — 1.0 means a perfect constant ratio."""
+        positive = self.ratios[self.ratios > 0]
+        if positive.size == 0:
+            return math.inf
+        return float(positive.max() / positive.min())
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "model": self.model_name,
+            "constant": self.constant,
+            "r_squared": self.r_squared,
+            "ratio_spread": self.ratio_spread,
+        }
+
+
+def fit_model(
+    x: Sequence[float],
+    y: Sequence[float],
+    model: Callable[[np.ndarray], np.ndarray],
+    *,
+    name: str = "model",
+) -> ScalingFit:
+    """Least-squares fit of ``y ≈ c · model(x)`` through the origin."""
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    if x_arr.size != y_arr.size:
+        raise ValueError(f"x and y must have equal length, got {x_arr.size} and {y_arr.size}")
+    if x_arr.size == 0:
+        raise ValueError("cannot fit an empty series")
+    f = np.asarray(model(x_arr), dtype=float)
+    if f.shape != x_arr.shape:
+        raise ValueError("model must map x element-wise")
+    if np.any(f <= 0):
+        raise ValueError("model values must be positive over the fitted range")
+    constant = float(np.dot(f, y_arr) / np.dot(f, f))
+    predicted = constant * f
+    ss_res = float(np.sum((y_arr - predicted) ** 2))
+    mean_y = float(y_arr.mean())
+    ss_tot = float(np.sum((y_arr - mean_y) ** 2))
+    if ss_tot == 0.0:
+        r_squared = 1.0 if ss_res == 0.0 else 0.0
+    else:
+        r_squared = 1.0 - ss_res / ss_tot
+    return ScalingFit(
+        model_name=name,
+        constant=constant,
+        r_squared=r_squared,
+        ratios=y_arr / f,
+    )
+
+
+def candidate_models(*, p: Optional[Mapping[float, float]] = None) -> Dict[str, Callable]:
+    """The growth models the paper's bounds use, keyed by name.
+
+    All are functions of ``n``; models involving ``p`` (``log n / p``) need
+    the per-``n`` edge probability supplied via the ``p`` mapping.
+    """
+    models: Dict[str, Callable] = {
+        "const": lambda n: np.ones_like(np.asarray(n, dtype=float)),
+        "log n": lambda n: np.log2(np.asarray(n, dtype=float)),
+        "log^2 n": lambda n: np.log2(np.asarray(n, dtype=float)) ** 2,
+        "sqrt n": lambda n: np.sqrt(np.asarray(n, dtype=float)),
+        "n": lambda n: np.asarray(n, dtype=float),
+        "n log n": lambda n: np.asarray(n, dtype=float)
+        * np.log2(np.asarray(n, dtype=float)),
+    }
+    if p is not None:
+        lookup = dict(p)
+
+        def log_n_over_p(n_values):
+            n_arr = np.asarray(n_values, dtype=float)
+            return np.asarray(
+                [math.log2(v) / lookup[float(v)] for v in n_arr], dtype=float
+            )
+
+        models["log n / p"] = log_n_over_p
+    return models
+
+
+def fit_scaling(
+    x: Sequence[float],
+    y: Sequence[float],
+    models: Mapping[str, Callable[[np.ndarray], np.ndarray]],
+) -> Dict[str, ScalingFit]:
+    """Fit every candidate model; the caller picks by ``r_squared``/``ratio_spread``."""
+    if not models:
+        raise ValueError("at least one candidate model is required")
+    return {name: fit_model(x, y, fn, name=name) for name, fn in models.items()}
+
+
+def ratio_spread(x: Sequence[float], y: Sequence[float], model: Callable) -> float:
+    """Convenience: the max/min spread of ``y / model(x)``."""
+    return fit_model(x, y, model).ratio_spread

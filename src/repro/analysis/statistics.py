@@ -1,0 +1,135 @@
+"""Summaries of repeated stochastic measurements."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SummaryStatistics", "summarize", "success_probability", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean/median/spread of a sample of repeated measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.count})"
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95) -> SummaryStatistics:
+    """Summarise ``values`` with a normal-approximation confidence interval.
+
+    Raises ``ValueError`` on an empty sample — callers must not silently
+    aggregate nothing.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("sample contains non-finite values")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half_width = z * std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+    return SummaryStatistics(
+        count=int(arr.size),
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def success_probability(successes: int, trials: int) -> float:
+    """Plain success-rate estimate ``successes / trials``."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must lie in [0, trials={trials}], got {successes}"
+        )
+    return successes / trials
+
+
+def wilson_interval(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because success probabilities in
+    the w.h.p. experiments sit very close to 1.
+    """
+    rate = success_probability(successes, trials)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    denom = 1.0 + z**2 / trials
+    centre = (rate + z**2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(rate * (1.0 - rate) / trials + z**2 / (4.0 * trials**2))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def _normal_quantile(q: float) -> float:
+    """Standard-normal quantile via the Acklam/Beasley–Springer approximation."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile argument must lie in (0, 1), got {q}")
+    # Coefficients for the rational approximation.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0
+        )
+    if q > 1.0 - p_low:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(
+            ((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]
+        ) / ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    u = q - 0.5
+    t = u * u
+    return (
+        (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5])
+        * u
+        / (((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1.0)
+    )

@@ -1,0 +1,58 @@
+"""Fixed-width text tables.
+
+The experiment harness, the CLI and EXPERIMENTS.md all render results as
+plain monospaced tables; keeping the formatter here keeps them identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value, *, float_format: str = "{:.4g}") -> str:
+    """Render a cell: floats compactly, None as '-', everything else via str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render ``rows`` under ``columns`` as an aligned text table."""
+    columns = [str(c) for c in columns]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [format_value(cell, float_format=float_format) for cell in row]
+        if len(cells) != len(columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(columns)} columns: {cells}"
+            )
+        rendered_rows.append(cells)
+
+    widths = [len(c) for c in columns]
+    for cells in rendered_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = render_line(columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    lines.extend(render_line(cells) for cells in rendered_rows)
+    return "\n".join(lines)

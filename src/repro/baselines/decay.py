@@ -1,0 +1,108 @@
+"""The Bar-Yehuda–Goldreich–Itai ``Decay`` broadcast [3].
+
+The classic randomised broadcast for unknown radio networks.  Time is divided
+into *phases* of ``k = ceil(2 log2 n)`` rounds.  At the start of each phase
+every informed node draws a geometric stopping time and then transmits in the
+first ``X`` rounds of the phase, where ``Pr[X >= i] = 2^{-(i-1)}`` (i.e. it
+keeps transmitting and halves its survival probability every round, capped at
+``k``).  Within a phase the expected number of transmissions per informed
+node is at most 2, and each uninformed neighbour of the frontier is informed
+with constant probability per phase, giving ``O((D + log n) log n)`` rounds
+w.h.p.
+
+Energy: a node keeps participating in every phase until the broadcast
+completes (the original protocol has no retirement rule), so per-node energy
+grows linearly with the number of phases it lives through —
+``Θ(log n)``-ish near the source but up to ``Θ((D + log n))`` transmissions
+per node overall.  This is the energy cost Algorithm 3 avoids.  An optional
+``max_phases_active`` cut-off bounds it for the comparison experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._util.validation import check_positive_int
+from repro.radio.collision import CollisionOutcome
+from repro.radio.protocol import BroadcastProtocol
+
+__all__ = ["DecayBroadcast"]
+
+
+class DecayBroadcast(BroadcastProtocol):
+    """Bar-Yehuda et al. Decay protocol.
+
+    Parameters
+    ----------
+    source:
+        Broadcast originator.
+    max_phases_active:
+        Optional retirement rule: a node stops participating after this many
+        phases counted from the phase in which it was informed.  ``None``
+        reproduces the original (energy-unbounded) protocol.
+    """
+
+    name = "decay-broadcast"
+
+    def __init__(self, *, source: int = 0, max_phases_active: Optional[int] = None):
+        super().__init__(source=source)
+        if max_phases_active is not None:
+            max_phases_active = check_positive_int(
+                max_phases_active, "max_phases_active"
+            )
+        self.max_phases_active = max_phases_active
+        self.phase_length: int = 1
+        self._phase_quota: Optional[np.ndarray] = None
+        self._informed_phase: Optional[np.ndarray] = None
+        self.run_metadata: Dict[str, object] = {}
+
+    def _setup_broadcast(self) -> None:
+        n = self.n
+        self.phase_length = max(1, int(math.ceil(2 * math.log2(max(2, n)))))
+        # Number of rounds (within the current phase) each node will still transmit.
+        self._phase_quota = np.zeros(n, dtype=np.int64)
+        self._informed_phase = np.full(n, -1, dtype=np.int64)
+        self._informed_phase[self.source] = 0
+        self.run_metadata = {
+            "phase_length": self.phase_length,
+            "max_phases_active": self.max_phases_active,
+        }
+
+    def _draw_phase_quotas(self, participating: np.ndarray) -> None:
+        """Draw the per-phase geometric transmission quotas for participants."""
+        quotas = np.zeros(self.n, dtype=np.int64)
+        count = int(participating.sum())
+        if count:
+            draws = self.rng.geometric(0.5, size=count)
+            quotas[participating] = np.minimum(draws, self.phase_length)
+        self._phase_quota = quotas
+
+    def transmit_mask(self, round_index: int) -> np.ndarray:
+        phase_index, within = divmod(round_index, self.phase_length)
+        if within == 0:
+            participating = self.informed.copy()
+            if self.max_phases_active is not None:
+                alive = (phase_index - self._informed_phase) < self.max_phases_active
+                participating &= alive & (self._informed_phase >= 0)
+            self._draw_phase_quotas(participating)
+        mask = self._phase_quota > within
+        return mask
+
+    def observe(
+        self,
+        round_index: int,
+        transmit_mask: np.ndarray,
+        outcome: CollisionOutcome,
+    ) -> None:
+        newly = self.mark_informed(outcome.receivers, round_index)
+        if newly.size:
+            phase_index = round_index // self.phase_length
+            # Newly informed nodes join from the *next* phase.
+            self._informed_phase[newly] = phase_index + 1
+
+    def suggested_max_rounds(self) -> int:
+        log_n = max(1.0, math.log2(max(2, self.n)))
+        return int(math.ceil(32 * (self.n + log_n) * log_n))

@@ -1,0 +1,76 @@
+"""Folklore flooding baselines.
+
+* :class:`DeterministicFlood` — every informed node transmits in every round.
+  On a path this is optimal; on anything with two or more informed
+  in-neighbours per frontier node it deadlocks permanently (the collision
+  rule means nobody new is ever informed), which is precisely the failure
+  mode that motivates randomised protocols.  The class exposes a
+  ``max_transmissions_per_node`` cut-off so runs terminate.
+* :class:`BernoulliFlood` — every informed node transmits with a fixed
+  probability ``q`` each round, forever.  With ``q ≈ 1/Δ`` (Δ = max
+  in-degree) this completes but spends Θ(time · q) transmissions per node —
+  the energy-oblivious strawman against which the paper's bounded-energy
+  protocols are measured in E14.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._util.validation import check_positive_int, check_probability
+from repro.radio.protocol import BroadcastProtocol
+
+__all__ = ["DeterministicFlood", "BernoulliFlood"]
+
+
+class DeterministicFlood(BroadcastProtocol):
+    """Every informed node transmits every round (until its cut-off)."""
+
+    name = "deterministic-flood"
+
+    def __init__(self, *, source: int = 0, max_transmissions_per_node: int = 64):
+        super().__init__(source=source)
+        self.max_transmissions_per_node = check_positive_int(
+            max_transmissions_per_node, "max_transmissions_per_node"
+        )
+        self._transmissions: Optional[np.ndarray] = None
+        self.run_metadata: Dict[str, object] = {}
+
+    def _setup_broadcast(self) -> None:
+        self._transmissions = np.zeros(self.n, dtype=np.int64)
+        self.run_metadata = {
+            "max_transmissions_per_node": self.max_transmissions_per_node
+        }
+
+    def transmit_mask(self, round_index: int) -> np.ndarray:
+        mask = self.informed & (self._transmissions < self.max_transmissions_per_node)
+        self._transmissions += mask
+        return mask
+
+    def suggested_max_rounds(self) -> int:
+        return 4 * self.n + self.max_transmissions_per_node
+
+
+class BernoulliFlood(BroadcastProtocol):
+    """Every informed node transmits with probability ``q`` each round, forever."""
+
+    name = "bernoulli-flood"
+
+    def __init__(self, q: float, *, source: int = 0):
+        super().__init__(source=source)
+        self.q = check_probability(q, "q", allow_zero=False)
+        self.run_metadata: Dict[str, object] = {}
+
+    def _setup_broadcast(self) -> None:
+        self.run_metadata = {"q": self.q}
+
+    def transmit_mask(self, round_index: int) -> np.ndarray:
+        draws = self.rng.random(self.n) < self.q
+        return self.informed & draws
+
+    def suggested_max_rounds(self) -> int:
+        log_n = max(1.0, math.log2(self.n))
+        return int(math.ceil(64 * (self.n + log_n) / self.q))

@@ -1,0 +1,162 @@
+"""Random phone-call push protocols (Elsässer [13]).
+
+The random phone-call model is *not* a radio model: in every round each
+informed node picks one neighbour uniformly at random and transfers the
+message point-to-point — there are no collisions, so a round always
+delivers.  The paper cites [13] as the communication-complexity reference
+point for broadcasting on random graphs (``O(n · max{log log n,
+log n / log d})`` transmissions); we include push broadcast and push gossip
+as the "collision-free" energy reference in experiment E14.
+
+Because the communication model differs, these baselines do not run on the
+radio engine; they are small standalone simulators that report the same
+headline quantities (completion round, total transmissions, max per node).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_node_index, check_positive_int
+from repro.radio.network import RadioNetwork
+
+__all__ = ["PhoneCallResult", "run_push_broadcast", "run_push_gossip"]
+
+
+@dataclass(frozen=True)
+class PhoneCallResult:
+    """Outcome of a phone-call-model run."""
+
+    completed: bool
+    completion_round: int
+    total_transmissions: int
+    max_per_node: int
+    mean_per_node: float
+    n: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "completed": self.completed,
+            "completion_round": self.completion_round,
+            "total_transmissions": self.total_transmissions,
+            "max_per_node": self.max_per_node,
+            "mean_per_node": self.mean_per_node,
+            "n": self.n,
+        }
+
+
+def _pick_random_out_neighbours(
+    network: RadioNetwork, nodes: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """For each node in ``nodes`` pick one uniform out-neighbour (-1 if none)."""
+    indptr = network.out_indptr
+    starts = indptr[nodes]
+    degrees = indptr[nodes + 1] - starts
+    picks = np.full(nodes.size, -1, dtype=np.int64)
+    has_neighbours = degrees > 0
+    if has_neighbours.any():
+        offsets = np.floor(
+            rng.random(int(has_neighbours.sum())) * degrees[has_neighbours]
+        ).astype(np.int64)
+        picks[has_neighbours] = network.out_indices[
+            starts[has_neighbours] + offsets
+        ].astype(np.int64)
+    return picks
+
+
+def run_push_broadcast(
+    network: RadioNetwork,
+    *,
+    source: int = 0,
+    rng: SeedLike = None,
+    max_rounds: Optional[int] = None,
+) -> PhoneCallResult:
+    """Push broadcast: each informed node calls one random out-neighbour per round."""
+    generator = as_generator(rng)
+    n = network.n
+    source = check_node_index(source, n, "source")
+    if max_rounds is None:
+        max_rounds = int(math.ceil(64 * max(1.0, math.log2(max(2, n))))) + 4 * n
+    max_rounds = check_positive_int(max_rounds, "max_rounds")
+
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    transmissions = np.zeros(n, dtype=np.int64)
+    completed = bool(informed.all())
+    completion_round = 0
+
+    for round_index in range(max_rounds):
+        if completed:
+            break
+        senders = np.flatnonzero(informed)
+        picks = _pick_random_out_neighbours(network, senders, generator)
+        transmissions[senders] += 1
+        valid = picks >= 0
+        informed[picks[valid]] = True
+        if informed.all():
+            completed = True
+            completion_round = round_index + 1
+            break
+    else:
+        completion_round = max_rounds
+
+    return PhoneCallResult(
+        completed=completed,
+        completion_round=completion_round,
+        total_transmissions=int(transmissions.sum()),
+        max_per_node=int(transmissions.max()),
+        mean_per_node=float(transmissions.mean()),
+        n=n,
+    )
+
+
+def run_push_gossip(
+    network: RadioNetwork,
+    *,
+    rng: SeedLike = None,
+    max_rounds: Optional[int] = None,
+) -> PhoneCallResult:
+    """Push gossip: every node calls one random out-neighbour per round, joining rumours."""
+    generator = as_generator(rng)
+    n = network.n
+    if max_rounds is None:
+        max_rounds = int(math.ceil(64 * max(1.0, math.log2(max(2, n))))) + 4 * n
+    max_rounds = check_positive_int(max_rounds, "max_rounds")
+
+    knowledge = np.eye(n, dtype=bool)
+    transmissions = np.zeros(n, dtype=np.int64)
+    completed = bool(knowledge.all())
+    completion_round = 0
+    all_nodes = np.arange(n, dtype=np.int64)
+
+    for round_index in range(max_rounds):
+        if completed:
+            break
+        picks = _pick_random_out_neighbours(network, all_nodes, generator)
+        transmissions += picks >= 0
+        valid = picks >= 0
+        receivers = picks[valid]
+        senders = all_nodes[valid]
+        # Round-start snapshot: gather sender rows before updating.
+        payloads = knowledge[senders]
+        np.logical_or.at(knowledge, receivers, payloads)
+        if knowledge.all():
+            completed = True
+            completion_round = round_index + 1
+            break
+    else:
+        completion_round = max_rounds
+
+    return PhoneCallResult(
+        completed=completed,
+        completion_round=completion_round,
+        total_transmissions=int(transmissions.sum()),
+        max_per_node=int(transmissions.max()),
+        mean_per_node=float(transmissions.mean()),
+        n=n,
+    )

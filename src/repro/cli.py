@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands
+-----------
+
+``repro list``
+    List the available experiments with their claims.
+
+``repro run E5 [--scale full] [--seed 3] [--processes 4] [--json out.json]``
+    Run one experiment (or ``all``) and print its result table; optionally
+    write the JSON result file and/or a CSV of the table.
+
+``repro chart E6``
+    Run an experiment and render its series as ASCII charts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.figures import ascii_chart
+from repro.experiments.registry import all_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Energy efficient randomised communication "
+            "in unknown AdHoc networks' (Berenbrink, Cooper, Hu)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (e.g. E1) or 'all'")
+    run_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan repetitions out over this many worker processes",
+    )
+    run_parser.add_argument("--json", type=Path, default=None, help="write JSON result here")
+    run_parser.add_argument("--csv", type=Path, default=None, help="write the table as CSV here")
+
+    chart_parser = sub.add_parser("chart", help="run an experiment and render its series")
+    chart_parser.add_argument("experiment", help="experiment id (e.g. E6)")
+    chart_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    chart_parser.add_argument("--seed", type=int, default=0)
+
+    report_parser = sub.add_parser(
+        "report", help="run experiments and write a Markdown report + JSON archive"
+    )
+    report_parser.add_argument(
+        "--output", type=Path, default=Path("results"), help="output directory"
+    )
+    report_parser.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        help="experiment ids to include (default: all)",
+    )
+    report_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--processes", type=int, default=None)
+
+    return parser
+
+
+def _command_list() -> int:
+    for module in all_experiments():
+        print(f"{module.EXPERIMENT_ID:>4}  {module.TITLE}")
+        print(f"      {module.CLAIM}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    targets = (
+        [m.EXPERIMENT_ID for m in all_experiments()]
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    exit_code = 0
+    for target in targets:
+        result = run_experiment(
+            target, scale=args.scale, seed=args.seed, processes=args.processes
+        )
+        print(result.render())
+        print()
+        if args.json is not None:
+            path = args.json
+            if len(targets) > 1:
+                path = path.with_name(f"{path.stem}_{result.experiment_id}{path.suffix}")
+            result.save(path)
+            print(f"[written] {path}")
+        if args.csv is not None:
+            path = args.csv
+            if len(targets) > 1:
+                path = path.with_name(f"{path.stem}_{result.experiment_id}{path.suffix}")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(result.to_csv())
+            print(f"[written] {path}")
+    return exit_code
+
+
+def _command_chart(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    if not result.series:
+        print(f"{result.experiment_id} produced no series to chart")
+        return 1
+    for series in result.series:
+        print(ascii_chart(series))
+        print()
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    paths = generate_report(
+        args.output,
+        experiment_ids=args.experiments,
+        scale=args.scale,
+        seed=args.seed,
+        processes=args.processes,
+    )
+    print(f"[written] {paths.report}")
+    for path in paths.json_files:
+        print(f"[written] {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "chart":
+        return _command_chart(args)
+    if args.command == "report":
+        return _command_report(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Transmission-scale distributions (the paper's Fig. 1).
+
+Selection-sequence broadcasting algorithms (Algorithm 3, the Czumaj–Rytter
+baselines, the Theorem 4.2 family) work with *scales*: in round ``r`` a
+public random scale ``I_r ∈ {0, 1, …, log n}`` is drawn from a fixed
+distribution and every active node transmits with probability ``2^{-I_r}``.
+The distribution over scales is the whole design space; the paper's
+contribution in Section 4 is a new distribution ``α`` whose two structural
+properties drive Theorem 4.1:
+
+``floor``
+    every scale has probability at least ``≈ 1/(2 log n)``, so an uninformed
+    node with *any* number ``m`` of active in-neighbours is hit at the right
+    scale (``2^k ≈ m``) with probability ``Ω(1/log n)`` per round — an active
+    window of ``O(log² n)`` rounds then suffices w.h.p.;
+
+``energy``
+    the expected transmission probability ``E[2^{-I}]`` is ``Θ(1/λ)`` with
+    ``λ = log(n/D)``, so each active round costs only ``O(1/λ)`` expected
+    transmissions — ``O(log² n / λ)`` per node over the whole window.
+
+The Czumaj–Rytter distribution ``α′`` (their Section 4.1) satisfies the
+energy property but **not** the floor: mass on the large scales decays
+geometrically, so per-neighbour success at scale ``k`` costs
+``Ω(2^{k-λ})`` more rounds, which is why converting their algorithm to a
+bounded-energy one needs an active window longer by a ``log(n/D)`` factor
+(and hence ``Θ(log² n)`` transmissions per node).
+
+The exact constants in the paper's Fig. 1 are immaterial (the theorems hide
+them in O(·)); what we implement and test are the two structural properties
+above and the inequalities the proofs actually use:
+``1/(2 log n) ≲ α_k``, ``α_k ≥ α'_k / 2`` and ``α_k ≥ (1/2λ)·2^{-(k-λ)}``
+for ``k > λ``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._util.logmath import lambda_of
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_positive_int, check_probability
+
+__all__ = [
+    "ScaleDistribution",
+    "AlphaDistribution",
+    "CzumajRytterDistribution",
+    "UniformScaleDistribution",
+    "FixedProbabilityOblivious",
+]
+
+
+class ScaleDistribution:
+    """A fixed (time-invariant) probability distribution over scales ``0..K``.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not necessarily normalised weights; index ``k`` is the
+        scale whose transmission probability is ``2^{-k}``.
+    name:
+        Label used in tables.
+    """
+
+    def __init__(self, weights: Sequence[float], *, name: str = "scale-distribution"):
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("weights must have positive total mass")
+        self._probabilities = weights / total
+        self._probabilities.setflags(write=False)
+        self.name = str(name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Normalised probability of each scale (read-only array)."""
+        return self._probabilities
+
+    @property
+    def num_scales(self) -> int:
+        """Number of scales (``K + 1``)."""
+        return int(self._probabilities.size)
+
+    @property
+    def max_scale(self) -> int:
+        """Largest scale ``K``."""
+        return int(self._probabilities.size - 1)
+
+    def probability_of_scale(self, k: int) -> float:
+        """``Pr[I = k]``."""
+        if not 0 <= k <= self.max_scale:
+            raise ValueError(f"scale must lie in [0, {self.max_scale}], got {k}")
+        return float(self._probabilities[k])
+
+    def mean_transmission_probability(self) -> float:
+        """``E[2^{-I}]`` — the expected per-round transmission probability.
+
+        This is the paper's ``µ`` (mean of the distribution) from the proof of
+        Theorem 4.4: an active node spends ``µ`` expected transmissions per
+        round.
+        """
+        scales = np.arange(self.num_scales)
+        return float(np.sum(self._probabilities * np.power(2.0, -scales)))
+
+    def min_scale_probability(self) -> float:
+        """``min_k Pr[I = k]`` over the scales the distribution actually plays.
+
+        Zero-weight scales (e.g. scale 0, which none of the paper's
+        distributions uses) are excluded — this is the "floor" that drives
+        Theorem 4.1.
+        """
+        positive = self._probabilities[self._probabilities > 0]
+        return float(positive.min())
+
+    def sample_scales(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` i.i.d. scales (a selection sequence prefix)."""
+        count = check_positive_int(count, "count", minimum=0)
+        generator = as_generator(rng)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        return generator.choice(self.num_scales, size=count, p=self._probabilities)
+
+    def sample_probabilities(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` per-round transmission probabilities ``2^{-I_r}``."""
+        return np.power(2.0, -self.sample_scales(count, rng).astype(float))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, scales={self.num_scales})"
+
+
+class AlphaDistribution(ScaleDistribution):
+    """The paper's distribution ``α`` (Fig. 1) for known diameter ``D``.
+
+    Construction (scales ``k = 1 .. K`` with ``K = ceil(log2 n)``; scale 0 is
+    unused, i.e. nodes never transmit with probability 1): every scale gets
+    the uniform floor ``1/(2 log n)`` plus a λ-dependent bump,
+
+    * ``k <= λ``:  weight ``1/(2 log n)  +  1 / (4 λ)``;
+    * ``k  > λ``:  weight ``1/(2 log n)  +  (1 / (4 λ)) · 2^{-(k - λ)}``.
+
+    The weights are then normalised.  The unnormalised total is
+    ``1/2 + Θ(1/4)`` for every λ, so normalisation changes each value by a
+    bounded, nearly λ-independent constant; the structural properties —
+    floor of ``Ω(1/log n)`` on every scale, mean ``Θ(1/λ)`` that is
+    (weakly) decreasing in λ — are preserved and are what the tests assert.
+
+    Parameters
+    ----------
+    n:
+        Network size (every node knows ``n``).
+    diameter:
+        Known diameter ``D``.
+    lam:
+        Optional override of ``λ`` (defaults to ``log2(n / D)``, clamped to
+        ``[1, log2 n]``); the Theorem 4.2 tradeoff family passes larger λ.
+    """
+
+    def __init__(self, n: int, diameter: int, *, lam: Optional[float] = None):
+        n = check_positive_int(n, "n", minimum=2)
+        diameter = check_positive_int(diameter, "diameter")
+        log_n = max(1.0, math.log2(n))
+        if lam is None:
+            lam = lambda_of(n, diameter)
+        lam = float(min(max(lam, 1.0), log_n))
+        max_scale = max(1, int(math.ceil(log_n)))
+
+        weights = np.zeros(max_scale + 1, dtype=float)
+        for k in range(1, max_scale + 1):
+            floor = 1.0 / (2.0 * log_n)
+            if k <= lam:
+                bump = 1.0 / (4.0 * lam)
+            else:
+                bump = (1.0 / (4.0 * lam)) * 2.0 ** (-(k - lam))
+            weights[k] = floor + bump
+        super().__init__(weights, name=f"alpha(n={n}, D={diameter}, lambda={lam:.3g})")
+        self.n = n
+        self.diameter = diameter
+        self.lam = lam
+        self.log_n = log_n
+
+
+class CzumajRytterDistribution(ScaleDistribution):
+    """The Czumaj–Rytter distribution ``α′`` (their Section 4.1, Fig. 1 right).
+
+    Same geometric tail as ``α`` but **without** the ``1/(2 log n)`` floor:
+
+    * ``k <= λ``: weight ``1 / (2 λ)``;
+    * ``k  > λ``: weight ``(1 / (2 λ)) · 2^{-(k - λ)}``.
+
+    Normalised.  The paper's inequality ``α_k >= α'_k / 2`` holds scale-wise
+    for the unnormalised weights and, up to the bounded normalisation
+    constants, for the probabilities as well (asserted in the tests with the
+    appropriate constant slack).
+    """
+
+    def __init__(self, n: int, diameter: int, *, lam: Optional[float] = None):
+        n = check_positive_int(n, "n", minimum=2)
+        diameter = check_positive_int(diameter, "diameter")
+        log_n = max(1.0, math.log2(n))
+        if lam is None:
+            lam = lambda_of(n, diameter)
+        lam = float(min(max(lam, 1.0), log_n))
+        max_scale = max(1, int(math.ceil(log_n)))
+
+        weights = np.zeros(max_scale + 1, dtype=float)
+        for k in range(1, max_scale + 1):
+            if k <= lam:
+                weights[k] = 1.0 / (2.0 * lam)
+            else:
+                weights[k] = (1.0 / (2.0 * lam)) * 2.0 ** (-(k - lam))
+        super().__init__(
+            weights, name=f"alpha_prime(n={n}, D={diameter}, lambda={lam:.3g})"
+        )
+        self.n = n
+        self.diameter = diameter
+        self.lam = lam
+        self.log_n = log_n
+
+
+class UniformScaleDistribution(ScaleDistribution):
+    """Uniform distribution over scales ``1 .. ceil(log2 n)``.
+
+    The classic unknown-topology selection-sequence choice (used by the
+    Bar-Yehuda-style baselines and by our unknown-diameter baseline): every
+    scale is equally likely, so the floor property holds with constant
+    ``1/log n`` but the mean transmission probability is ``Θ(1/log n)``
+    rather than ``Θ(1/λ)`` — more energy-hungry when ``D`` is large.
+    """
+
+    def __init__(self, n: int):
+        n = check_positive_int(n, "n", minimum=2)
+        max_scale = max(1, int(math.ceil(math.log2(n))))
+        weights = np.zeros(max_scale + 1, dtype=float)
+        weights[1:] = 1.0
+        super().__init__(weights, name=f"uniform-scales(n={n})")
+        self.n = n
+        self.log_n = float(max_scale)
+
+
+class FixedProbabilityOblivious(ScaleDistribution):
+    """A degenerate time-invariant distribution: always transmit w.p. ``q``.
+
+    This is the simplest member of the class of protocols the lower bounds
+    (Observation 4.3, Theorem 4.4) quantify over: every node uses the same
+    per-round send probability ``q`` in every round.  It is represented on a
+    two-point scale grid ``{q, 0}`` so it can plug into the same
+    selection-sequence machinery; :meth:`per_round_probability` exposes ``q``
+    directly for protocols that bypass scales.
+    """
+
+    def __init__(self, q: float):
+        q = check_probability(q, "q", allow_zero=False)
+        # Single "scale" whose transmission probability is exactly q.
+        super().__init__([1.0], name=f"fixed(q={q:.4g})")
+        self._q = q
+
+    def per_round_probability(self) -> float:
+        """The constant per-round transmission probability ``q``."""
+        return self._q
+
+    def mean_transmission_probability(self) -> float:
+        return self._q
+
+    def sample_probabilities(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        count = check_positive_int(count, "count", minimum=0)
+        return np.full(count, self._q, dtype=float)

@@ -1,0 +1,113 @@
+"""The oblivious, time-invariant protocol class used by the lower bounds.
+
+Section 4.2 quantifies over oblivious broadcast algorithms in which every
+node uses the *same* probability distribution — independent of time — to
+decide whether to transmit in a round.  :class:`TimeInvariantBroadcast` is
+the executable form of that class:
+
+* at every round a shared probability ``q_r`` is drawn from a fixed
+  :class:`~repro.core.distributions.ScaleDistribution` (the degenerate
+  :class:`~repro.core.distributions.FixedProbabilityOblivious` gives a
+  constant ``q``);
+* every informed node (optionally: only within a bounded active window)
+  transmits independently with probability ``q_r``.
+
+Experiments E7 (Observation 4.3) and E8 (Theorem 4.4) sweep either the
+constant ``q`` or the distribution's mean and measure, on the lower-bound
+networks, how many transmissions are needed to reach the ``1 - 1/n`` success
+target within a given time budget — reproducing the lower-bound frontier the
+theorems prove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._util.validation import check_positive_int
+from repro.core.distributions import FixedProbabilityOblivious, ScaleDistribution
+from repro.radio.protocol import BroadcastProtocol
+
+__all__ = ["TimeInvariantBroadcast"]
+
+
+class TimeInvariantBroadcast(BroadcastProtocol):
+    """Oblivious broadcast with a time-invariant transmission distribution.
+
+    Parameters
+    ----------
+    distribution:
+        Either a :class:`ScaleDistribution` (the shared per-round probability
+        is ``2^{-I_r}`` with ``I_r`` drawn from it) or a plain float ``q``
+        (shorthand for :class:`FixedProbabilityOblivious`).
+    active_window:
+        Optional number of rounds a node participates after being informed
+        (``None`` = forever).  The lower-bound theorems let nodes stay active
+        forever; bounding the window is how E8 converts the frontier into a
+        transmissions-per-node number.
+    source:
+        Broadcast originator.
+    """
+
+    name = "time-invariant-oblivious-broadcast"
+
+    def __init__(
+        self,
+        distribution,
+        *,
+        active_window: Optional[int] = None,
+        source: int = 0,
+    ):
+        super().__init__(source=source)
+        if isinstance(distribution, (int, float)) and not isinstance(distribution, bool):
+            distribution = FixedProbabilityOblivious(float(distribution))
+        if not isinstance(distribution, ScaleDistribution):
+            raise TypeError(
+                "distribution must be a ScaleDistribution or a float probability, "
+                f"got {type(distribution).__name__}"
+            )
+        self.distribution = distribution
+        if active_window is not None:
+            active_window = check_positive_int(active_window, "active_window")
+        self.active_window = active_window
+        self.run_metadata: Dict[str, object] = {}
+
+    def _setup_broadcast(self) -> None:
+        self.run_metadata = {
+            "distribution": self.distribution.name,
+            "mean_transmission_probability": self.distribution.mean_transmission_probability(),
+            "active_window": self.active_window,
+        }
+
+    def _shared_probability(self) -> float:
+        if isinstance(self.distribution, FixedProbabilityOblivious):
+            return self.distribution.per_round_probability()
+        return float(self.distribution.sample_probabilities(1, rng=self.rng)[0])
+
+    def transmit_mask(self, round_index: int) -> np.ndarray:
+        eligible = self.informed
+        if self.active_window is not None:
+            eligible = eligible & (
+                round_index < self.informed_round + self.active_window
+            )
+        if not eligible.any():
+            return np.zeros(self.n, dtype=bool)
+        probability = self._shared_probability()
+        draws = self.rng.random(self.n) < probability
+        return eligible & draws
+
+    def is_quiescent(self, round_index: int) -> bool:
+        if self.active_window is None:
+            return self.is_complete()
+        eligible = self.informed & (
+            round_index < self.informed_round + self.active_window
+        )
+        return not bool(eligible.any())
+
+    def suggested_max_rounds(self) -> int:
+        import math
+
+        log_n = max(1.0, math.log2(max(2, self.n)))
+        mean_q = max(self.distribution.mean_transmission_probability(), 1e-9)
+        return int(math.ceil(64 * (self.n + log_n) / mean_q))

@@ -1,0 +1,89 @@
+"""Selection sequences: shared per-round transmission probabilities.
+
+Algorithm 3 (and the Czumaj–Rytter baselines) are *oblivious* protocols that
+nevertheless coordinate through public randomness: before the run, a random
+sequence ``I = <I_1, I_2, …>`` of scales is drawn from a fixed distribution,
+and in round ``r`` every active node transmits independently with probability
+``2^{-I_r}``.  The sequence depends only on ``n`` (and ``D``), never on the
+topology, so the protocol remains oblivious; sharing it costs nothing because
+it can be derived from a common pseudo-random seed.
+
+:class:`SelectionSequence` materialises such a sequence lazily in blocks so a
+protocol can ask for ``probability_at(r)`` for arbitrary ``r`` without
+knowing the horizon in advance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_positive_int
+from repro.core.distributions import ScaleDistribution
+
+__all__ = ["SelectionSequence"]
+
+
+class SelectionSequence:
+    """Lazily materialised sequence of per-round scales and probabilities.
+
+    Parameters
+    ----------
+    distribution:
+        The scale distribution to draw from.
+    rng:
+        Seed or generator for the public randomness.
+    block_size:
+        How many rounds to materialise at a time.
+    """
+
+    def __init__(
+        self,
+        distribution: ScaleDistribution,
+        *,
+        rng: SeedLike = None,
+        block_size: int = 1024,
+    ):
+        self.distribution = distribution
+        self._rng = as_generator(rng)
+        self._block_size = check_positive_int(block_size, "block_size")
+        self._scales = np.empty(0, dtype=np.int64)
+        self._probabilities = np.empty(0, dtype=float)
+
+    def _ensure(self, round_index: int) -> None:
+        while round_index >= self._scales.size:
+            fresh = self.distribution.sample_scales(self._block_size, rng=self._rng)
+            self._scales = np.concatenate([self._scales, fresh])
+            self._probabilities = np.concatenate(
+                [self._probabilities, np.power(2.0, -fresh.astype(float))]
+            )
+
+    def scale_at(self, round_index: int) -> int:
+        """The public scale ``I_r`` for round ``round_index`` (0-based)."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        self._ensure(round_index)
+        return int(self._scales[round_index])
+
+    def probability_at(self, round_index: int) -> float:
+        """The shared transmission probability ``2^{-I_r}`` for the round."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        self._ensure(round_index)
+        return float(self._probabilities[round_index])
+
+    def prefix(self, length: int) -> np.ndarray:
+        """The first ``length`` scales as an array."""
+        length = check_positive_int(length, "length", minimum=0)
+        if length == 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure(length - 1)
+        return self._scales[:length].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionSequence(distribution={self.distribution.name!r}, "
+            f"materialised={self._scales.size})"
+        )

@@ -1,0 +1,56 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.statistics import SummaryStatistics
+from repro.graphs.random_digraph import connectivity_threshold_probability
+
+__all__ = [
+    "pick",
+    "threshold_p",
+    "sparse_p",
+    "dense_p",
+    "stat_mean",
+    "log2n",
+]
+
+
+def pick(scale: str, *, quick, full):
+    """Select the quick or full variant of a sweep parameter."""
+    if scale == "quick":
+        return quick
+    if scale == "full":
+        return full
+    raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+
+
+def threshold_p(n: int, delta: float = 4.0) -> float:
+    """The paper's connectivity-regime probability ``delta * log n / n``."""
+    return connectivity_threshold_probability(n, delta)
+
+
+def sparse_p(n: int, exponent: float = 0.6, delta: float = 4.0) -> float:
+    """``max(n^-exponent, threshold)`` — a sparse but connected regime."""
+    return max(n ** (-exponent), threshold_p(n, delta))
+
+
+def dense_p(n: int, exponent: float = 0.35, delta: float = 4.0) -> float:
+    """``max(n^-exponent, threshold)`` — the dense regime (Phase 2 skipped)."""
+    return max(n ** (-exponent), threshold_p(n, delta))
+
+
+def stat_mean(value) -> Optional[float]:
+    """Extract the mean from a SummaryStatistics (or pass floats through)."""
+    if value is None:
+        return None
+    if isinstance(value, SummaryStatistics):
+        return value.mean
+    return float(value)
+
+
+def log2n(n: int) -> float:
+    """``log2 n`` clamped to at least 1 (the paper's log factors are >= 1)."""
+    return max(1.0, math.log2(max(2, n)))

@@ -1,0 +1,128 @@
+"""E1 — Theorem 2.1: Algorithm 1 on random networks.
+
+Claim: on ``G(n, p)`` with ``p > δ log n / n``, Algorithm 1 informs all nodes
+w.h.p. in ``O(log n)`` rounds, every node transmits **at most once**, and the
+expected total number of transmissions is ``O(log n / p)``.
+
+For each ``(n, regime)`` we report the success rate, the completion round
+divided by ``log₂ n`` (should stay bounded / roughly flat), the maximum
+per-node transmission count over all runs (must be exactly ≤ 1), and the
+total transmissions divided by ``log₂ n / p`` (should stay bounded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.scaling import fit_model
+from repro.experiments.common import dense_p, log2n, pick, sparse_p, stat_mean, threshold_p
+from repro.experiments.protocols import ProtocolSpec
+from repro.experiments.results import ExperimentResult, Series
+from repro.experiments.runner import aggregate_runs, repeat_job
+from repro.graphs.builders import GraphSpec
+
+EXPERIMENT_ID = "E1"
+TITLE = "Algorithm 1: O(log n) broadcast with at most one transmission per node"
+CLAIM = (
+    "Theorem 2.1: on G(n, p) with p > delta*log n/n, Algorithm 1 completes "
+    "broadcasting w.h.p. in O(log n) rounds, each node transmits at most once, "
+    "and the expected total number of transmissions is O(log n / p)."
+)
+
+_REGIMES = {
+    "threshold (4 log n / n)": threshold_p,
+    "sparse (n^-0.6)": sparse_p,
+    "dense (n^-0.35)": dense_p,
+}
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Run the E1 sweep and return its result table."""
+    sizes = pick(scale, quick=[512, 1024, 2048], full=[256, 512, 1024, 2048, 4096, 8192])
+    repetitions = pick(scale, quick=5, full=25)
+
+    columns = [
+        "n",
+        "regime",
+        "p",
+        "success_rate",
+        "rounds (mean)",
+        "rounds / log2 n",
+        "max tx/node (worst run)",
+        "total tx (mean)",
+        "total tx / (log2 n / p)",
+    ]
+    rows: List[List[object]] = []
+    per_regime_series: Dict[str, Series] = {}
+
+    for regime_name, p_of in _REGIMES.items():
+        xs: List[float] = []
+        ys: List[float] = []
+        for n in sizes:
+            p = p_of(n)
+            runs = repeat_job(
+                GraphSpec("gnp", {"n": n, "p": p}),
+                ProtocolSpec("algorithm1", {"p": p}),
+                repetitions=repetitions,
+                seed=seed,
+                processes=processes,
+                run_to_quiescence=True,
+            )
+            agg = aggregate_runs(runs)
+            rounds_mean = stat_mean(agg.get("completion_rounds"))
+            worst_max_tx = max(r.energy.max_per_node for r in runs)
+            total_tx_mean = stat_mean(agg["total_transmissions"])
+            rows.append(
+                [
+                    n,
+                    regime_name,
+                    p,
+                    agg["success_rate"],
+                    rounds_mean,
+                    (rounds_mean / log2n(n)) if rounds_mean is not None else None,
+                    worst_max_tx,
+                    total_tx_mean,
+                    total_tx_mean / (log2n(n) / p),
+                ]
+            )
+            if rounds_mean is not None:
+                xs.append(float(n))
+                ys.append(float(rounds_mean))
+        per_regime_series[regime_name] = Series(
+            name=f"completion rounds [{regime_name}]",
+            x=xs,
+            y=ys,
+            x_label="n",
+            y_label="rounds",
+        )
+
+    notes = []
+    # Shape check: completion rounds vs log n in the threshold regime.
+    series = per_regime_series["threshold (4 log n / n)"]
+    if len(series.x) >= 2:
+        fit = fit_model(series.x, series.y, lambda n: np.log2(n), name="log n")
+        notes.append(
+            f"threshold regime: completion rounds ≈ {fit.constant:.2f} * log2 n; "
+            f"the ratio rounds/log2 n varies by only {fit.ratio_spread:.2f}x across "
+            "the sweep (no growth with n beyond the log factor)"
+        )
+    worst_overall = max(row[6] for row in rows)
+    notes.append(
+        f"worst-case transmissions per node over all runs: {worst_overall} "
+        "(Theorem 2.1 guarantees at most 1)"
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        series=list(per_regime_series.values()),
+        notes=notes,
+        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+    )

@@ -1,0 +1,98 @@
+"""E11 — Ablation: Phase 2 of Algorithm 1.
+
+Algorithm 1 runs its single Phase-2 round (transmit with probability
+``1/(d^T p)``) only when ``p ≤ n^{-2/5}``; in the dense regime the analysis
+shows it is unnecessary.  This ablation runs Algorithm 1 with Phase 2 forced
+on/off in both regimes:
+
+* sparse regime (``p = 4 log n / n``): without Phase 2 the active pool
+  entering Phase 3 is only ``Θ(d^T)`` instead of ``Θ(n)``, so completion
+  becomes slower/unreliable — Phase 2 matters;
+* dense regime (``p = n^{-0.35}``): the phase is skipped by the paper's rule
+  and forcing it on/off makes no measurable difference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.common import pick, stat_mean, threshold_p
+from repro.experiments.protocols import ProtocolSpec
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import aggregate_runs, repeat_job
+from repro.graphs.builders import GraphSpec
+
+EXPERIMENT_ID = "E11"
+TITLE = "Ablation: Phase 2 of Algorithm 1 (needed iff p <= n^-2/5)"
+CLAIM = (
+    "Algorithm 1 executes Phase 2 only when p <= n^{-2/5}; Lemma 2.5 shows it "
+    "is what boosts the active set to Theta(n) in the sparse regime, while in "
+    "the dense regime it is unnecessary."
+)
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Toggle Phase 2 on/off in sparse and dense regimes."""
+    sizes = pick(scale, quick=[1024], full=[1024, 2048, 4096])
+    repetitions = pick(scale, quick=8, full=25)
+
+    columns = [
+        "n",
+        "regime",
+        "p",
+        "phase2",
+        "success_rate",
+        "rounds (mean)",
+        "informed fraction (mean over all runs)",
+    ]
+    rows: List[List[object]] = []
+
+    for n in sizes:
+        regimes = {
+            "sparse (4 log n / n)": threshold_p(n),
+            "dense (n^-0.3)": n ** (-0.3),
+        }
+        for regime_name, p in regimes.items():
+            for enable_phase2 in (True, False):
+                runs = repeat_job(
+                    GraphSpec("gnp", {"n": n, "p": p}),
+                    ProtocolSpec(
+                        "algorithm1", {"p": p, "enable_phase2": enable_phase2}
+                    ),
+                    repetitions=repetitions,
+                    seed=seed,
+                    processes=processes,
+                )
+                agg = aggregate_runs(runs)
+                informed_fraction = sum(
+                    (r.informed_count or 0) / r.n for r in runs
+                ) / len(runs)
+                rows.append(
+                    [
+                        n,
+                        regime_name,
+                        p,
+                        enable_phase2,
+                        agg["success_rate"],
+                        stat_mean(agg.get("completion_rounds")),
+                        informed_fraction,
+                    ]
+                )
+
+    notes = [
+        "Expected shape: in the sparse regime disabling Phase 2 lowers the "
+        "success rate / informed fraction (the Phase-3 pool is too small); in "
+        "the dense regime the toggle changes nothing because the paper's rule "
+        "skips Phase 2 there anyway.",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        notes=notes,
+        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+    )

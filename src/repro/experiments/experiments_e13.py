@@ -1,0 +1,152 @@
+"""E13 — Extension: random geometric graphs (the paper's Section 5 future work).
+
+The paper notes that the Erdős–Rényi model is unrealistic for AdHoc networks
+and names random geometric graphs as the natural alternative.  This
+experiment runs the paper's protocols on unit-disk geometric networks (and on
+the heterogeneous-radius variant with genuinely asymmetric links) and
+compares them with the Decay baseline:
+
+* Algorithm 1 is used with the *effective* density ``p_eff = mean degree / n``
+  (the only quantity it needs); geometric graphs violate the independence
+  assumptions of its analysis, so this measures robustness, not a theorem;
+* Algorithm 3 is given the measured diameter (its only global requirement);
+* Decay needs neither.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro._util.rng import spawn_generators
+from repro.baselines.decay import DecayBroadcast
+from repro.core.broadcast_general import KnownDiameterBroadcast
+from repro.core.broadcast_random import EnergyEfficientBroadcast
+from repro.experiments.common import pick
+from repro.experiments.results import ExperimentResult
+from repro.graphs.geometric import (
+    connectivity_radius,
+    geometric_digraph,
+    heterogeneous_geometric_digraph,
+)
+from repro.graphs.properties import diameter_estimate, is_strongly_connected
+from repro.radio.engine import SimulationEngine
+
+EXPERIMENT_ID = "E13"
+TITLE = "Extension: broadcasting on random geometric (sensor-field) networks"
+CLAIM = (
+    "Section 5 names random geometric graphs as the realistic AdHoc model; "
+    "this extension measures how the paper's protocols behave there compared "
+    "with the Decay baseline (no theorem is claimed by the paper)."
+)
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Compare protocols on symmetric and asymmetric geometric networks."""
+    sizes = pick(scale, quick=[256], full=[256, 512, 1024])
+    repetitions = pick(scale, quick=4, full=12)
+    radius_factors = pick(scale, quick=[1.5, 2.5], full=[1.25, 1.5, 2.0, 3.0])
+
+    columns = [
+        "topology",
+        "n",
+        "radius factor",
+        "protocol",
+        "success_rate",
+        "rounds (mean)",
+        "mean tx/node",
+        "max tx/node",
+    ]
+    rows: List[List[object]] = []
+
+    for n in sizes:
+        for factor in radius_factors:
+            radius = factor * connectivity_radius(n)
+            for topology, build in (
+                ("geometric", lambda g: geometric_digraph(n, radius, rng=g)),
+                (
+                    "geometric-asymmetric",
+                    lambda g: heterogeneous_geometric_digraph(
+                        n, 0.7 * radius, 1.3 * radius, rng=g
+                    ),
+                ),
+            ):
+                sub_seed = (
+                    seed * 1_000_003
+                    + n * 131
+                    + int(factor * 100) * 7
+                    + (1 if topology == "geometric" else 2)
+                )
+                generators = spawn_generators(sub_seed, 3 * repetitions)
+                stats = {}
+                for rep in range(repetitions):
+                    graph_rng = generators[3 * rep]
+                    network = build(graph_rng)
+                    if not is_strongly_connected(network):
+                        continue
+                    diameter = diameter_estimate(network, rng=generators[3 * rep + 1])
+                    p_eff = max(network.out_degrees().mean() / n, 1.0 / n)
+                    protocols = {
+                        "algorithm1 (p_eff)": EnergyEfficientBroadcast(p_eff),
+                        "algorithm3": KnownDiameterBroadcast(max(1, diameter)),
+                        "decay": DecayBroadcast(),
+                    }
+                    for name, protocol in protocols.items():
+                        engine = SimulationEngine(run_to_quiescence=True)
+                        result = engine.run(
+                            network, protocol, rng=generators[3 * rep + 2]
+                        )
+                        bucket = stats.setdefault(
+                            name,
+                            {"success": 0, "rounds": [], "mean_tx": [], "max_tx": [], "runs": 0},
+                        )
+                        bucket["runs"] += 1
+                        bucket["success"] += int(result.completed)
+                        if result.completed:
+                            bucket["rounds"].append(result.completion_round)
+                        bucket["mean_tx"].append(result.energy.mean_per_node)
+                        bucket["max_tx"].append(result.energy.max_per_node)
+                for name, bucket in stats.items():
+                    runs_count = bucket["runs"]
+                    if runs_count == 0:
+                        continue
+                    rows.append(
+                        [
+                            topology,
+                            n,
+                            factor,
+                            name,
+                            bucket["success"] / runs_count,
+                            (sum(bucket["rounds"]) / len(bucket["rounds"]))
+                            if bucket["rounds"]
+                            else None,
+                            sum(bucket["mean_tx"]) / runs_count,
+                            max(bucket["max_tx"]),
+                        ]
+                    )
+
+    notes = [
+        "Runs on disconnected samples are discarded (broadcast is impossible "
+        "there); near the connectivity threshold (radius factor 1.25-1.5) this "
+        "removes a noticeable fraction of samples.",
+        "Algorithm 1 keeps its ≤1-transmission-per-node invariant by "
+        "construction even off its analysed model; its success rate on "
+        "geometric graphs measures robustness of the three-phase schedule, "
+        "not a theorem of the paper.",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        notes=notes,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "radius_factors": radius_factors,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,96 @@
+"""E3 — Lemma 3.1: the diameter of directed ``G(n, p)``.
+
+Claim: for ``p > δ log n / n`` the diameter is ``⌈log n / log d⌉`` w.h.p.
+(with ``d = n p``).  We sample graphs, measure the exact source eccentricity
+from a fixed node (for these sizes the graph is vertex-transitive in
+distribution, so eccentricity from one node equals the diameter w.h.p.), and
+compare with the predicted value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.logmath import ceil_log_ratio
+from repro._util.rng import spawn_generators
+from repro.experiments.common import pick, threshold_p, sparse_p, dense_p
+from repro.experiments.results import ExperimentResult
+from repro.graphs.properties import source_eccentricity
+from repro.graphs.random_digraph import random_digraph
+
+EXPERIMENT_ID = "E3"
+TITLE = "Diameter of directed G(n, p) (Lemma 3.1)"
+CLAIM = (
+    "Lemma 3.1: if p > delta*log n/n for a sufficiently large constant delta, "
+    "the diameter of G(n, p) equals ceil(log n / log d) w.h.p."
+)
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Measure eccentricities of sampled G(n, p) graphs against the prediction."""
+    sizes = pick(scale, quick=[256, 512, 1024], full=[256, 512, 1024, 2048, 4096])
+    repetitions = pick(scale, quick=5, full=20)
+    regimes = {
+        "threshold (4 log n / n)": threshold_p,
+        "sparse (n^-0.6)": sparse_p,
+        "dense (n^-0.35)": dense_p,
+    }
+
+    columns = [
+        "n",
+        "regime",
+        "d",
+        "predicted ceil(log n/log d)",
+        "measured eccentricity (mean)",
+        "measured (min..max)",
+        "fraction == prediction",
+        "fraction <= prediction + 1",
+    ]
+    rows: List[List[object]] = []
+
+    for regime_name, p_of in regimes.items():
+        for n in sizes:
+            p = p_of(n)
+            d = n * p
+            predicted = ceil_log_ratio(n, d)
+            measured: List[int] = []
+            generators = spawn_generators(seed, repetitions)
+            for rep in range(repetitions):
+                network = random_digraph(n, p, rng=generators[rep])
+                measured.append(source_eccentricity(network, 0))
+            measured_arr = np.asarray(measured)
+            rows.append(
+                [
+                    n,
+                    regime_name,
+                    d,
+                    predicted,
+                    float(measured_arr.mean()),
+                    f"{measured_arr.min()}..{measured_arr.max()}",
+                    float((measured_arr == predicted).mean()),
+                    float((measured_arr <= predicted + 1).mean()),
+                ]
+            )
+
+    notes = [
+        "The measured value is the eccentricity from a fixed source (a lower "
+        "bound on the diameter that matches it w.h.p. for these symmetric "
+        "models).",
+        "Lemma 3.1 is asymptotic ((1 + o(1)) log n / log d): at these sizes the "
+        "last BFS layer regularly needs one extra hop, so the honest check is "
+        "the 'within +1' column; exact matches become the norm in the dense "
+        "regime and at larger n (the full-scale sweep).",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        notes=notes,
+        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+    )

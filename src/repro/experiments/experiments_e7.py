@@ -1,0 +1,142 @@
+"""E7 — Observation 4.3: the ``n log n / 2`` total-transmission lower bound.
+
+Claim: there is a network with ``O(n)`` nodes (the relay construction of
+Observation 4.3) on which *any* oblivious broadcast algorithm needs at least
+``n log n / 2`` transmissions in total to succeed with probability
+``1 − 1/n`` — equivalently ``≥ log n / 4`` expected transmissions per relay.
+
+Experiment: on the Observation-4.3 network we run the time-invariant
+oblivious protocol with a constant per-round probability ``q`` (the class the
+bound quantifies over), sweeping ``q`` over two orders of magnitude, and
+measure how many relay transmissions have happened by the time the last
+destination is informed.  The lower bound predicts that this count is at
+least ``≈ n log n / 2`` **regardless of q** — picking a "better" q cannot
+beat it, it only moves time around.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.rng import spawn_generators
+from repro.core.oblivious import TimeInvariantBroadcast
+from repro.experiments.common import pick
+from repro.experiments.results import ExperimentResult, Series
+from repro.graphs.lowerbound import observation43_network
+from repro.radio.engine import SimulationEngine
+
+EXPERIMENT_ID = "E7"
+TITLE = "Observation 4.3: total-transmission lower bound on the relay network"
+CLAIM = (
+    "Observation 4.3: on the 3n+1-node relay network, any oblivious broadcast "
+    "algorithm needs at least n*log n/2 transmissions in total (log n/4 per "
+    "relay) to complete with probability 1 - 1/n, whatever send probability "
+    "it uses."
+)
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Sweep the per-round probability q and measure relay transmissions at completion."""
+    sizes = pick(scale, quick=[32, 64], full=[32, 64, 128, 256])
+    repetitions = pick(scale, quick=5, full=20)
+    q_values = pick(
+        scale,
+        quick=[0.5, 0.25, 0.1, 0.02],
+        full=[0.5, 0.35, 0.25, 0.15, 0.1, 0.05, 0.02, 0.01],
+    )
+
+    columns = [
+        "n (destinations)",
+        "q",
+        "success_rate",
+        "rounds (mean)",
+        "relay tx at completion (mean)",
+        "relay tx / (n log2 n / 2)",
+        "tx per relay / (log2 n / 4)",
+    ]
+    rows: List[List[object]] = []
+    series: List[Series] = []
+
+    for n in sizes:
+        network, structure = observation43_network(n, return_structure=True)
+        log_n = max(1.0, math.log2(n))
+        lower_bound_total = n * log_n / 2.0
+        xs: List[float] = []
+        ys: List[float] = []
+        for q in q_values:
+            generators = spawn_generators(seed + n, repetitions)
+            relay_tx: List[float] = []
+            round_counts: List[int] = []
+            successes = 0
+            # Generous horizon: informing a destination takes ~1/(2q(1-q))
+            # rounds, so scale the budget accordingly.
+            horizon = int(math.ceil(40.0 * log_n / max(2 * q * (1 - q), 1e-6))) + 10
+            for rep in range(repetitions):
+                protocol = TimeInvariantBroadcast(q, source=structure.source)
+                engine = SimulationEngine(keep_arrays=True)
+                result = engine.run(
+                    network, protocol, rng=generators[rep], max_rounds=horizon
+                )
+                successes += int(result.completed)
+                if result.completed:
+                    round_counts.append(result.completion_round)
+                    per_node = result.per_node_transmissions
+                    relay_tx.append(float(per_node[structure.relays].sum()))
+            if relay_tx:
+                mean_relay_tx = float(np.mean(relay_tx))
+                mean_rounds = float(np.mean(round_counts))
+            else:
+                mean_relay_tx = float("nan")
+                mean_rounds = float("nan")
+            rows.append(
+                [
+                    n,
+                    q,
+                    successes / repetitions,
+                    mean_rounds,
+                    mean_relay_tx,
+                    mean_relay_tx / lower_bound_total,
+                    (mean_relay_tx / (2 * n)) / (log_n / 4.0),
+                ]
+            )
+            if relay_tx:
+                xs.append(float(q))
+                ys.append(mean_relay_tx / lower_bound_total)
+        series.append(
+            Series(
+                name=f"relay tx / lower bound (n={n})",
+                x=xs,
+                y=ys,
+                x_label="q",
+                y_label="total relay tx / (n log n / 2)",
+            )
+        )
+
+    notes = [
+        "The normalised columns should stay >= Θ(1) for every q: no choice of "
+        "send probability pushes the total relay transmissions below the "
+        "n*log n/2 bound (the measured constant reflects that completion is "
+        "observed at the time the *last* destination succeeds, the same "
+        "coupon-collector effect the proof uses).",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        series=series,
+        notes=notes,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "q_values": q_values,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,162 @@
+"""E8 — Theorem 4.4 (Fig. 2): per-node energy lower bound for fast oblivious broadcast.
+
+Claim: on the layered star-and-path network of Fig. 2 (parameter ``n``,
+diameter ``D``), any oblivious algorithm with a *time-invariant* distribution
+that finishes in ``c·D·log(n/D)`` rounds w.h.p. must spend an expected
+``Ω(log² n / log(n/D))`` transmissions per node.  The mechanism: the star
+cascade forces nodes to stay active ``≈ ln² n`` rounds (some star level is hit
+with probability only ``1/ln n`` per round), while the path forces the
+distribution's mean ``µ`` to be ``≥ 1/(2c·log(n/D))`` — energy is the product.
+
+Experiment: we sweep the constant per-round probability ``q`` (the
+distribution's mean µ = q) of the time-invariant protocol on the Theorem-4.4
+network and record, for each q, the completion time and the per-node
+transmissions of the star-leaf nodes.  The resulting (time, energy) frontier
+shows the forced tradeoff; the Algorithm-3 point (which is *not*
+time-invariant and exploits knowledge of D) is added for reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.rng import spawn_generators
+from repro.core.broadcast_general import KnownDiameterBroadcast
+from repro.core.oblivious import TimeInvariantBroadcast
+from repro.experiments.common import pick
+from repro.experiments.results import ExperimentResult, Series
+from repro.graphs.lowerbound import theorem44_network
+from repro.radio.engine import SimulationEngine
+
+EXPERIMENT_ID = "E8"
+TITLE = "Theorem 4.4: time vs per-node energy frontier on the Fig. 2 network"
+CLAIM = (
+    "Theorem 4.4: on the layered lower-bound network, any oblivious algorithm "
+    "with a time-invariant distribution finishing in c*D*log(n/D) rounds needs "
+    "an expected log^2 n / (max{4c,8} log(n/D)) transmissions per node."
+)
+
+
+def _run_fixed_q(network, structure, q, repetitions, seed, horizon):
+    generators = spawn_generators(seed, repetitions)
+    times: List[float] = []
+    leaf_energy: List[float] = []
+    successes = 0
+    leaves = np.concatenate(structure.star_leaves)
+    for rep in range(repetitions):
+        protocol = TimeInvariantBroadcast(q, source=structure.source)
+        engine = SimulationEngine(keep_arrays=True)
+        result = engine.run(network, protocol, rng=generators[rep], max_rounds=horizon)
+        successes += int(result.completed)
+        if result.completed:
+            times.append(result.completion_round)
+            leaf_energy.append(float(result.per_node_transmissions[leaves].mean()))
+    return successes, times, leaf_energy
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Trace the (time, per-node energy) frontier of time-invariant protocols."""
+    n_param = pick(scale, quick=64, full=256)
+    repetitions = pick(scale, quick=5, full=15)
+    q_values = pick(
+        scale,
+        quick=[0.5, 0.25, 0.1, 0.05],
+        full=[0.5, 0.35, 0.25, 0.15, 0.1, 0.05, 0.025, 0.0125],
+    )
+    log_n = max(1.0, math.log2(n_param))
+    diameter = int(math.ceil(4 * log_n)) + 2 * int(math.floor(log_n)) + 2
+    network, structure = theorem44_network(n_param, diameter, return_structure=True)
+    lam = max(1.0, math.log2(n_param / diameter))
+
+    columns = [
+        "protocol",
+        "q (per-round prob)",
+        "success_rate",
+        "rounds (mean)",
+        "leaf tx/node (mean)",
+        "rounds x energy / log^2 n",
+    ]
+    rows: List[List[object]] = []
+    frontier = Series(
+        name="time vs per-node energy (time-invariant protocols)",
+        x=[],
+        y=[],
+        x_label="completion rounds",
+        y_label="leaf transmissions per node",
+    )
+
+    for q in q_values:
+        horizon = int(math.ceil(80.0 * log_n / max(q, 1e-6))) + 8 * diameter
+        successes, times, leaf_energy = _run_fixed_q(
+            network, structure, q, repetitions, seed, horizon
+        )
+        mean_time = float(np.mean(times)) if times else float("nan")
+        mean_energy = float(np.mean(leaf_energy)) if leaf_energy else float("nan")
+        rows.append(
+            [
+                "time-invariant",
+                q,
+                successes / repetitions,
+                mean_time,
+                mean_energy,
+                (mean_time * q) / (log_n**2) if times else None,
+            ]
+        )
+        if times:
+            frontier.x.append(mean_time)
+            frontier.y.append(mean_energy)
+
+    # Reference point: Algorithm 3 (not time-invariant; it knows D).
+    generators = spawn_generators(seed + 1, repetitions)
+    leaves = np.concatenate(structure.star_leaves)
+    alg3_times, alg3_energy, alg3_success = [], [], 0
+    for rep in range(repetitions):
+        protocol = KnownDiameterBroadcast(diameter, source=structure.source)
+        engine = SimulationEngine(keep_arrays=True, run_to_quiescence=True)
+        result = engine.run(network, protocol, rng=generators[rep])
+        alg3_success += int(result.completed)
+        if result.completed:
+            alg3_times.append(result.completion_round)
+            alg3_energy.append(float(result.per_node_transmissions[leaves].mean()))
+    rows.append(
+        [
+            "algorithm3 (reference)",
+            None,
+            alg3_success / repetitions,
+            float(np.mean(alg3_times)) if alg3_times else float("nan"),
+            float(np.mean(alg3_energy)) if alg3_energy else float("nan"),
+            None,
+        ]
+    )
+
+    notes = [
+        f"network: Theorem 4.4 construction with n={n_param}, D={diameter}, "
+        f"log(n/D)={lam:.2f}, {network.n} nodes",
+        "For the time-invariant family the product (rounds x per-round "
+        "probability) stays Ω(log^2 n): making q larger shortens the path "
+        "traversal but multiplies per-node energy, making q smaller saves "
+        "energy but blows up the star-cascade time — the frontier never "
+        "enters the fast-and-cheap corner, which is the Theorem 4.4 statement.",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        series=[frontier],
+        notes=notes,
+        parameters={
+            "scale": scale,
+            "n": n_param,
+            "diameter": diameter,
+            "q_values": q_values,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )

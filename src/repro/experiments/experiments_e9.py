@@ -1,0 +1,122 @@
+"""E9 — Fig. 1: the distribution α versus the Czumaj–Rytter α′.
+
+The paper's Fig. 1 contrasts the two scale distributions.  This experiment is
+deterministic: for a few ``(n, D)`` pairs it tabulates the structural
+quantities the Section-4 proofs rely on —
+
+* the probability floor ``min_k α_k`` relative to ``1/(2 log n)`` (the floor
+  exists for α, vanishes geometrically for α′);
+* the mean transmission probability ``E[2^{-I}]`` relative to ``1/λ`` (both
+  distributions spend ``Θ(1/λ)`` per active round);
+* the scale-wise domination ``min_k α_k / α′_k`` (the paper states
+  ``α_k ≥ α′_k / 2``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.distributions import AlphaDistribution, CzumajRytterDistribution
+from repro.experiments.common import pick
+from repro.experiments.results import ExperimentResult, Series
+
+EXPERIMENT_ID = "E9"
+TITLE = "Fig. 1: the distribution alpha vs the Czumaj-Rytter alpha'"
+CLAIM = (
+    "Fig. 1 / Section 4.1: alpha keeps probability >= ~1/(2 log n) on every "
+    "scale while spending only Theta(1/lambda) expected transmissions per "
+    "round; alpha' has the same mean but geometrically vanishing mass on "
+    "large scales, and alpha_k >= alpha'_k / 2 scale-wise."
+)
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Tabulate the structural properties of α and α′."""
+    pairs = pick(
+        scale,
+        quick=[(1024, 8), (1024, 64), (4096, 64)],
+        full=[(1024, 8), (1024, 64), (4096, 16), (4096, 256), (65536, 256), (65536, 4096)],
+    )
+
+    columns = [
+        "n",
+        "D",
+        "lambda",
+        "distribution",
+        "min_k Pr[k] * 2 log2 n",
+        "mean 2^-I * lambda",
+        "min_k alpha_k/alpha'_k",
+        "largest-scale prob ratio alpha/alpha'",
+    ]
+    rows: List[List[object]] = []
+    series: List[Series] = []
+
+    for n, diameter in pairs:
+        log_n = max(1.0, math.log2(n))
+        alpha = AlphaDistribution(n, diameter)
+        alpha_prime = CzumajRytterDistribution(n, diameter)
+        lam = alpha.lam
+
+        # Scale-wise ratio over the scales both distributions support (>= 1).
+        a = alpha.probabilities[1:]
+        ap = alpha_prime.probabilities[1:]
+        with np.errstate(divide="ignore"):
+            ratios = np.where(ap > 0, a / np.where(ap > 0, ap, 1.0), np.inf)
+        for dist, label in ((alpha, "alpha"), (alpha_prime, "alpha_prime")):
+            rows.append(
+                [
+                    n,
+                    diameter,
+                    lam,
+                    label,
+                    dist.min_scale_probability() * 2 * log_n,
+                    dist.mean_transmission_probability() * lam,
+                    float(ratios.min()) if label == "alpha" else None,
+                    float(a[-1] / ap[-1]) if label == "alpha" else None,
+                ]
+            )
+        series.append(
+            Series(
+                name=f"alpha probabilities (n={n}, D={diameter})",
+                x=list(range(1, alpha.num_scales)),
+                y=[float(v) for v in alpha.probabilities[1:]],
+                x_label="scale k",
+                y_label="Pr[I = k]",
+            )
+        )
+        series.append(
+            Series(
+                name=f"alpha_prime probabilities (n={n}, D={diameter})",
+                x=list(range(1, alpha_prime.num_scales)),
+                y=[float(v) for v in alpha_prime.probabilities[1:]],
+                x_label="scale k",
+                y_label="Pr[I = k]",
+            )
+        )
+
+    notes = [
+        "For alpha the 'min_k Pr[k] * 2 log2 n' column is Θ(1) (the floor); for "
+        "alpha_prime it collapses towards 0 as D shrinks relative to n because "
+        "the largest scales only carry geometric mass.",
+        "Both distributions have mean * lambda = Θ(1): they cost the same "
+        "energy per active round; the floor is what lets alpha finish each "
+        "neighbourhood within an O(log^2 n) window.",
+        "The last column shows how much more often alpha plays the largest "
+        "scale than alpha_prime does — this is the factor the CR active window "
+        "has to compensate for.",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        series=series,
+        notes=notes,
+        parameters={"scale": scale, "pairs": [list(p) for p in pairs]},
+    )

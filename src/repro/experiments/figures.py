@@ -1,0 +1,65 @@
+"""Figure-style output: ASCII charts and CSV series.
+
+The paper has no measurement figures, but several of our experiments are
+naturally curves (the Theorem 4.2 tradeoff frontier, the lower-bound success
+curves).  :func:`ascii_chart` renders a quick terminal scatter so the CLI can
+show the shape without any plotting dependency; :func:`series_to_csv` writes
+the underlying numbers for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+from repro.experiments.results import Series
+
+__all__ = ["ascii_chart", "series_to_csv"]
+
+
+def ascii_chart(
+    series: Series,
+    *,
+    width: int = 60,
+    height: int = 16,
+    marker: str = "*",
+) -> str:
+    """Render a single (x, y) series as a crude ASCII scatter plot."""
+    if len(series.x) != len(series.y):
+        raise ValueError("series x and y must have equal length")
+    if not series.x:
+        return f"{series.name}: (empty series)"
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+
+    xs = [float(v) for v in series.x]
+    ys = [float(v) for v in series.y]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    lines = [f"{series.name}   ({series.x_label} vs {series.y_label})"]
+    lines.append(f"y_max = {y_max:.4g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_min:.4g} .. {x_max:.4g}    y_min = {y_min:.4g}")
+    return "\n".join(lines)
+
+
+def series_to_csv(series_list: Sequence[Series]) -> str:
+    """Concatenate several series into one long-format CSV string."""
+    buffer = io.StringIO()
+    buffer.write("series,x_label,y_label,x,y\n")
+    for series in series_list:
+        if len(series.x) != len(series.y):
+            raise ValueError(f"series {series.name!r} has mismatched x/y lengths")
+        for x, y in zip(series.x, series.y):
+            buffer.write(f"{series.name},{series.x_label},{series.y_label},{x},{y}\n")
+    return buffer.getvalue()

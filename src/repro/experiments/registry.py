@@ -1,0 +1,83 @@
+"""Experiment registry: id -> module.
+
+The CLI, the benchmarks and EXPERIMENTS.md all address experiments by id
+(``"E1"`` … ``"E14"``); this module is the single source of truth for what
+exists.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Dict, List, Optional
+
+from repro.experiments import (
+    experiments_e1,
+    experiments_e2,
+    experiments_e3,
+    experiments_e4,
+    experiments_e5,
+    experiments_e6,
+    experiments_e7,
+    experiments_e8,
+    experiments_e9,
+    experiments_e10,
+    experiments_e11,
+    experiments_e12,
+    experiments_e13,
+    experiments_e14,
+    experiments_e15,
+    experiments_e16,
+)
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["all_experiments", "get_experiment", "run_experiment"]
+
+_MODULES: List[ModuleType] = [
+    experiments_e1,
+    experiments_e2,
+    experiments_e3,
+    experiments_e4,
+    experiments_e5,
+    experiments_e6,
+    experiments_e7,
+    experiments_e8,
+    experiments_e9,
+    experiments_e10,
+    experiments_e11,
+    experiments_e12,
+    experiments_e13,
+    experiments_e14,
+    experiments_e15,
+    experiments_e16,
+]
+
+_REGISTRY: Dict[str, ModuleType] = {
+    module.EXPERIMENT_ID.lower(): module for module in _MODULES
+}
+
+
+def all_experiments() -> List[ModuleType]:
+    """All experiment modules in id order."""
+    return list(_MODULES)
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """Look up an experiment module by id (case-insensitive)."""
+    key = experiment_id.strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(m.EXPERIMENT_ID for m in _MODULES)
+        raise ValueError(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    scale: str = "quick",
+    seed: int = 0,
+    processes: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    module = get_experiment(experiment_id)
+    return module.run(scale=scale, seed=seed, processes=processes)

@@ -1,0 +1,110 @@
+"""Run a set of experiments and assemble a single Markdown report.
+
+``repro report`` (and :func:`generate_report`) is the one-command way to
+regenerate the measured side of EXPERIMENTS.md: it runs the requested
+experiments, writes each result as JSON (so the raw numbers are archived) and
+produces a Markdown document with every table, the notes, and the run
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.registry import all_experiments, run_experiment
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["ReportPaths", "generate_report", "result_to_markdown"]
+
+
+@dataclass(frozen=True)
+class ReportPaths:
+    """Where :func:`generate_report` wrote its outputs."""
+
+    report: Path
+    json_files: List[Path]
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render one experiment result as a Markdown section."""
+    lines: List[str] = []
+    lines.append(f"## {result.experiment_id} — {result.title}")
+    lines.append("")
+    lines.append(f"**Claim.** {result.claim}")
+    lines.append("")
+    # Markdown table.
+    header = "| " + " | ".join(str(c) for c in result.columns) + " |"
+    separator = "|" + "|".join("---" for _ in result.columns) + "|"
+    lines.append(header)
+    lines.append(separator)
+    for row in result.rows:
+        cells = []
+        for cell in row:
+            if cell is None:
+                cells.append("-")
+            elif isinstance(cell, bool):
+                cells.append("yes" if cell else "no")
+            elif isinstance(cell, float):
+                cells.append(f"{cell:.4g}")
+            else:
+                cells.append(str(cell))
+        lines.append("| " + " | ".join(cells) + " |")
+    if result.notes:
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"* {note}")
+    if result.parameters:
+        lines.append("")
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(result.parameters.items()))
+        lines.append(f"_Parameters: {rendered}_")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    output_dir,
+    *,
+    experiment_ids: Optional[Sequence[str]] = None,
+    scale: str = "quick",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    title: str = "Measured results",
+) -> ReportPaths:
+    """Run experiments and write ``report.md`` plus per-experiment JSON files.
+
+    Parameters
+    ----------
+    output_dir:
+        Directory to write into (created if missing).
+    experiment_ids:
+        Which experiments to include; defaults to all of them.
+    scale, seed, processes:
+        Forwarded to each experiment's ``run``.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    if experiment_ids is None:
+        experiment_ids = [m.EXPERIMENT_ID for m in all_experiments()]
+
+    sections: List[str] = [
+        f"# {title}",
+        "",
+        f"Scale: `{scale}`, seed: `{seed}`.  Regenerate with "
+        f"`repro report --scale {scale} --seed {seed}`.",
+        "",
+    ]
+    json_files: List[Path] = []
+    for experiment_id in experiment_ids:
+        result = run_experiment(
+            experiment_id, scale=scale, seed=seed, processes=processes
+        )
+        json_path = output_dir / f"{result.experiment_id}.json"
+        result.save(json_path)
+        json_files.append(json_path)
+        sections.append(result_to_markdown(result))
+
+    report_path = output_dir / "report.md"
+    report_path.write_text("\n".join(sections))
+    return ReportPaths(report=report_path, json_files=json_files)

@@ -1,0 +1,162 @@
+"""Experiment result containers and serialisation."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+__all__ = ["ExperimentResult", "Series"]
+
+
+@dataclass
+class Series:
+    """A named (x, y) series — the unit of "figure" reproduction."""
+
+    name: str
+    x: List[float]
+    y: List[float]
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "x": list(self.x),
+            "y": list(self.y),
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Series":
+        return cls(
+            name=str(payload["name"]),
+            x=list(payload["x"]),
+            y=list(payload["y"]),
+            x_label=str(payload.get("x_label", "x")),
+            y_label=str(payload.get("y_label", "y")),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run: a table, optional series, and notes.
+
+    Attributes
+    ----------
+    experiment_id:
+        ``"E1"`` … ``"E14"``.
+    title:
+        Short experiment name.
+    claim:
+        The paper's statement being checked.
+    columns / rows:
+        The result table (rows are plain lists; values must be JSON
+        serialisable).
+    series:
+        Optional named (x, y) series for figure-style results.
+    notes:
+        Free-form findings (e.g. fitted constants, observed ratios).
+    parameters:
+        The sweep parameters used (scale, seeds, sizes, …).
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Human-readable report (table + notes)."""
+        parts = [
+            f"{self.experiment_id}: {self.title}",
+            f"Claim: {self.claim}",
+            "",
+            format_table(self.columns, self.rows),
+        ]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"* {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """The result table as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "series": [s.as_dict() for s in self.series],
+            "notes": list(self.notes),
+            "parameters": dict(self.parameters),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, default=_jsonify)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment_id=str(payload["experiment_id"]),
+            title=str(payload["title"]),
+            claim=str(payload["claim"]),
+            columns=list(payload["columns"]),
+            rows=[list(row) for row in payload.get("rows", [])],
+            series=[Series.from_dict(s) for s in payload.get("series", [])],
+            notes=list(payload.get("notes", [])),
+            parameters=dict(payload.get("parameters", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> Path:
+        """Write the JSON representation to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ExperimentResult":
+        return cls.from_json(Path(path).read_text())
+
+
+def _jsonify(value):
+    """Best-effort conversion of NumPy scalars/arrays for json.dumps."""
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    raise TypeError(f"value of type {type(value).__name__} is not JSON serialisable")

@@ -1,0 +1,170 @@
+"""Job execution: seeds, repetition, aggregation, optional process fan-out.
+
+A :class:`Job` is a fully declarative description of one protocol run
+(topology spec + protocol spec + seed + engine options), so a list of jobs
+can be executed serially or handed to a :class:`concurrent.futures.
+ProcessPoolExecutor` — each worker rebuilds the network and protocol from the
+specs, keeping results independent of scheduling (the per-job seed fully
+determines both the topology sample and the protocol's randomness).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._util.rng import spawn_generators
+from repro.analysis.statistics import summarize
+from repro.experiments.protocols import ProtocolSpec, build_protocol
+from repro.graphs.builders import GraphSpec, build_network
+from repro.radio.collision import (
+    CollisionModel,
+    ErasureCollisionModel,
+    StandardCollisionModel,
+    WithCollisionDetectionModel,
+)
+from repro.radio.engine import SimulationEngine
+from repro.radio.trace import RunResultTrace
+
+__all__ = ["Job", "execute_job", "run_jobs", "aggregate_runs", "repeat_job"]
+
+_COLLISION_MODELS = {
+    "standard": StandardCollisionModel,
+    "collision_detection": WithCollisionDetectionModel,
+}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One fully specified protocol run."""
+
+    graph: GraphSpec
+    protocol: ProtocolSpec
+    seed: int
+    run_to_quiescence: bool = False
+    record_rounds: bool = False
+    keep_arrays: bool = False
+    max_rounds: Optional[int] = None
+    collision_model: str = "standard"
+    erasure_probability: float = 0.0
+    label: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "graph": self.graph.as_dict(),
+            "protocol": self.protocol.as_dict(),
+            "seed": self.seed,
+            "run_to_quiescence": self.run_to_quiescence,
+            "record_rounds": self.record_rounds,
+            "keep_arrays": self.keep_arrays,
+            "max_rounds": self.max_rounds,
+            "collision_model": self.collision_model,
+            "erasure_probability": self.erasure_probability,
+            "label": self.label,
+        }
+
+
+def _collision_model_for(job: Job) -> CollisionModel:
+    if job.erasure_probability > 0.0:
+        return ErasureCollisionModel(job.erasure_probability)
+    try:
+        return _COLLISION_MODELS[job.collision_model]()
+    except KeyError:
+        known = ", ".join(sorted(_COLLISION_MODELS))
+        raise ValueError(
+            f"unknown collision model {job.collision_model!r}; known: {known}"
+        )
+
+
+def execute_job(job: Job) -> RunResultTrace:
+    """Build the network and protocol from the job's specs and run once.
+
+    Two independent generator streams are spawned from the job seed: one for
+    the topology sample, one for the protocol/engine randomness — so e.g.
+    comparing two protocols with the same seed uses the *same* sampled
+    network.
+    """
+    graph_rng, protocol_rng = spawn_generators(job.seed, 2)
+    network = build_network(job.graph, rng=graph_rng)
+    protocol = build_protocol(job.protocol)
+    engine = SimulationEngine(
+        _collision_model_for(job),
+        record_rounds=job.record_rounds,
+        keep_arrays=job.keep_arrays,
+        run_to_quiescence=job.run_to_quiescence,
+    )
+    result = engine.run(network, protocol, rng=protocol_rng, max_rounds=job.max_rounds)
+    result.metadata.setdefault("job", job.as_dict())
+    if job.label:
+        result.metadata["label"] = job.label
+    return result
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    processes: Optional[int] = None,
+) -> List[RunResultTrace]:
+    """Execute ``jobs`` serially or across ``processes`` workers.
+
+    ``processes=None`` (default) runs serially — the right choice for the
+    laptop-scale sweeps in this repository; pass an integer (or 0 for
+    ``os.cpu_count()``) to fan out.
+    """
+    jobs = list(jobs)
+    if processes is None or len(jobs) <= 1:
+        return [execute_job(job) for job in jobs]
+    workers = processes if processes > 0 else (os.cpu_count() or 1)
+    workers = min(workers, len(jobs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_job, jobs))
+
+
+def repeat_job(
+    graph: GraphSpec,
+    protocol: ProtocolSpec,
+    *,
+    repetitions: int,
+    seed: int = 0,
+    processes: Optional[int] = None,
+    **job_options,
+) -> List[RunResultTrace]:
+    """Run the same (graph, protocol) pair under ``repetitions`` different seeds."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    base = np.random.SeedSequence(seed)
+    seeds = [int(s.generate_state(1)[0]) for s in base.spawn(repetitions)]
+    jobs = [
+        Job(graph=graph, protocol=protocol, seed=s, **job_options) for s in seeds
+    ]
+    return run_jobs(jobs, processes=processes)
+
+
+def aggregate_runs(runs: Sequence[RunResultTrace]) -> Dict[str, object]:
+    """Aggregate repeated runs into the quantities the theorems bound.
+
+    Returns a dict with success rate, completion-round statistics
+    (successful runs only), and energy statistics (all runs).
+    """
+    runs = list(runs)
+    if not runs:
+        raise ValueError("cannot aggregate zero runs")
+    successes = [r for r in runs if r.completed]
+    out: Dict[str, object] = {
+        "runs": len(runs),
+        "successes": len(successes),
+        "success_rate": len(successes) / len(runs),
+        "n": runs[0].n,
+    }
+    if successes:
+        out["completion_rounds"] = summarize([r.completion_round for r in successes])
+    out["total_transmissions"] = summarize(
+        [r.energy.total_transmissions for r in runs]
+    )
+    out["max_tx_per_node"] = summarize([r.energy.max_per_node for r in runs])
+    out["mean_tx_per_node"] = summarize([r.energy.mean_per_node for r in runs])
+    return out

@@ -1,0 +1,79 @@
+"""Topology generators and graph analysis.
+
+The paper evaluates its protocols on two network classes:
+
+* **random networks** — the directed Erdős–Rényi model ``G(n, p)`` in which
+  every ordered pair ``(u, v)`` is an edge independently with probability
+  ``p`` (Sections 2 and 3), with the random **geometric** model named as
+  future work (Section 5);
+* **general (arbitrary) networks with known diameter D** (Section 4),
+  including the two explicit lower-bound constructions: the
+  relay network of Observation 4.3 and the layered star-and-path network of
+  Theorem 4.4 (Fig. 2).
+
+This package provides generators for all of those, a handful of structured
+families used by the general-network experiments (paths, grids, cliques,
+paths of cliques …), and the graph-property helpers (BFS layers, source
+eccentricity, diameter, degree statistics) the experiments rely on.
+"""
+
+from repro.graphs.geometric import (
+    geometric_digraph,
+    geometric_digraph_from_positions,
+    heterogeneous_geometric_digraph,
+)
+from repro.graphs.lowerbound import (
+    observation43_network,
+    theorem44_network,
+    theorem44_layer_sizes,
+)
+from repro.graphs.properties import (
+    bfs_layers,
+    degree_statistics,
+    diameter_estimate,
+    is_strongly_connected,
+    reachable_from,
+    source_eccentricity,
+)
+from repro.graphs.random_digraph import (
+    connectivity_threshold_probability,
+    random_digraph,
+    random_undirected_radio_network,
+)
+from repro.graphs.structured import (
+    complete_network,
+    cycle_network,
+    grid_network,
+    layered_caterpillar,
+    path_network,
+    path_of_cliques,
+    star_network,
+)
+from repro.graphs.builders import GraphSpec, build_network
+
+__all__ = [
+    "random_digraph",
+    "random_undirected_radio_network",
+    "connectivity_threshold_probability",
+    "geometric_digraph",
+    "geometric_digraph_from_positions",
+    "heterogeneous_geometric_digraph",
+    "observation43_network",
+    "theorem44_network",
+    "theorem44_layer_sizes",
+    "path_network",
+    "cycle_network",
+    "star_network",
+    "complete_network",
+    "grid_network",
+    "path_of_cliques",
+    "layered_caterpillar",
+    "bfs_layers",
+    "source_eccentricity",
+    "diameter_estimate",
+    "reachable_from",
+    "is_strongly_connected",
+    "degree_statistics",
+    "GraphSpec",
+    "build_network",
+]

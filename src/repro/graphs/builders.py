@@ -1,0 +1,118 @@
+"""Declarative topology specifications for the experiment harness.
+
+Experiments describe their workloads as :class:`GraphSpec` values so sweeps
+can be written as plain data (and serialised into results files), and
+:func:`build_network` turns a spec plus a seed into a concrete
+:class:`~repro.radio.network.RadioNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro._util.rng import SeedLike
+from repro.graphs import geometric, structured
+from repro.graphs.lowerbound import observation43_network, theorem44_network
+from repro.graphs.random_digraph import (
+    random_digraph,
+    random_undirected_radio_network,
+)
+from repro.radio.network import RadioNetwork
+
+__all__ = ["GraphSpec", "build_network", "FAMILIES"]
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A named topology family plus its parameters.
+
+    Attributes
+    ----------
+    family:
+        One of the keys of :data:`FAMILIES`
+        (``"gnp"``, ``"gnp_undirected"``, ``"geometric"``,
+        ``"geometric_hetero"``, ``"path"``, ``"cycle"``, ``"star"``,
+        ``"complete"``, ``"grid"``, ``"path_of_cliques"``, ``"caterpillar"``,
+        ``"observation43"``, ``"theorem44"``).
+    params:
+        Keyword arguments forwarded to the family's generator.
+    """
+
+    family: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Readable one-line description used in tables."""
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}({inner})"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"family": self.family, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GraphSpec":
+        return cls(family=payload["family"], params=dict(payload.get("params", {})))
+
+
+def _build_gnp(*, rng: SeedLike = None, **params) -> RadioNetwork:
+    return random_digraph(rng=rng, **params)
+
+
+def _build_gnp_undirected(*, rng: SeedLike = None, **params) -> RadioNetwork:
+    return random_undirected_radio_network(rng=rng, **params)
+
+
+def _build_geometric(*, rng: SeedLike = None, **params) -> RadioNetwork:
+    return geometric.geometric_digraph(rng=rng, **params)
+
+
+def _build_geometric_hetero(*, rng: SeedLike = None, **params) -> RadioNetwork:
+    return geometric.heterogeneous_geometric_digraph(rng=rng, **params)
+
+
+def _build_observation43(*, rng: SeedLike = None, **params) -> RadioNetwork:
+    return observation43_network(**params)
+
+
+def _build_theorem44(*, rng: SeedLike = None, **params) -> RadioNetwork:
+    return theorem44_network(**params)
+
+
+def _structural(builder):
+    def build(*, rng: SeedLike = None, **params) -> RadioNetwork:
+        return builder(**params)
+
+    return build
+
+
+#: Registry mapping family name to builder callable.
+FAMILIES = {
+    "gnp": _build_gnp,
+    "gnp_undirected": _build_gnp_undirected,
+    "geometric": _build_geometric,
+    "geometric_hetero": _build_geometric_hetero,
+    "path": _structural(structured.path_network),
+    "cycle": _structural(structured.cycle_network),
+    "star": _structural(structured.star_network),
+    "complete": _structural(structured.complete_network),
+    "grid": _structural(structured.grid_network),
+    "path_of_cliques": _structural(structured.path_of_cliques),
+    "caterpillar": _structural(structured.layered_caterpillar),
+    "observation43": _build_observation43,
+    "theorem44": _build_theorem44,
+}
+
+
+def build_network(spec: GraphSpec, *, rng: SeedLike = None) -> RadioNetwork:
+    """Instantiate the network described by ``spec``.
+
+    Random families consume ``rng``; deterministic families ignore it, so a
+    sweep can pass per-repetition generators uniformly.
+    """
+    try:
+        builder = FAMILIES[spec.family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise ValueError(f"unknown graph family {spec.family!r}; known families: {known}")
+    return builder(rng=rng, **spec.params)

@@ -1,0 +1,226 @@
+"""The paper's explicit lower-bound network constructions.
+
+Two constructions are used in Section 4.2:
+
+* **Observation 4.3** — a network with ``3n + 1`` nodes showing that *any*
+  oblivious broadcast algorithm needs at least ``n log n / 2`` transmissions
+  in total to succeed with probability ``1 - 1/n``.  The source ``s`` reaches
+  ``2n`` relay nodes ``u_1 .. u_2n``; destination ``d_i`` hears exactly the
+  two relays ``u_{2i-1}`` and ``u_{2i}``, so it is informed only in a round
+  where exactly one of its two relays transmits.
+
+* **Theorem 4.4 (Fig. 2)** — a layered network made of a cascade of stars
+  ``S_1 .. S_{log n}`` (star ``S_i`` has one centre ``c_i`` and ``2^i``
+  leaves; each leaf of ``S_i`` feeds the next centre ``c_{i+1}``) followed by
+  a long path of length ``D - 2 log n``.  Whatever time-invariant
+  transmission distribution an oblivious algorithm uses, some star level has
+  per-round success probability at most ``1/ln n`` (so nodes must stay active
+  for ``≈ ln^2 n`` rounds), while the path forces the distribution's mean to
+  be at least ``1/(2c log(n/D))`` to finish in ``c·D·log(n/D)`` rounds —
+  giving the ``Ω(log^2 n / log(n/D))`` transmissions-per-node bound.
+
+Both constructions are returned as directed :class:`RadioNetwork` instances
+(edges point in the direction the broadcast must flow) together with a
+structure description used by the experiments and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro._util.logmath import ilog2
+from repro._util.validation import check_positive_int
+from repro.radio.network import RadioNetwork
+
+__all__ = [
+    "Observation43Structure",
+    "Theorem44Structure",
+    "observation43_network",
+    "theorem44_network",
+    "theorem44_layer_sizes",
+]
+
+
+@dataclass(frozen=True)
+class Observation43Structure:
+    """Node-role map of the Observation 4.3 network."""
+
+    n_destinations: int
+    source: int
+    relays: np.ndarray
+    destinations: np.ndarray
+
+    def relay_pair_for(self, destination_index: int) -> Tuple[int, int]:
+        """The two relays heard by destination ``destination_index`` (0-based)."""
+        if not 0 <= destination_index < self.n_destinations:
+            raise ValueError(
+                f"destination_index must lie in [0, {self.n_destinations - 1}]"
+            )
+        return (
+            int(self.relays[2 * destination_index]),
+            int(self.relays[2 * destination_index + 1]),
+        )
+
+
+@dataclass(frozen=True)
+class Theorem44Structure:
+    """Node-role map of the Theorem 4.4 (Fig. 2) layered network."""
+
+    n_parameter: int
+    diameter: int
+    num_stars: int
+    star_centers: np.ndarray
+    star_leaves: List[np.ndarray]
+    path_nodes: np.ndarray
+
+    @property
+    def source(self) -> int:
+        """The broadcast originator ``c_1``."""
+        return int(self.star_centers[0])
+
+    @property
+    def final_node(self) -> int:
+        """The last node of the path ``v_L`` (the hardest node to reach)."""
+        return int(self.path_nodes[-1])
+
+
+def observation43_network(
+    n: int, *, return_structure: bool = False
+):
+    """Build the Observation 4.3 lower-bound network with ``3n + 1`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of destination nodes (the paper's ``n``); the network has
+        ``3n + 1`` nodes in total.
+    return_structure:
+        When True, return ``(network, structure)``.
+
+    Notes
+    -----
+    Edges (all directed in the flow direction):
+
+    * ``s -> u_j`` for every relay ``u_j`` (``j = 1 .. 2n``);
+    * ``u_{2i-1} -> d_i`` and ``u_{2i} -> d_i`` for every destination ``d_i``.
+
+    The source informs all relays in one round (it is their only
+    in-neighbour), after which destination ``d_i`` is informed only in a
+    round where exactly one of its two relays transmits — the situation the
+    lower-bound argument exploits.
+    """
+    n = check_positive_int(n, "n")
+    source = 0
+    relays = np.arange(1, 2 * n + 1, dtype=np.int64)
+    destinations = np.arange(2 * n + 1, 3 * n + 1, dtype=np.int64)
+
+    src_edges = np.column_stack([np.full(2 * n, source, dtype=np.int64), relays])
+    dest_targets = np.repeat(destinations, 2)
+    relay_sources = relays  # relays are already ordered u_1, u_2, u_3, ...
+    relay_edges = np.column_stack([relay_sources, dest_targets])
+    edges = np.vstack([src_edges, relay_edges])
+
+    network = RadioNetwork(3 * n + 1, edges, name=f"observation43(n={n})")
+    if not return_structure:
+        return network
+    structure = Observation43Structure(
+        n_destinations=n,
+        source=source,
+        relays=relays,
+        destinations=destinations,
+    )
+    return network, structure
+
+
+def theorem44_layer_sizes(n: int) -> List[int]:
+    """Sizes ``2^i`` of the star layers ``S_1 .. S_{log n}`` for parameter ``n``."""
+    n = check_positive_int(n, "n", minimum=2)
+    k = ilog2(n)
+    return [2**i for i in range(1, k + 1)]
+
+
+def theorem44_network(
+    n: int, diameter: int, *, return_structure: bool = False
+):
+    """Build the Theorem 4.4 (Fig. 2) layered lower-bound network.
+
+    Parameters
+    ----------
+    n:
+        The paper's size parameter (ideally a power of two); the network has
+        at most ``2n + D`` nodes.
+    diameter:
+        Target diameter ``D``; must exceed ``2 * log2(n)`` so the trailing
+        path has positive length (the theorem assumes ``D > 4 log n``).
+    return_structure:
+        When True, return ``(network, structure)``.
+
+    Notes
+    -----
+    Construction (all edges directed in the flow direction):
+
+    * star ``S_i`` (``i = 1 .. log n``) has centre ``c_i`` and ``2^i`` leaves;
+      ``c_i`` feeds each of its leaves, and each leaf feeds the next centre
+      ``c_{i+1}``;
+    * every leaf of the last star ``S_{log n}`` feeds the first path node
+      ``v_0`` (the paper's ``c_{log n + 1}``);
+    * ``v_0 -> v_1 -> … -> v_L`` with ``L = D - 2 log n``.
+    """
+    n = check_positive_int(n, "n", minimum=4)
+    diameter = check_positive_int(diameter, "diameter")
+    k = ilog2(n)
+    min_diameter = 2 * k + 1
+    if diameter <= min_diameter:
+        raise ValueError(
+            f"diameter must exceed 2*log2(n) + 1 = {min_diameter} for n={n}, got {diameter}"
+        )
+    path_length = diameter - 2 * k
+
+    edges: List[Tuple[int, int]] = []
+    star_centers = []
+    star_leaves: List[np.ndarray] = []
+    next_id = 0
+    for i in range(1, k + 1):
+        center = next_id
+        next_id += 1
+        leaves = np.arange(next_id, next_id + 2**i, dtype=np.int64)
+        next_id += 2**i
+        star_centers.append(center)
+        star_leaves.append(leaves)
+        for leaf in leaves:
+            edges.append((center, int(leaf)))
+
+    # Leaves of S_i feed the centre of S_{i+1}.
+    for i in range(k - 1):
+        next_center = star_centers[i + 1]
+        for leaf in star_leaves[i]:
+            edges.append((int(leaf), next_center))
+
+    # Path nodes v_0 .. v_L; leaves of the last star feed v_0.
+    path_nodes = np.arange(next_id, next_id + path_length + 1, dtype=np.int64)
+    next_id += path_length + 1
+    for leaf in star_leaves[-1]:
+        edges.append((int(leaf), int(path_nodes[0])))
+    for a, b in zip(path_nodes[:-1], path_nodes[1:]):
+        edges.append((int(a), int(b)))
+
+    network = RadioNetwork(
+        next_id,
+        np.asarray(edges, dtype=np.int64),
+        name=f"theorem44(n={n}, D={diameter})",
+    )
+    if not return_structure:
+        return network
+    structure = Theorem44Structure(
+        n_parameter=n,
+        diameter=diameter,
+        num_stars=k,
+        star_centers=np.asarray(star_centers, dtype=np.int64),
+        star_leaves=star_leaves,
+        path_nodes=path_nodes,
+    )
+    return network, structure

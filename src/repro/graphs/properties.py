@@ -1,0 +1,172 @@
+"""Graph-property helpers used by the experiments and tests.
+
+Everything here works on the directed :class:`RadioNetwork` CSR arrays
+directly (no networkx in the hot path); :func:`diameter_estimate` optionally
+uses exact all-pairs BFS for small graphs and a sampled double-sweep
+estimate for large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_node_index
+from repro.radio.network import RadioNetwork
+
+__all__ = [
+    "bfs_distances",
+    "bfs_layers",
+    "source_eccentricity",
+    "reachable_from",
+    "is_strongly_connected",
+    "diameter_estimate",
+    "degree_statistics",
+    "DegreeStatistics",
+]
+
+
+def bfs_distances(network: RadioNetwork, source: int) -> np.ndarray:
+    """Directed BFS distances from ``source`` (-1 for unreachable nodes)."""
+    n = network.n
+    source = check_node_index(source, n, "source")
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    indptr = network.out_indptr
+    indices = network.out_indices
+    level = 0
+    while frontier.size:
+        level += 1
+        starts = indptr[frontier]
+        ends = indptr[frontier + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            break
+        origin = np.repeat(starts, lengths)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        neighbours = indices[origin + within].astype(np.int64, copy=False)
+        fresh = np.unique(neighbours[dist[neighbours] < 0])
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        frontier = fresh
+    return dist
+
+
+def bfs_layers(network: RadioNetwork, source: int) -> List[np.ndarray]:
+    """Nodes grouped by BFS distance from ``source`` (unreachable nodes omitted)."""
+    dist = bfs_distances(network, source)
+    max_dist = int(dist.max())
+    return [np.flatnonzero(dist == level) for level in range(max_dist + 1)]
+
+
+def source_eccentricity(network: RadioNetwork, source: int) -> int:
+    """Largest finite BFS distance from ``source``.
+
+    Raises ``ValueError`` when some node is unreachable from ``source`` —
+    broadcasting from ``source`` is then impossible, which the caller should
+    treat explicitly rather than silently.
+    """
+    dist = bfs_distances(network, source)
+    if np.any(dist < 0):
+        unreachable = int((dist < 0).sum())
+        raise ValueError(
+            f"{unreachable} nodes are unreachable from source {source}; "
+            "broadcast cannot complete on this network"
+        )
+    return int(dist.max())
+
+
+def reachable_from(network: RadioNetwork, source: int) -> np.ndarray:
+    """Boolean mask of nodes reachable from ``source`` (including itself)."""
+    return bfs_distances(network, source) >= 0
+
+
+def is_strongly_connected(network: RadioNetwork) -> bool:
+    """True iff every node reaches every other node (directed)."""
+    if network.n <= 1:
+        return True
+    if not reachable_from(network, 0).all():
+        return False
+    return bool((bfs_distances(network.reverse(), 0) >= 0).all())
+
+
+def diameter_estimate(
+    network: RadioNetwork,
+    *,
+    exact_threshold: int = 600,
+    samples: int = 16,
+    rng: SeedLike = None,
+) -> int:
+    """Directed diameter (exact for small graphs, sampled lower bound otherwise).
+
+    For ``n <= exact_threshold`` this runs BFS from every node (exact).  For
+    larger graphs it runs BFS from ``samples`` random nodes plus node 0 and
+    returns the largest eccentricity seen — a lower bound that is exact
+    w.h.p. for the highly symmetric families used in the experiments.
+
+    Raises ``ValueError`` if the sampled sources cannot reach every node.
+    """
+    n = network.n
+    if n <= 1:
+        return 0
+    if n <= exact_threshold:
+        sources = range(n)
+    else:
+        generator = as_generator(rng)
+        extra = generator.integers(0, n, size=max(0, samples - 1))
+        sources = np.unique(np.concatenate([[0], extra]))
+    best = 0
+    for source in sources:
+        ecc = source_eccentricity(network, int(source))
+        best = max(best, ecc)
+    return best
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of in/out degree distributions."""
+
+    mean_out: float
+    mean_in: float
+    min_out: int
+    max_out: int
+    min_in: int
+    max_in: int
+    std_out: float
+    std_in: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean_out": self.mean_out,
+            "mean_in": self.mean_in,
+            "min_out": self.min_out,
+            "max_out": self.max_out,
+            "min_in": self.min_in,
+            "max_in": self.max_in,
+            "std_out": self.std_out,
+            "std_in": self.std_in,
+        }
+
+
+def degree_statistics(network: RadioNetwork) -> DegreeStatistics:
+    """Compute degree summary statistics for ``network``."""
+    out_deg = network.out_degrees()
+    in_deg = network.in_degrees()
+    return DegreeStatistics(
+        mean_out=float(out_deg.mean()) if out_deg.size else 0.0,
+        mean_in=float(in_deg.mean()) if in_deg.size else 0.0,
+        min_out=int(out_deg.min()) if out_deg.size else 0,
+        max_out=int(out_deg.max()) if out_deg.size else 0,
+        min_in=int(in_deg.min()) if in_deg.size else 0,
+        max_in=int(in_deg.max()) if in_deg.size else 0,
+        std_out=float(out_deg.std()) if out_deg.size else 0.0,
+        std_in=float(in_deg.std()) if in_deg.size else 0.0,
+    )

@@ -1,0 +1,176 @@
+"""Deterministic structured topologies used by the general-network experiments.
+
+Section 4 of the paper analyses arbitrary networks with known diameter ``D``.
+To exercise Algorithm 3, the Czumaj–Rytter baselines, and the tradeoff family
+across the ``D`` spectrum, we use a few canonical families with easily
+controlled diameter and density:
+
+* :func:`path_network` / :func:`cycle_network` — maximum-diameter sparse case;
+* :func:`star_network` / :func:`complete_network` — constant diameter;
+* :func:`grid_network` — ``D = Θ(sqrt(n))`` with bounded degree;
+* :func:`path_of_cliques` — the workhorse: ``L`` cliques of size ``k``
+  chained so that consecutive cliques overlap in one bridge node.  Diameter
+  ``Θ(L)``, local contention ``Θ(k)`` — the regime where collision handling
+  matters and the paper's log-factors appear;
+* :func:`layered_caterpillar` — a path with ``k`` leaf listeners per spine
+  node, a simple model of a backbone with many passive receivers.
+
+All generators return symmetric (bidirectional) radio networks unless stated
+otherwise, since the general-network theorems do not rely on asymmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._util.validation import check_positive_int
+from repro.radio.network import RadioNetwork
+
+__all__ = [
+    "path_network",
+    "cycle_network",
+    "star_network",
+    "complete_network",
+    "grid_network",
+    "path_of_cliques",
+    "layered_caterpillar",
+]
+
+
+def path_network(n: int) -> RadioNetwork:
+    """Bidirectional path ``0 - 1 - ... - n-1`` (diameter ``n - 1``)."""
+    n = check_positive_int(n, "n")
+    if n == 1:
+        return RadioNetwork(1, np.empty((0, 2), dtype=np.int64), name="path(n=1)")
+    u = np.arange(n - 1, dtype=np.int64)
+    edges = np.vstack(
+        [np.column_stack([u, u + 1]), np.column_stack([u + 1, u])]
+    )
+    return RadioNetwork(n, edges, name=f"path(n={n})")
+
+
+def cycle_network(n: int) -> RadioNetwork:
+    """Bidirectional cycle on ``n >= 3`` nodes (diameter ``floor(n/2)``)."""
+    n = check_positive_int(n, "n", minimum=3)
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    edges = np.vstack([np.column_stack([u, v]), np.column_stack([v, u])])
+    return RadioNetwork(n, edges, name=f"cycle(n={n})")
+
+
+def star_network(n: int, *, center: int = 0) -> RadioNetwork:
+    """Bidirectional star: ``center`` connected to every other node (diameter 2)."""
+    n = check_positive_int(n, "n", minimum=2)
+    if not 0 <= center < n:
+        raise ValueError(f"center must lie in [0, {n - 1}], got {center}")
+    leaves = np.asarray([i for i in range(n) if i != center], dtype=np.int64)
+    centers = np.full(leaves.size, center, dtype=np.int64)
+    edges = np.vstack(
+        [np.column_stack([centers, leaves]), np.column_stack([leaves, centers])]
+    )
+    return RadioNetwork(n, edges, name=f"star(n={n})")
+
+
+def complete_network(n: int) -> RadioNetwork:
+    """Complete bidirectional network (diameter 1)."""
+    n = check_positive_int(n, "n")
+    if n == 1:
+        return RadioNetwork(1, np.empty((0, 2), dtype=np.int64), name="complete(n=1)")
+    rows, cols = np.meshgrid(np.arange(n, dtype=np.int64), np.arange(n, dtype=np.int64), indexing="ij")
+    mask = rows != cols
+    edges = np.column_stack([rows[mask], cols[mask]])
+    return RadioNetwork(n, edges, name=f"complete(n={n})")
+
+
+def grid_network(rows: int, cols: Optional[int] = None) -> RadioNetwork:
+    """Bidirectional 4-neighbour grid (diameter ``rows + cols - 2``)."""
+    rows = check_positive_int(rows, "rows")
+    cols = rows if cols is None else check_positive_int(cols, "cols")
+    n = rows * cols
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edge_list = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edge_list.append((node(r, c), node(r, c + 1)))
+                edge_list.append((node(r, c + 1), node(r, c)))
+            if r + 1 < rows:
+                edge_list.append((node(r, c), node(r + 1, c)))
+                edge_list.append((node(r + 1, c), node(r, c)))
+    edges = (
+        np.asarray(edge_list, dtype=np.int64)
+        if edge_list
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return RadioNetwork(n, edges, name=f"grid({rows}x{cols})")
+
+
+def path_of_cliques(num_cliques: int, clique_size: int) -> RadioNetwork:
+    """A chain of ``num_cliques`` cliques of ``clique_size`` nodes each.
+
+    Consecutive cliques are joined by a bidirectional bridge edge between
+    their designated border nodes (the last node of clique ``i`` and the
+    first node of clique ``i+1``), giving diameter ``Θ(num_cliques)`` while
+    every transmission inside a clique contends with ``clique_size - 1``
+    other stations.  This is the canonical "D small relative to n but dense
+    locally" workload for Section 4.
+    """
+    num_cliques = check_positive_int(num_cliques, "num_cliques")
+    clique_size = check_positive_int(clique_size, "clique_size")
+    n = num_cliques * clique_size
+    edge_list = []
+    for block in range(num_cliques):
+        base = block * clique_size
+        for i in range(clique_size):
+            for j in range(clique_size):
+                if i != j:
+                    edge_list.append((base + i, base + j))
+        if block + 1 < num_cliques:
+            a = base + clique_size - 1
+            b = base + clique_size
+            edge_list.append((a, b))
+            edge_list.append((b, a))
+    edges = (
+        np.asarray(edge_list, dtype=np.int64)
+        if edge_list
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return RadioNetwork(
+        n, edges, name=f"path_of_cliques(L={num_cliques}, k={clique_size})"
+    )
+
+
+def layered_caterpillar(spine_length: int, leaves_per_node: int) -> RadioNetwork:
+    """A bidirectional path ("spine") with ``leaves_per_node`` leaves per spine node.
+
+    Spine nodes are ``0 .. spine_length-1``; the leaves of spine node ``i``
+    are ``spine_length + i*leaves_per_node .. spine_length + (i+1)*leaves_per_node - 1``.
+    Diameter ``spine_length + 1``.
+    """
+    spine_length = check_positive_int(spine_length, "spine_length")
+    leaves_per_node = check_positive_int(leaves_per_node, "leaves_per_node", minimum=0)
+    n = spine_length + spine_length * leaves_per_node
+    edge_list = []
+    for i in range(spine_length - 1):
+        edge_list.append((i, i + 1))
+        edge_list.append((i + 1, i))
+    for i in range(spine_length):
+        for j in range(leaves_per_node):
+            leaf = spine_length + i * leaves_per_node + j
+            edge_list.append((i, leaf))
+            edge_list.append((leaf, i))
+    edges = (
+        np.asarray(edge_list, dtype=np.int64)
+        if edge_list
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return RadioNetwork(
+        n,
+        edges,
+        name=f"caterpillar(spine={spine_length}, leaves={leaves_per_node})",
+    )

@@ -1,0 +1,59 @@
+"""Radio-network simulation substrate.
+
+This package implements the communication model of Section 1.2 of the paper:
+
+* the network is a **directed** graph ``G = (V, E)``; an edge ``(u, v)``
+  means that a transmission by ``u`` can be heard by ``v`` (``u`` lies inside
+  ``v``'s listening range) — not necessarily vice versa;
+* time proceeds in **synchronous rounds**; in each round every node decides
+  (based only on local state, the round number and global constants such as
+  ``n`` and optionally ``D``) whether to transmit;
+* a node ``v`` **receives** a message in a round iff *exactly one* of its
+  in-neighbours transmits in that round; if two or more transmit, the
+  messages collide and ``v`` hears nothing (and cannot even detect the
+  collision under the standard model);
+* there are no acknowledgements and no collision detection;
+* **energy** is the number of transmissions (fixed transmission power).
+
+Public surface:
+
+* :class:`~repro.radio.network.RadioNetwork` — CSR digraph container.
+* :class:`~repro.radio.protocol.Protocol` — base class for oblivious
+  protocols (what the paper calls "algorithms").
+* :class:`~repro.radio.engine.SimulationEngine` and
+  :func:`~repro.radio.engine.run_protocol` — the synchronous round engine.
+* :class:`~repro.radio.energy.EnergyAccountant` — transmission accounting.
+* :mod:`~repro.radio.collision` — pluggable collision semantics.
+* :mod:`~repro.radio.trace` — per-round traces and run summaries.
+"""
+
+from repro.radio.collision import (
+    CollisionModel,
+    CollisionOutcome,
+    ErasureCollisionModel,
+    StandardCollisionModel,
+    WithCollisionDetectionModel,
+)
+from repro.radio.energy import EnergyAccountant, EnergyReport
+from repro.radio.engine import SimulationEngine, run_protocol
+from repro.radio.network import RadioNetwork
+from repro.radio.protocol import BroadcastProtocol, GossipProtocol, Protocol
+from repro.radio.trace import RoundRecord, RunResultTrace
+
+__all__ = [
+    "RadioNetwork",
+    "Protocol",
+    "BroadcastProtocol",
+    "GossipProtocol",
+    "SimulationEngine",
+    "run_protocol",
+    "EnergyAccountant",
+    "EnergyReport",
+    "CollisionModel",
+    "CollisionOutcome",
+    "StandardCollisionModel",
+    "WithCollisionDetectionModel",
+    "ErasureCollisionModel",
+    "RoundRecord",
+    "RunResultTrace",
+]

@@ -1,0 +1,230 @@
+"""Collision semantics for the synchronous radio round.
+
+The paper uses the standard radio-network collision rule: a node receives a
+message in a round iff **exactly one** of its in-neighbours transmits, and
+cannot distinguish a collision (two or more transmitters) from silence.
+
+Two additional models are provided for ablations and the geometric-graph
+extension experiment:
+
+* :class:`WithCollisionDetectionModel` — receivers can tell "collision"
+  apart from "silence" (they still receive no payload on a collision).
+* :class:`ErasureCollisionModel` — standard rule, but each otherwise
+  successful delivery is independently erased with a fixed probability
+  (a crude model of fading).
+
+All models operate on whole rounds at once and are fully vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro._util.validation import check_probability
+from repro.radio.network import RadioNetwork
+
+__all__ = [
+    "CollisionOutcome",
+    "CollisionModel",
+    "StandardCollisionModel",
+    "WithCollisionDetectionModel",
+    "ErasureCollisionModel",
+]
+
+
+@dataclass(frozen=True)
+class CollisionOutcome:
+    """The resolved result of one synchronous round.
+
+    Attributes
+    ----------
+    receivers:
+        1-D array of node ids that successfully received a message this round.
+    senders:
+        1-D array (same length) with the unique transmitting in-neighbour that
+        delivered to the corresponding receiver.
+    hear_counts:
+        ``n``-vector of how many in-neighbours of each node transmitted
+        (before any erasure).  ``hear_counts[v] >= 2`` means ``v`` experienced
+        a collision.
+    collision_flags:
+        ``n``-bool vector; under models with collision detection this marks
+        the nodes that *detected* a collision.  All-``False`` under the
+        standard model (nodes cannot detect collisions).
+    """
+
+    receivers: np.ndarray
+    senders: np.ndarray
+    hear_counts: np.ndarray
+    collision_flags: np.ndarray
+
+
+class CollisionModel:
+    """Base class: resolve which transmissions are received in a round."""
+
+    #: Whether receivers learn that a collision happened.
+    detects_collisions: bool = False
+
+    def resolve(
+        self,
+        network: RadioNetwork,
+        transmit_mask: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CollisionOutcome:
+        """Resolve one round.
+
+        Parameters
+        ----------
+        network:
+            The radio network.
+        transmit_mask:
+            Boolean ``n``-vector; ``True`` where the node transmits this round.
+        rng:
+            Random generator (only used by stochastic models).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared vectorised machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _hear_counts_and_unique_sender(
+        network: RadioNetwork, transmit_mask: np.ndarray
+    ) -> tuple:
+        """Return (hear_counts, receivers, senders) under the exactly-one rule.
+
+        ``receivers`` are the nodes with exactly one transmitting in-neighbour
+        and ``senders[i]`` is that unique in-neighbour of ``receivers[i]``.
+        """
+        n = network.n
+        transmit_mask = np.asarray(transmit_mask, dtype=bool)
+        if transmit_mask.shape != (n,):
+            raise ValueError(
+                f"transmit_mask must have shape ({n},), got {transmit_mask.shape}"
+            )
+        tx_nodes = np.flatnonzero(transmit_mask)
+        if tx_nodes.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return np.zeros(n, dtype=np.int64), empty, empty
+
+        indptr = network.out_indptr
+        indices = network.out_indices
+        starts = indptr[tx_nodes]
+        ends = indptr[tx_nodes + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return np.zeros(n, dtype=np.int64), empty, empty
+
+        # Flat gather of all (transmitter -> listener) pairs this round.
+        # offsets enumerate positions within each transmitter's row.
+        row_origin = np.repeat(starts, lengths)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        flat_edges = row_origin + within
+        listeners = indices[flat_edges].astype(np.int64, copy=False)
+        senders_per_edge = np.repeat(tx_nodes, lengths)
+
+        hear_counts = np.bincount(listeners, minlength=n)
+        receiver_mask = hear_counts == 1
+        edge_to_receiver = receiver_mask[listeners]
+        receivers = listeners[edge_to_receiver]
+        senders = senders_per_edge[edge_to_receiver]
+        return hear_counts, receivers, senders
+
+
+class StandardCollisionModel(CollisionModel):
+    """The paper's model: receive iff exactly one in-neighbour transmits."""
+
+    detects_collisions = False
+
+    def resolve(
+        self,
+        network: RadioNetwork,
+        transmit_mask: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CollisionOutcome:
+        hear_counts, receivers, senders = self._hear_counts_and_unique_sender(
+            network, transmit_mask
+        )
+        return CollisionOutcome(
+            receivers=receivers,
+            senders=senders,
+            hear_counts=hear_counts,
+            collision_flags=np.zeros(network.n, dtype=bool),
+        )
+
+    def __repr__(self) -> str:
+        return "StandardCollisionModel()"
+
+
+class WithCollisionDetectionModel(CollisionModel):
+    """Receivers can distinguish collision (>= 2 transmitters heard) from silence."""
+
+    detects_collisions = True
+
+    def resolve(
+        self,
+        network: RadioNetwork,
+        transmit_mask: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CollisionOutcome:
+        hear_counts, receivers, senders = self._hear_counts_and_unique_sender(
+            network, transmit_mask
+        )
+        return CollisionOutcome(
+            receivers=receivers,
+            senders=senders,
+            hear_counts=hear_counts,
+            collision_flags=hear_counts >= 2,
+        )
+
+    def __repr__(self) -> str:
+        return "WithCollisionDetectionModel()"
+
+
+class ErasureCollisionModel(CollisionModel):
+    """Standard rule plus i.i.d. erasure of successful deliveries.
+
+    Parameters
+    ----------
+    erasure_probability:
+        Probability that an otherwise successful delivery is lost.
+    """
+
+    detects_collisions = False
+
+    def __init__(self, erasure_probability: float):
+        self.erasure_probability = check_probability(
+            erasure_probability, "erasure_probability"
+        )
+
+    def resolve(
+        self,
+        network: RadioNetwork,
+        transmit_mask: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CollisionOutcome:
+        if rng is None:
+            raise ValueError("ErasureCollisionModel requires an rng")
+        hear_counts, receivers, senders = self._hear_counts_and_unique_sender(
+            network, transmit_mask
+        )
+        if receivers.size and self.erasure_probability > 0.0:
+            keep = rng.random(receivers.size) >= self.erasure_probability
+            receivers = receivers[keep]
+            senders = senders[keep]
+        return CollisionOutcome(
+            receivers=receivers,
+            senders=senders,
+            hear_counts=hear_counts,
+            collision_flags=np.zeros(network.n, dtype=bool),
+        )
+
+    def __repr__(self) -> str:
+        return f"ErasureCollisionModel(erasure_probability={self.erasure_probability})"

@@ -1,0 +1,118 @@
+"""Topology dynamics for mobile networks.
+
+The paper motivates its locality requirement with node mobility ("due to the
+mobility of the nodes, the network topology changes over time") and notes
+after Algorithm 2 that the gossiping algorithm becomes dynamic simply by
+time-stamping rumours.  This module provides a small churn model used by the
+``dynamic_gossip`` example and the geometric extension experiment:
+
+* :class:`EdgeChurnModel` — every epoch, each existing edge is dropped with
+  probability ``drop_probability`` and each absent (non-self-loop) edge is
+  created with a probability chosen to keep the expected edge count stable.
+* :class:`WaypointDriftModel` — nodes hold positions in the unit square and
+  take Gaussian steps each epoch; the geometric radio network is rebuilt from
+  the new positions.
+
+Both produce a sequence of :class:`~repro.radio.network.RadioNetwork`
+snapshots; the engine is simply re-run (or stepped) against each snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_positive, check_positive_int, check_probability
+from repro.radio.network import RadioNetwork
+
+__all__ = ["EdgeChurnModel", "WaypointDriftModel"]
+
+
+class EdgeChurnModel:
+    """Random edge churn that keeps the expected number of edges stable."""
+
+    def __init__(self, drop_probability: float = 0.05):
+        self.drop_probability = check_probability(drop_probability, "drop_probability")
+
+    def evolve(
+        self, network: RadioNetwork, *, rng: SeedLike = None
+    ) -> RadioNetwork:
+        """Return a churned copy of ``network``."""
+        generator = as_generator(rng)
+        n = network.n
+        edges = network.edge_list()
+        m = edges.shape[0]
+        if m == 0 or self.drop_probability == 0.0:
+            return network
+
+        keep = generator.random(m) >= self.drop_probability
+        kept = edges[keep]
+        expected_new = m - int(keep.sum())
+        # Sample replacement edges uniformly among ordered non-loop pairs.
+        new_edges = []
+        attempts = 0
+        max_attempts = 20 * max(1, expected_new)
+        existing = set(map(tuple, kept.tolist()))
+        while len(new_edges) < expected_new and attempts < max_attempts:
+            u = int(generator.integers(0, n))
+            v = int(generator.integers(0, n))
+            attempts += 1
+            if u == v or (u, v) in existing:
+                continue
+            existing.add((u, v))
+            new_edges.append((u, v))
+        if new_edges:
+            kept = np.vstack([kept, np.asarray(new_edges, dtype=np.int64)])
+        return RadioNetwork(n, kept, name=network.name or "churned")
+
+    def snapshots(
+        self, network: RadioNetwork, epochs: int, *, rng: SeedLike = None
+    ) -> Iterator[RadioNetwork]:
+        """Yield ``epochs`` successive churned snapshots (the first is the input)."""
+        epochs = check_positive_int(epochs, "epochs")
+        generator = as_generator(rng)
+        current = network
+        for _ in range(epochs):
+            yield current
+            current = self.evolve(current, rng=generator)
+
+
+class WaypointDriftModel:
+    """Gaussian drift of node positions in the unit square (torus wraparound)."""
+
+    def __init__(self, step_std: float = 0.02, radius: float = 0.15):
+        self.step_std = check_positive(step_std, "step_std")
+        self.radius = check_positive(radius, "radius")
+
+    def initial_positions(self, n: int, *, rng: SeedLike = None) -> np.ndarray:
+        """Uniform positions in the unit square."""
+        generator = as_generator(rng)
+        return generator.random((check_positive_int(n, "n"), 2))
+
+    def drift(self, positions: np.ndarray, *, rng: SeedLike = None) -> np.ndarray:
+        """One Gaussian drift step with wraparound."""
+        generator = as_generator(rng)
+        positions = np.asarray(positions, dtype=float)
+        moved = positions + generator.normal(0.0, self.step_std, positions.shape)
+        return np.mod(moved, 1.0)
+
+    def network_from_positions(
+        self, positions: np.ndarray, *, name: str = "waypoint"
+    ) -> RadioNetwork:
+        """Unit-disk radio network induced by ``positions`` and :attr:`radius`."""
+        from repro.graphs.geometric import geometric_digraph_from_positions
+
+        return geometric_digraph_from_positions(positions, self.radius, name=name)
+
+    def snapshots(
+        self, n: int, epochs: int, *, rng: SeedLike = None
+    ) -> Iterator[RadioNetwork]:
+        """Yield ``epochs`` network snapshots following the drifting positions."""
+        epochs = check_positive_int(epochs, "epochs")
+        generator = as_generator(rng)
+        positions = self.initial_positions(n, rng=generator)
+        for epoch in range(epochs):
+            yield self.network_from_positions(positions, name=f"waypoint[{epoch}]")
+            positions = self.drift(positions, rng=generator)

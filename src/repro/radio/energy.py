@@ -1,0 +1,113 @@
+"""Energy accounting.
+
+The paper measures energy as the number of transmissions, because every node
+sends with a fixed power (Section 1: *"We believe that under these
+circumstances the number of transmissions is a very good measure for the
+overall energy consumption"*).  :class:`EnergyAccountant` accumulates
+per-node transmission counts over a run and summarises them as an
+:class:`EnergyReport` with the quantities the theorems bound:
+
+* total number of transmissions (Theorem 2.1: ``O(log n / p)``),
+* maximum transmissions per node (Theorem 2.1: at most 1; Theorem 3.2:
+  ``O(log n)``),
+* mean / expected transmissions per node (Theorem 4.1:
+  ``O(log^2 n / log(n/D))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["EnergyAccountant", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Summary of the energy spent during a run."""
+
+    total_transmissions: int
+    max_per_node: int
+    mean_per_node: float
+    median_per_node: float
+    p95_per_node: float
+    transmitting_nodes: int
+    n: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (JSON-friendly)."""
+        return {
+            "total_transmissions": self.total_transmissions,
+            "max_per_node": self.max_per_node,
+            "mean_per_node": self.mean_per_node,
+            "median_per_node": self.median_per_node,
+            "p95_per_node": self.p95_per_node,
+            "transmitting_nodes": self.transmitting_nodes,
+            "n": self.n,
+        }
+
+
+class EnergyAccountant:
+    """Accumulates per-node transmission counts round by round."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self._n = int(n)
+        self._per_node = np.zeros(self._n, dtype=np.int64)
+        self._rounds_recorded = 0
+
+    @property
+    def n(self) -> int:
+        """Number of nodes tracked."""
+        return self._n
+
+    @property
+    def rounds_recorded(self) -> int:
+        """How many rounds have been recorded."""
+        return self._rounds_recorded
+
+    def record_round(self, transmit_mask: np.ndarray) -> int:
+        """Add one round's transmissions; returns the number of transmitters."""
+        transmit_mask = np.asarray(transmit_mask, dtype=bool)
+        if transmit_mask.shape != (self._n,):
+            raise ValueError(
+                f"transmit_mask must have shape ({self._n},), got {transmit_mask.shape}"
+            )
+        self._per_node += transmit_mask
+        self._rounds_recorded += 1
+        return int(transmit_mask.sum())
+
+    def per_node(self) -> np.ndarray:
+        """Copy of the per-node transmission counts."""
+        return self._per_node.copy()
+
+    def total(self) -> int:
+        """Total transmissions so far."""
+        return int(self._per_node.sum())
+
+    def report(self) -> EnergyReport:
+        """Summarise the counts accumulated so far."""
+        counts = self._per_node
+        return EnergyReport(
+            total_transmissions=int(counts.sum()),
+            max_per_node=int(counts.max()) if self._n else 0,
+            mean_per_node=float(counts.mean()) if self._n else 0.0,
+            median_per_node=float(np.median(counts)) if self._n else 0.0,
+            p95_per_node=float(np.percentile(counts, 95)) if self._n else 0.0,
+            transmitting_nodes=int((counts > 0).sum()),
+            n=self._n,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._per_node[:] = 0
+        self._rounds_recorded = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EnergyAccountant(n={self._n}, rounds={self._rounds_recorded}, "
+            f"total={self.total()})"
+        )

@@ -1,0 +1,261 @@
+"""Protocol base classes.
+
+A *protocol* (what the paper calls an algorithm) is a per-node rule that
+decides, in every synchronous round, whether the node transmits, based only
+on
+
+* global constants every node knows (``n``, optionally the diameter ``D``,
+  the paper's constants ``beta`` …),
+* the node's own history (when it was informed, how often it transmitted,
+  what it has received), and
+* shared randomness in the case of selection-sequence algorithms
+  (Algorithm 3 and the Czumaj–Rytter baselines use a public random sequence
+  ``I_1, I_2, …``; this is still oblivious because it is independent of the
+  topology).
+
+The engine drives a protocol through three hooks per round:
+``transmit_mask`` → collision resolution → ``observe``.  State is kept in
+NumPy arrays indexed by node so the whole network advances one round with a
+handful of vectorised operations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_node_index
+from repro.radio.collision import CollisionOutcome
+from repro.radio.network import RadioNetwork
+
+__all__ = ["Protocol", "BroadcastProtocol", "GossipProtocol"]
+
+
+class Protocol(abc.ABC):
+    """Abstract base class for oblivious radio protocols.
+
+    Lifecycle::
+
+        protocol.bind(network, rng)         # once per run
+        for r in range(max_rounds):
+            mask = protocol.transmit_mask(r)
+            outcome = collision_model.resolve(network, mask, rng)
+            protocol.observe(r, mask, outcome)
+            if protocol.is_complete():
+                break
+    """
+
+    #: Short machine-readable name used in experiment tables.
+    name: str = "protocol"
+
+    def __init__(self) -> None:
+        self._network: Optional[RadioNetwork] = None
+        self._rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle hooks
+    # ------------------------------------------------------------------ #
+    def bind(self, network: RadioNetwork, rng: SeedLike = None) -> None:
+        """Attach the protocol to a network and reset all per-run state."""
+        self._network = network
+        self._rng = as_generator(rng)
+        self._setup()
+
+    def _setup(self) -> None:
+        """Initialise per-run state (called from :meth:`bind`). Override."""
+
+    @abc.abstractmethod
+    def transmit_mask(self, round_index: int) -> np.ndarray:
+        """Boolean ``n``-vector of who transmits in round ``round_index``."""
+
+    def observe(
+        self,
+        round_index: int,
+        transmit_mask: np.ndarray,
+        outcome: CollisionOutcome,
+    ) -> None:
+        """Update per-node state from the resolved round (override as needed)."""
+
+    @abc.abstractmethod
+    def is_complete(self) -> bool:
+        """True when the protocol's objective has been reached."""
+
+    def is_quiescent(self, round_index: int) -> bool:
+        """True when no node will ever transmit again (from ``round_index`` on).
+
+        Radio protocols have no termination detection: a node keeps following
+        its schedule even after the objective is globally reached.  Energy
+        experiments therefore run the engine to *quiescence* rather than to
+        completion; protocols with bounded schedules (Algorithm 1's phases,
+        Algorithm 3's active windows) override this to report when their
+        schedule is exhausted.  The default is conservative: quiescent only
+        when the objective is met (protocols without a stopping rule are cut
+        off at completion, the most favourable accounting for them).
+        """
+        return self.is_complete()
+
+    def suggested_max_rounds(self) -> int:
+        """A horizon after which the engine gives up (protocol-specific)."""
+        return 4 * self.n * max(1, int(np.log2(max(2, self.n))))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> RadioNetwork:
+        """The bound network (raises if :meth:`bind` has not been called)."""
+        if self._network is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a network yet")
+        return self._network
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The per-run random generator."""
+        if self._rng is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a network yet")
+        return self._rng
+
+    @property
+    def n(self) -> int:
+        """Number of nodes of the bound network."""
+        return self.network.n
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BroadcastProtocol(Protocol):
+    """Base class for broadcasting: one source informs every node.
+
+    Maintains the informed set, the round in which each node was informed
+    (``informed_round``, -1 if never), and exposes the completion criterion
+    "every node informed".
+    """
+
+    name = "broadcast"
+
+    def __init__(self, source: int = 0):
+        super().__init__()
+        self.source = int(source)
+        self._informed: Optional[np.ndarray] = None
+        self._informed_round: Optional[np.ndarray] = None
+
+    def _setup(self) -> None:
+        n = self.n
+        check_node_index(self.source, n, "source")
+        self._informed = np.zeros(n, dtype=bool)
+        self._informed[self.source] = True
+        self._informed_round = np.full(n, -1, dtype=np.int64)
+        self._informed_round[self.source] = 0
+        self._setup_broadcast()
+
+    def _setup_broadcast(self) -> None:
+        """Subclass hook for additional per-run state."""
+
+    # ------------------------------------------------------------------ #
+    # Informed-set bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def informed(self) -> np.ndarray:
+        """Boolean informed mask (live view — do not mutate)."""
+        if self._informed is None:
+            raise RuntimeError("protocol not bound")
+        return self._informed
+
+    @property
+    def informed_round(self) -> np.ndarray:
+        """Round in which each node was informed (-1 if uninformed)."""
+        if self._informed_round is None:
+            raise RuntimeError("protocol not bound")
+        return self._informed_round
+
+    def informed_count(self) -> int:
+        """Number of informed nodes."""
+        return int(self.informed.sum())
+
+    def mark_informed(self, nodes: np.ndarray, round_index: int) -> np.ndarray:
+        """Mark ``nodes`` informed; returns the subset that was newly informed."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return nodes
+        newly = nodes[~self._informed[nodes]]
+        if newly.size:
+            self._informed[newly] = True
+            self._informed_round[newly] = round_index + 1
+        return newly
+
+    def observe(
+        self,
+        round_index: int,
+        transmit_mask: np.ndarray,
+        outcome: CollisionOutcome,
+    ) -> None:
+        self.mark_informed(outcome.receivers, round_index)
+
+    def is_complete(self) -> bool:
+        return bool(self.informed.all())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(source={self.source})"
+
+
+class GossipProtocol(Protocol):
+    """Base class for gossiping: every node's rumour must reach every node.
+
+    Rumour knowledge is a boolean ``(n, n)`` matrix ``K`` with
+    ``K[v, u] = True`` iff node ``v`` knows the rumour originated by ``u``.
+    As in the paper (and [8, 11]), nodes may *join* rumours: a transmission by
+    ``v`` carries every rumour ``v`` knows at the start of the round.
+    """
+
+    name = "gossip"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._knowledge: Optional[np.ndarray] = None
+
+    def _setup(self) -> None:
+        n = self.n
+        self._knowledge = np.eye(n, dtype=bool)
+        self._setup_gossip()
+
+    def _setup_gossip(self) -> None:
+        """Subclass hook for additional per-run state."""
+
+    @property
+    def knowledge(self) -> np.ndarray:
+        """The ``(n, n)`` rumour-knowledge matrix (live view)."""
+        if self._knowledge is None:
+            raise RuntimeError("protocol not bound")
+        return self._knowledge
+
+    def rumours_known(self) -> np.ndarray:
+        """Per-node count of known rumours."""
+        return self.knowledge.sum(axis=1)
+
+    def merge_deliveries(self, outcome: CollisionOutcome) -> None:
+        """Join every delivered message into its receiver's rumour set.
+
+        The sender rows are gathered *before* the update (fancy indexing
+        copies), so all merges within a round see the senders' round-start
+        knowledge, as the synchronous model requires.
+        """
+        receivers = outcome.receivers
+        if receivers.size == 0:
+            return
+        payloads = self._knowledge[outcome.senders]
+        self._knowledge[receivers] |= payloads
+
+    def observe(
+        self,
+        round_index: int,
+        transmit_mask: np.ndarray,
+        outcome: CollisionOutcome,
+    ) -> None:
+        self.merge_deliveries(outcome)
+
+    def is_complete(self) -> bool:
+        return bool(self.knowledge.all())

@@ -1,0 +1,130 @@
+"""Run traces: what happened round by round, and how the run ended.
+
+Traces serve two purposes:
+
+1. The experiment harness needs the headline numbers each theorem talks
+   about: completion round, success flag, energy report.
+2. Several experiments (E2 phase growth, the lower-bound experiments) need
+   the *per-round* evolution of the informed set and of the number of
+   transmitters, so :class:`RunResultTrace` optionally keeps a compact
+   per-round record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.radio.energy import EnergyReport
+
+__all__ = ["RoundRecord", "RunResultTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Compact summary of a single synchronous round."""
+
+    round_index: int
+    transmitters: int
+    deliveries: int
+    newly_informed: int
+    informed_after: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "round_index": self.round_index,
+            "transmitters": self.transmitters,
+            "deliveries": self.deliveries,
+            "newly_informed": self.newly_informed,
+            "informed_after": self.informed_after,
+        }
+
+
+@dataclass
+class RunResultTrace:
+    """Outcome of one protocol run.
+
+    Attributes
+    ----------
+    protocol_name:
+        ``Protocol.name`` of the protocol that ran.
+    network_name:
+        ``RadioNetwork.name`` of the topology.
+    n:
+        Number of nodes.
+    completed:
+        True iff the protocol reported completion before the round horizon.
+    completion_round:
+        1-based number of rounds executed until completion (or the number of
+        rounds executed when the horizon was hit).
+    rounds_executed:
+        Total rounds simulated.
+    energy:
+        :class:`EnergyReport` for the run.
+    informed_count:
+        Final size of the informed set (broadcast) or minimum per-node rumour
+        count (gossip); ``None`` when not applicable.
+    per_node_transmissions:
+        Optional per-node transmission counts (kept when ``keep_arrays``).
+    informed_round:
+        Optional per-node informed-round array (kept when ``keep_arrays``).
+    rounds:
+        Optional list of per-round records (kept when ``record_rounds``).
+    metadata:
+        Free-form extras (protocol parameters, phase boundaries, …).
+    """
+
+    protocol_name: str
+    network_name: str
+    n: int
+    completed: bool
+    completion_round: int
+    rounds_executed: int
+    energy: EnergyReport
+    informed_count: Optional[int] = None
+    per_node_transmissions: Optional[np.ndarray] = None
+    informed_round: Optional[np.ndarray] = None
+    rounds: List[RoundRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived series used by the experiments
+    # ------------------------------------------------------------------ #
+    def informed_curve(self) -> np.ndarray:
+        """Informed-set size after each recorded round (requires round records)."""
+        if not self.rounds:
+            raise ValueError("run was not recorded with record_rounds=True")
+        return np.asarray([r.informed_after for r in self.rounds], dtype=np.int64)
+
+    def transmitter_curve(self) -> np.ndarray:
+        """Number of transmitters in each recorded round."""
+        if not self.rounds:
+            raise ValueError("run was not recorded with record_rounds=True")
+        return np.asarray([r.transmitters for r in self.rounds], dtype=np.int64)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (arrays and round records are summarised)."""
+        out: Dict[str, object] = {
+            "protocol_name": self.protocol_name,
+            "network_name": self.network_name,
+            "n": self.n,
+            "completed": self.completed,
+            "completion_round": self.completion_round,
+            "rounds_executed": self.rounds_executed,
+            "energy": self.energy.as_dict(),
+            "informed_count": self.informed_count,
+            "metadata": dict(self.metadata),
+        }
+        if self.rounds:
+            out["rounds"] = [r.as_dict() for r in self.rounds]
+        return out
+
+    def __repr__(self) -> str:
+        status = "completed" if self.completed else "timed-out"
+        return (
+            f"RunResultTrace({self.protocol_name!r} on {self.network_name!r}, n={self.n}, "
+            f"{status} after {self.completion_round} rounds, "
+            f"total_tx={self.energy.total_transmissions})"
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.random_digraph import random_digraph
+from repro.graphs.structured import path_network, path_of_cliques, star_network
+from repro.radio.network import RadioNetwork
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_network():
+    """A hand-built 5-node directed network with known structure.
+
+    Edges (u -> v means v can hear u)::
+
+        0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4
+    """
+    return RadioNetwork(
+        5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], name="tiny"
+    )
+
+
+@pytest.fixture
+def small_gnp():
+    """A connected directed G(n, p) used by protocol integration tests."""
+    return random_digraph(200, 0.08, rng=7, name="gnp-small")
+
+
+@pytest.fixture
+def small_path():
+    """A 12-node bidirectional path."""
+    return path_network(12)
+
+
+@pytest.fixture
+def small_star():
+    """A 10-node star centred at node 0."""
+    return star_network(10, center=0)
+
+
+@pytest.fixture
+def small_cliques():
+    """A small path of cliques (bounded diameter, local contention)."""
+    return path_of_cliques(6, 6)

@@ -1,0 +1,76 @@
+"""Tests for concentration checks and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import check_phase1_growth
+from repro.analysis.tables import format_table, format_value
+
+
+class TestCheckPhase1Growth:
+    def test_ideal_geometric_growth(self):
+        d = 8.0
+        history = [1, 8, 64, 512]
+        check = check_phase1_growth(history, T=3, d=d)
+        assert np.allclose(check.growth_factors, d)
+        assert np.allclose(check.normalized_growth, 1.0)
+        assert check.final_phase1_active == 512
+        assert check.phase1_ratio == pytest.approx(1.0)
+
+    def test_partial_history(self):
+        check = check_phase1_growth([1, 6], T=3, d=8.0)
+        assert check.growth_factors.tolist() == [6.0]
+        assert check.final_phase1_active == 6
+
+    def test_zero_entries_ignored(self):
+        check = check_phase1_growth([1, 0, 0], T=2, d=4.0)
+        assert np.isfinite(check.growth_factors).all()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            check_phase1_growth([], T=1, d=2.0)
+        with pytest.raises(ValueError):
+            check_phase1_growth([1, 2], T=0, d=2.0)
+        with pytest.raises(ValueError):
+            check_phase1_growth([1, 2], T=1, d=0.0)
+
+    def test_as_dict(self):
+        payload = check_phase1_growth([1, 4, 16], T=2, d=4.0).as_dict()
+        assert payload["final_phase1_active"] == 16
+        assert isinstance(payload["growth_factors"], list)
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_compact(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["a", "bbbb"], [[1, 2.5], [10, None]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) == {"-"}
+        assert "2.5" in text and "-" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

@@ -1,0 +1,82 @@
+"""Tests for scaling fits and growth-model selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import candidate_models, fit_model, fit_scaling, ratio_spread
+
+
+class TestFitModel:
+    def test_recovers_constant_exactly(self):
+        ns = np.array([256, 512, 1024, 2048], dtype=float)
+        ys = 3.0 * np.log2(ns)
+        fit = fit_model(ns, ys, lambda n: np.log2(n), name="log n")
+        assert fit.constant == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.ratio_spread == pytest.approx(1.0)
+
+    def test_noisy_fit_still_close(self):
+        rng = np.random.default_rng(3)
+        ns = np.array([128, 256, 512, 1024, 2048, 4096], dtype=float)
+        ys = 2.0 * np.log2(ns) * rng.uniform(0.9, 1.1, ns.size)
+        fit = fit_model(ns, ys, lambda n: np.log2(n))
+        assert 1.6 < fit.constant < 2.4
+        assert fit.r_squared > 0.8
+
+    def test_wrong_model_has_poor_ratio_spread(self):
+        ns = np.array([64, 256, 1024, 4096], dtype=float)
+        ys = ns.copy()  # linear growth
+        good = fit_model(ns, ys, lambda n: n, name="n")
+        bad = fit_model(ns, ys, lambda n: np.log2(n), name="log n")
+        assert good.ratio_spread < bad.ratio_spread
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_model([1, 2], [1.0], lambda n: np.asarray(n))
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            fit_model([], [], lambda n: np.asarray(n))
+
+    def test_nonpositive_model_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model([1, 2], [1.0, 2.0], lambda n: np.asarray(n) - 2)
+
+    def test_as_dict(self):
+        fit = fit_model([1, 2, 4], [2, 4, 8], lambda n: np.asarray(n, dtype=float))
+        assert fit.as_dict()["model"] == "model"
+
+    def test_constant_target_r_squared(self):
+        fit = fit_model([1, 2, 3], [5.0, 5.0, 5.0], lambda n: np.ones_like(np.asarray(n, dtype=float)))
+        assert fit.r_squared == 1.0
+
+
+class TestCandidateModels:
+    def test_default_models_present(self):
+        models = candidate_models()
+        assert {"log n", "log^2 n", "n", "n log n", "sqrt n", "const"} <= set(models)
+
+    def test_p_dependent_model(self):
+        p_map = {256.0: 0.1, 1024.0: 0.05}
+        models = candidate_models(p=p_map)
+        values = models["log n / p"]([256.0, 1024.0])
+        assert values[0] == pytest.approx(math.log2(256) / 0.1)
+        assert values[1] == pytest.approx(math.log2(1024) / 0.05)
+
+
+class TestFitScaling:
+    def test_selects_correct_growth(self):
+        ns = np.array([128, 256, 512, 1024, 2048], dtype=float)
+        ys = 5.0 * np.log2(ns) ** 2
+        fits = fit_scaling(ns, ys, candidate_models())
+        best = min(fits.values(), key=lambda f: f.ratio_spread)
+        assert best.model_name == "log^2 n"
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            fit_scaling([1], [1.0], {})
+
+    def test_ratio_spread_helper(self):
+        assert ratio_spread([1, 2, 4], [3, 6, 12], lambda n: np.asarray(n, dtype=float)) == pytest.approx(1.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.analysis.statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    success_probability,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestSummarize:
+    def test_basic_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_confidence_interval_contains_mean(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(10.0, 2.0, size=200)
+        stats = summarize(sample)
+        assert stats.ci_low < 10.2 and stats.ci_high > 9.8
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = summarize(rng.normal(0, 1, 20))
+        large = summarize(rng.normal(0, 1, 2000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0], confidence=1.5)
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert {"count", "mean", "std", "median"} <= set(d)
+
+    def test_str(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+class TestSuccessProbability:
+    def test_basic(self):
+        assert success_probability(3, 4) == 0.75
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            success_probability(5, 4)
+        with pytest.raises(ValueError):
+            success_probability(1, 0)
+        with pytest.raises(ValueError):
+            success_probability(-1, 4)
+
+
+class TestWilsonInterval:
+    def test_contains_rate(self):
+        low, high = wilson_interval(90, 100)
+        assert low <= 0.9 <= high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_perfect_success_interval_not_degenerate(self):
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+        assert low < 1.0  # Wilson keeps a sensible lower bound below 1
+
+    def test_zero_successes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_narrows_with_trials(self):
+        low_small, high_small = wilson_interval(8, 10)
+        low_big, high_big = wilson_interval(800, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=0.0)

@@ -1,0 +1,157 @@
+"""Tests for the Fig. 1 scale distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    AlphaDistribution,
+    CzumajRytterDistribution,
+    FixedProbabilityOblivious,
+    ScaleDistribution,
+    UniformScaleDistribution,
+)
+
+
+class TestScaleDistribution:
+    def test_normalisation(self):
+        dist = ScaleDistribution([1.0, 2.0, 1.0])
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+        assert dist.probability_of_scale(1) == pytest.approx(0.5)
+
+    def test_mean_transmission_probability(self):
+        # Scales 0 and 1 equally likely: E[2^-I] = (1 + 0.5)/2.
+        dist = ScaleDistribution([1.0, 1.0])
+        assert dist.mean_transmission_probability() == pytest.approx(0.75)
+
+    def test_sampling_respects_support(self, rng):
+        dist = ScaleDistribution([0.0, 1.0, 1.0])
+        scales = dist.sample_scales(500, rng=rng)
+        assert set(np.unique(scales)) <= {1, 2}
+
+    def test_sample_probabilities_are_powers_of_two(self, rng):
+        dist = ScaleDistribution([0.0, 1.0, 1.0, 1.0])
+        probs = dist.sample_probabilities(100, rng=rng)
+        assert set(np.unique(probs)) <= {0.5, 0.25, 0.125}
+
+    def test_zero_count_sampling(self, rng):
+        assert ScaleDistribution([1.0]).sample_scales(0, rng=rng).size == 0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            ScaleDistribution([])
+        with pytest.raises(ValueError):
+            ScaleDistribution([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            ScaleDistribution([0.0, 0.0])
+
+    def test_probability_of_scale_bounds(self):
+        dist = ScaleDistribution([1.0, 1.0])
+        with pytest.raises(ValueError):
+            dist.probability_of_scale(5)
+
+    def test_min_scale_probability_ignores_zero_weight_scales(self):
+        dist = ScaleDistribution([0.0, 3.0, 1.0])
+        assert dist.min_scale_probability() == pytest.approx(0.25)
+
+    def test_probabilities_read_only(self):
+        dist = ScaleDistribution([1.0, 1.0])
+        with pytest.raises(ValueError):
+            dist.probabilities[0] = 0.9
+
+
+class TestAlphaDistribution:
+    @pytest.mark.parametrize("n,diameter", [(1024, 8), (1024, 64), (4096, 64), (256, 16)])
+    def test_floor_property(self, n, diameter):
+        """Every scale has probability Ω(1/log n) — the Theorem 4.1 driver."""
+        alpha = AlphaDistribution(n, diameter)
+        log_n = math.log2(n)
+        assert alpha.min_scale_probability() >= 1.0 / (4.0 * log_n)
+
+    @pytest.mark.parametrize("n,diameter", [(1024, 8), (1024, 64), (4096, 64)])
+    def test_energy_property(self, n, diameter):
+        """The mean transmission probability is Θ(1/λ)."""
+        alpha = AlphaDistribution(n, diameter)
+        lam = alpha.lam
+        mean = alpha.mean_transmission_probability()
+        assert 0.2 / lam <= mean <= 4.0 / lam
+
+    def test_dominates_alpha_prime(self):
+        """α_k ≥ α'_k / 2 scale-wise (up to normalisation constants)."""
+        n, diameter = 4096, 64
+        alpha = AlphaDistribution(n, diameter)
+        alpha_prime = CzumajRytterDistribution(n, diameter)
+        a = alpha.probabilities[1:]
+        ap = alpha_prime.probabilities[1:]
+        assert np.all(a >= ap / 2.0 - 1e-12)
+
+    def test_lambda_override(self):
+        alpha_small = AlphaDistribution(1024, 32)
+        alpha_big = AlphaDistribution(1024, 32, lam=10.0)
+        assert alpha_big.lam > alpha_small.lam
+        assert (
+            alpha_big.mean_transmission_probability()
+            < alpha_small.mean_transmission_probability()
+        )
+
+    def test_scale_zero_never_played(self):
+        alpha = AlphaDistribution(1024, 16)
+        assert alpha.probability_of_scale(0) == 0.0
+
+    def test_num_scales(self):
+        assert AlphaDistribution(1024, 16).max_scale == 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AlphaDistribution(1, 1)
+        with pytest.raises(ValueError):
+            AlphaDistribution(16, 0)
+
+
+class TestCzumajRytterDistribution:
+    def test_geometric_tail(self):
+        dist = CzumajRytterDistribution(4096, 16)
+        probs = dist.probabilities
+        lam = int(dist.lam)
+        # Beyond λ the mass halves each scale.
+        for k in range(lam + 1, dist.max_scale):
+            assert probs[k + 1] == pytest.approx(probs[k] / 2, rel=1e-9)
+
+    def test_no_floor_compared_to_alpha(self):
+        n, diameter = 65536, 256
+        alpha = AlphaDistribution(n, diameter)
+        prime = CzumajRytterDistribution(n, diameter)
+        # The largest scale carries much less mass under alpha'.
+        assert prime.probabilities[-1] < alpha.probabilities[-1] / 4
+
+    def test_mean_is_theta_one_over_lambda(self):
+        dist = CzumajRytterDistribution(4096, 64)
+        assert 0.2 / dist.lam <= dist.mean_transmission_probability() <= 4.0 / dist.lam
+
+
+class TestUniformScaleDistribution:
+    def test_uniform_over_positive_scales(self):
+        dist = UniformScaleDistribution(1024)
+        probs = dist.probabilities
+        assert probs[0] == 0.0
+        assert np.allclose(probs[1:], probs[1])
+
+    def test_mean(self):
+        dist = UniformScaleDistribution(1024)
+        expected = np.mean([2.0**-k for k in range(1, 11)])
+        assert dist.mean_transmission_probability() == pytest.approx(expected)
+
+
+class TestFixedProbabilityOblivious:
+    def test_constant_probability(self, rng):
+        dist = FixedProbabilityOblivious(0.3)
+        assert dist.per_round_probability() == 0.3
+        assert dist.mean_transmission_probability() == 0.3
+        assert np.all(dist.sample_probabilities(10, rng=rng) == 0.3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedProbabilityOblivious(0.0)
+        with pytest.raises(ValueError):
+            FixedProbabilityOblivious(1.5)

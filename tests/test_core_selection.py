@@ -1,0 +1,51 @@
+"""Tests for selection sequences (shared public randomness)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import ScaleDistribution, UniformScaleDistribution
+from repro.core.selection import SelectionSequence
+
+
+class TestSelectionSequence:
+    def test_probability_matches_scale(self):
+        seq = SelectionSequence(UniformScaleDistribution(256), rng=1)
+        for r in range(20):
+            assert seq.probability_at(r) == pytest.approx(2.0 ** -seq.scale_at(r))
+
+    def test_deterministic_given_seed(self):
+        a = SelectionSequence(UniformScaleDistribution(256), rng=7)
+        b = SelectionSequence(UniformScaleDistribution(256), rng=7)
+        assert a.prefix(50).tolist() == b.prefix(50).tolist()
+
+    def test_lazy_extension(self):
+        seq = SelectionSequence(UniformScaleDistribution(64), rng=3, block_size=8)
+        # Ask far beyond one block.
+        assert seq.scale_at(100) >= 0
+        assert seq.prefix(101).size == 101
+
+    def test_values_stable_once_materialised(self):
+        seq = SelectionSequence(UniformScaleDistribution(64), rng=3)
+        first = seq.scale_at(5)
+        _ = seq.scale_at(500)
+        assert seq.scale_at(5) == first
+
+    def test_negative_round_rejected(self):
+        seq = SelectionSequence(UniformScaleDistribution(64), rng=3)
+        with pytest.raises(ValueError):
+            seq.scale_at(-1)
+        with pytest.raises(ValueError):
+            seq.probability_at(-2)
+
+    def test_prefix_zero(self):
+        seq = SelectionSequence(UniformScaleDistribution(64), rng=3)
+        assert seq.prefix(0).size == 0
+
+    def test_degenerate_distribution(self):
+        seq = SelectionSequence(ScaleDistribution([0.0, 0.0, 1.0]), rng=1)
+        assert all(seq.scale_at(r) == 2 for r in range(10))
+        assert seq.probability_at(0) == 0.25
+
+    def test_repr(self):
+        seq = SelectionSequence(UniformScaleDistribution(64), rng=3)
+        assert "SelectionSequence" in repr(seq)

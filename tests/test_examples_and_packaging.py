@@ -1,0 +1,90 @@
+"""Smoke tests: the example scripts run, and the package metadata is sane.
+
+The examples are part of the public deliverable; running them (with small
+arguments) in a subprocess guards against bit-rot in the public API they
+exercise.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=str(REPO_ROOT),
+    )
+
+
+class TestExamples:
+    def test_quickstart_runs(self):
+        proc = _run("quickstart.py", "512", "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "Algorithm 1" in proc.stdout
+        assert "max tx/node" in proc.stdout
+
+    def test_sensor_field_runs(self):
+        proc = _run("sensor_field_broadcast.py", "200", "5")
+        assert proc.returncode == 0, proc.stderr
+        assert "Decay" in proc.stdout
+        assert "mean tx/sensor" in proc.stdout
+
+    def test_tradeoff_runs(self):
+        proc = _run("energy_time_tradeoff.py", "8", "8", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "lambda" in proc.stdout
+        assert "tx/node" in proc.stdout
+
+    def test_dynamic_gossip_runs(self):
+        proc = _run("dynamic_gossip.py", "64", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "rumour coverage" in proc.stdout
+
+
+class TestPackaging:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "E1" in proc.stdout
+
+    def test_public_packages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.experiments
+        import repro.graphs
+        import repro.radio
+
+        assert repro.radio.RadioNetwork is not None
+        assert repro.core.EnergyEfficientBroadcast is not None
+
+    def test_quickstart_docstring_example(self):
+        """The doctest-style snippet in repro.__init__ must stay true."""
+        from repro.core import EnergyEfficientBroadcast
+        from repro.graphs import random_digraph
+        from repro.radio import run_protocol
+
+        net = random_digraph(512, 0.05, rng=1)
+        result = run_protocol(net, EnergyEfficientBroadcast(p=0.05), rng=2)
+        assert result.completed and result.energy.max_per_node <= 1

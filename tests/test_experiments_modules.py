@@ -1,0 +1,73 @@
+"""Smoke/shape tests of the experiment modules themselves.
+
+The cheap deterministic experiments are run for real; the stochastic sweeps
+are exercised at ``quick`` scale but with a reduced footprint where the
+module allows it.  The full ``quick``-scale outputs are produced by the
+benchmark suite (one bench per experiment) and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.results import ExperimentResult
+
+
+@pytest.mark.parametrize("experiment_id", ["E7", "E9"])
+def test_cheap_experiments_run_and_have_rows(experiment_id):
+    result = run_experiment(experiment_id, scale="quick", seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+    assert result.columns
+    assert all(len(row) == len(result.columns) for row in result.rows)
+
+
+def test_e9_fig1_properties_hold():
+    result = run_experiment("E9", scale="quick", seed=0)
+    by_dist = {}
+    for row in result.rows:
+        by_dist.setdefault(row[3], []).append(row)
+    # Alpha rows: floor column (min_k Pr * 2 log n) is Θ(1); ratio column >= 1/2.
+    for row in by_dist["alpha"]:
+        assert row[4] >= 0.5
+        assert row[6] >= 0.5
+    # Alpha' rows exist for every (n, D) pair.
+    assert len(by_dist["alpha_prime"]) == len(by_dist["alpha"])
+
+
+def test_e7_lower_bound_holds_for_every_q():
+    result = run_experiment("E7", scale="quick", seed=0)
+    # Column 5 is "relay tx / (n log2 n / 2)": the lower bound says this must
+    # not drop below a constant; we check a conservative 0.5 for successful rows.
+    for row in result.rows:
+        success_rate, normalised = row[2], row[5]
+        if success_rate >= 0.8 and normalised == normalised:  # not NaN
+            assert normalised >= 0.5
+
+
+def test_e6_tradeoff_shape():
+    result = run_experiment("E6", scale="quick", seed=0)
+    energies = [row[4] for row in result.rows if row[4] is not None]
+    lambdas = [row[0] for row in result.rows]
+    assert lambdas == sorted(lambdas)
+    # Energy at the largest lambda should not exceed energy at the smallest.
+    assert energies[-1] <= energies[0] * 1.15
+
+
+def test_e5_energy_advantage_direction():
+    result = run_experiment("E5", scale="quick", seed=0)
+    # Group rows by workload; within each, algorithm3 must use fewer mean
+    # transmissions per node than czumaj_rytter.
+    by_workload = {}
+    for row in result.rows:
+        by_workload.setdefault(row[0], {})[row[4]] = row
+    for workload, protocols in by_workload.items():
+        alg3 = protocols["algorithm3"]
+        cr = protocols["czumaj_rytter"]
+        assert alg3[8] < cr[8], f"Algorithm 3 should be cheaper on {workload}"
+
+
+def test_results_are_json_serialisable():
+    result = run_experiment("E9", scale="quick", seed=0)
+    text = result.to_json()
+    back = ExperimentResult.from_json(text)
+    assert back.experiment_id == "E9"

@@ -1,0 +1,74 @@
+"""Tests for the experiment registry and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import all_experiments, get_experiment, run_experiment
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        ids = [m.EXPERIMENT_ID for m in all_experiments()]
+        assert ids == [f"E{i}" for i in range(1, 17)]
+
+    def test_every_module_has_metadata(self):
+        for module in all_experiments():
+            assert isinstance(module.TITLE, str) and module.TITLE
+            assert isinstance(module.CLAIM, str) and module.CLAIM
+            assert callable(module.run)
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("e3") is get_experiment("E3")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_run_experiment_deterministic_table(self):
+        # E9 is deterministic and cheap: same seed -> same rows.
+        a = run_experiment("E9", scale="quick", seed=0)
+        b = run_experiment("E9", scale="quick", seed=0)
+        assert a.rows == b.rows
+        assert a.experiment_id == "E9"
+
+    def test_invalid_scale_propagates(self):
+        with pytest.raises(ValueError):
+            run_experiment("E9", scale="huge")
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "E9", "--scale", "quick"])
+        assert args.command == "run" and args.experiment == "E9"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E14" in out
+
+    def test_run_command_prints_table(self, capsys):
+        assert main(["run", "E9"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "alpha" in out
+
+    def test_run_command_writes_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "result.json"
+        csv_path = tmp_path / "result.csv"
+        code = main(["run", "E9", "--json", str(json_path), "--csv", str(csv_path)])
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment_id"] == "E9"
+        assert csv_path.read_text().startswith("n,")
+
+    def test_chart_command(self, capsys):
+        assert main(["chart", "E9"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha probabilities" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,87 @@
+"""Tests for the Markdown report generator and the `repro report` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import generate_report, result_to_markdown
+from repro.experiments.results import ExperimentResult
+
+
+def _toy_result():
+    return ExperimentResult(
+        experiment_id="EX",
+        title="toy",
+        claim="a claim",
+        columns=["a", "b"],
+        rows=[[1, 2.34567], [True, None]],
+        notes=["first note"],
+        parameters={"scale": "quick"},
+    )
+
+
+class TestResultToMarkdown:
+    def test_contains_header_claim_and_table(self):
+        text = result_to_markdown(_toy_result())
+        assert text.startswith("## EX — toy")
+        assert "**Claim.** a claim" in text
+        assert "| a | b |" in text
+        assert "| 1 | 2.346 |" in text
+        assert "| yes | - |" in text
+        assert "* first note" in text
+        assert "_Parameters: scale=quick_" in text
+
+    def test_no_notes_no_bullets(self):
+        result = _toy_result()
+        result.notes = []
+        result.parameters = {}
+        text = result_to_markdown(result)
+        assert not any(line.startswith("* ") for line in text.splitlines())
+        assert "_Parameters" not in text
+
+
+class TestGenerateReport:
+    def test_writes_report_and_json(self, tmp_path):
+        paths = generate_report(
+            tmp_path / "out", experiment_ids=["E9"], scale="quick", seed=0
+        )
+        assert paths.report.exists()
+        content = paths.report.read_text()
+        assert "E9" in content
+        assert "alpha" in content
+        assert len(paths.json_files) == 1
+        payload = json.loads(paths.json_files[0].read_text())
+        assert payload["experiment_id"] == "E9"
+
+    def test_default_includes_all_ids(self, tmp_path, monkeypatch):
+        # Avoid running every experiment: patch run_experiment to a stub.
+        import repro.experiments.report as report_mod
+
+        calls = []
+
+        def fake_run(experiment_id, scale="quick", seed=0, processes=None):
+            calls.append(experiment_id)
+            result = _toy_result()
+            result.experiment_id = experiment_id
+            return result
+
+        monkeypatch.setattr(report_mod, "run_experiment", fake_run)
+        paths = generate_report(tmp_path / "all", scale="quick", seed=0)
+        from repro.experiments.registry import all_experiments
+
+        expected = len(all_experiments())
+        assert len(calls) == expected
+        assert len(paths.json_files) == expected
+
+
+class TestCliReport:
+    def test_report_subcommand(self, tmp_path, capsys):
+        code = main(
+            ["report", "--output", str(tmp_path / "rep"), "--experiments", "E9"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "report.md" in out
+        assert (tmp_path / "rep" / "report.md").exists()
+        assert (tmp_path / "rep" / "E9.json").exists()

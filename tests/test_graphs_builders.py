@@ -1,0 +1,63 @@
+"""Tests for GraphSpec / build_network."""
+
+import pytest
+
+from repro.graphs.builders import FAMILIES, GraphSpec, build_network
+
+
+class TestGraphSpec:
+    def test_describe(self):
+        spec = GraphSpec("gnp", {"n": 10, "p": 0.5})
+        assert "gnp" in spec.describe() and "n=10" in spec.describe()
+
+    def test_dict_roundtrip(self):
+        spec = GraphSpec("grid", {"rows": 3, "cols": 4})
+        assert GraphSpec.from_dict(spec.as_dict()) == spec
+
+    def test_frozen(self):
+        spec = GraphSpec("path", {"n": 4})
+        with pytest.raises(Exception):
+            spec.family = "other"
+
+
+class TestBuildNetwork:
+    @pytest.mark.parametrize(
+        "spec,expected_n",
+        [
+            (GraphSpec("gnp", {"n": 50, "p": 0.1}), 50),
+            (GraphSpec("gnp_undirected", {"n": 30, "p": 0.2}), 30),
+            (GraphSpec("geometric", {"n": 40, "radius": 0.3}), 40),
+            (GraphSpec("geometric_hetero", {"n": 25, "radius_low": 0.1, "radius_high": 0.3}), 25),
+            (GraphSpec("path", {"n": 9}), 9),
+            (GraphSpec("cycle", {"n": 7}), 7),
+            (GraphSpec("star", {"n": 8}), 8),
+            (GraphSpec("complete", {"n": 6}), 6),
+            (GraphSpec("grid", {"rows": 3, "cols": 3}), 9),
+            (GraphSpec("path_of_cliques", {"num_cliques": 3, "clique_size": 4}), 12),
+            (GraphSpec("caterpillar", {"spine_length": 4, "leaves_per_node": 2}), 12),
+            (GraphSpec("observation43", {"n": 5}), 16),
+        ],
+    )
+    def test_every_family_builds(self, spec, expected_n):
+        net = build_network(spec, rng=1)
+        assert net.n == expected_n
+
+    def test_theorem44_family(self):
+        net = build_network(GraphSpec("theorem44", {"n": 16, "diameter": 20}))
+        assert net.n > 16
+
+    def test_random_families_respect_seed(self):
+        spec = GraphSpec("gnp", {"n": 60, "p": 0.1})
+        assert build_network(spec, rng=5) == build_network(spec, rng=5)
+        assert build_network(spec, rng=5) != build_network(spec, rng=6)
+
+    def test_deterministic_families_ignore_seed(self):
+        spec = GraphSpec("grid", {"rows": 4})
+        assert build_network(spec, rng=1) == build_network(spec, rng=2)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            build_network(GraphSpec("nope", {}))
+
+    def test_registry_covers_all_names(self):
+        assert {"gnp", "geometric", "theorem44", "observation43"} <= set(FAMILIES)

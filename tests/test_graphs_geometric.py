@@ -1,0 +1,95 @@
+"""Tests for random geometric radio networks."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.geometric import (
+    connectivity_radius,
+    geometric_digraph,
+    geometric_digraph_from_positions,
+    heterogeneous_geometric_digraph,
+)
+from repro.graphs.properties import is_strongly_connected
+
+
+class TestGeometricDigraph:
+    def test_basic(self):
+        net = geometric_digraph(100, 0.2, rng=1)
+        assert net.n == 100
+        assert net.is_symmetric()
+
+    def test_return_positions(self):
+        net, pos = geometric_digraph(50, 0.2, rng=2, return_positions=True)
+        assert pos.shape == (50, 2)
+        assert (pos >= 0).all() and (pos <= 1).all()
+
+    def test_reproducible(self):
+        assert geometric_digraph(80, 0.2, rng=3) == geometric_digraph(80, 0.2, rng=3)
+
+    def test_radius_monotone(self):
+        small = geometric_digraph(120, 0.08, rng=4)
+        large = geometric_digraph(120, 0.25, rng=4)
+        assert large.num_edges > small.num_edges
+
+    def test_single_node(self):
+        assert geometric_digraph(1, 0.3, rng=5).num_edges == 0
+
+    def test_connectivity_radius_usually_connects(self):
+        connected = 0
+        for seed in range(5):
+            net = geometric_digraph(150, 1.8 * connectivity_radius(150), rng=seed)
+            connected += is_strongly_connected(net)
+        assert connected >= 4
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            geometric_digraph(10, 0.0, rng=1)
+
+
+class TestFromPositions:
+    def test_edges_match_distances(self):
+        positions = np.array([[0.0, 0.0], [0.05, 0.0], [0.5, 0.5]])
+        net = geometric_digraph_from_positions(positions, 0.1)
+        assert net.has_edge(0, 1) and net.has_edge(1, 0)
+        assert not net.has_edge(0, 2)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            geometric_digraph_from_positions(np.zeros((3, 3)), 0.1)
+
+    def test_single_position(self):
+        assert geometric_digraph_from_positions(np.zeros((1, 2)), 0.1).num_edges == 0
+
+
+class TestHeterogeneous:
+    def test_asymmetric_links_possible(self):
+        net = heterogeneous_geometric_digraph(150, 0.05, 0.3, rng=7)
+        assert net.n == 150
+        # With widely different radii the network should not be symmetric.
+        assert not net.is_symmetric()
+
+    def test_return_positions(self):
+        net, pos = heterogeneous_geometric_digraph(
+            40, 0.1, 0.2, rng=8, return_positions=True
+        )
+        assert pos.shape == (40, 2)
+
+    def test_radius_order_enforced(self):
+        with pytest.raises(ValueError):
+            heterogeneous_geometric_digraph(10, 0.3, 0.1, rng=1)
+
+    def test_edge_semantics_listener_radius(self):
+        # Edge (u, v) exists iff u is within v's listening radius: build a
+        # 2-node instance by hand through the public generator's convention.
+        net = heterogeneous_geometric_digraph(2, 1.5, 1.5, rng=3)
+        # With radius >= sqrt(2) both directions always exist.
+        assert net.has_edge(0, 1) and net.has_edge(1, 0)
+
+
+class TestConnectivityRadius:
+    def test_decreases_with_n(self):
+        assert connectivity_radius(10_000) < connectivity_radius(100)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            connectivity_radius(1)

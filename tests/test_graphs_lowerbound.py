@@ -1,0 +1,100 @@
+"""Tests for the lower-bound network constructions (Observation 4.3, Theorem 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.lowerbound import (
+    observation43_network,
+    theorem44_layer_sizes,
+    theorem44_network,
+)
+from repro.graphs.properties import bfs_distances, source_eccentricity
+
+
+class TestObservation43:
+    def test_node_count(self):
+        net = observation43_network(16)
+        assert net.n == 3 * 16 + 1
+
+    def test_structure_roles(self):
+        net, s = observation43_network(8, return_structure=True)
+        assert s.source == 0
+        assert s.relays.size == 16
+        assert s.destinations.size == 8
+
+    def test_source_reaches_all_relays_directly(self):
+        net, s = observation43_network(8, return_structure=True)
+        assert set(net.out_neighbors(s.source).tolist()) == set(s.relays.tolist())
+
+    def test_each_destination_hears_exactly_two_relays(self):
+        net, s = observation43_network(10, return_structure=True)
+        for i, dest in enumerate(s.destinations):
+            in_nb = set(net.in_neighbors(int(dest)).tolist())
+            assert in_nb == set(s.relay_pair_for(i))
+            assert len(in_nb) == 2
+
+    def test_relay_pair_bounds(self):
+        _, s = observation43_network(4, return_structure=True)
+        with pytest.raises(ValueError):
+            s.relay_pair_for(4)
+
+    def test_distances(self):
+        net, s = observation43_network(6, return_structure=True)
+        dist = bfs_distances(net, s.source)
+        assert all(dist[r] == 1 for r in s.relays)
+        assert all(dist[d] == 2 for d in s.destinations)
+
+
+class TestTheorem44:
+    def test_layer_sizes(self):
+        assert theorem44_layer_sizes(64) == [2, 4, 8, 16, 32, 64]
+        assert theorem44_layer_sizes(100) == [2, 4, 8, 16, 32, 64]
+
+    def test_node_count_bound(self):
+        n, D = 64, 40
+        net = theorem44_network(n, D)
+        assert net.n <= 2 * n + D + 2
+
+    def test_structure(self):
+        net, s = theorem44_network(32, 30, return_structure=True)
+        assert s.num_stars == 5
+        assert len(s.star_leaves) == 5
+        assert [leaves.size for leaves in s.star_leaves] == [2, 4, 8, 16, 32]
+        assert s.source == int(s.star_centers[0])
+
+    def test_diameter_matches_parameter(self):
+        net, s = theorem44_network(64, 40, return_structure=True)
+        assert source_eccentricity(net, s.source) == 40
+
+    def test_star_center_feeds_its_leaves(self):
+        net, s = theorem44_network(16, 20, return_structure=True)
+        for center, leaves in zip(s.star_centers, s.star_leaves):
+            out = set(net.out_neighbors(int(center)).tolist())
+            assert set(leaves.tolist()) <= out
+
+    def test_leaves_feed_next_center(self):
+        net, s = theorem44_network(16, 20, return_structure=True)
+        for i in range(s.num_stars - 1):
+            next_center = int(s.star_centers[i + 1])
+            for leaf in s.star_leaves[i]:
+                assert net.has_edge(int(leaf), next_center)
+
+    def test_last_star_feeds_path(self):
+        net, s = theorem44_network(16, 20, return_structure=True)
+        first_path_node = int(s.path_nodes[0])
+        for leaf in s.star_leaves[-1]:
+            assert net.has_edge(int(leaf), first_path_node)
+
+    def test_path_is_a_chain(self):
+        net, s = theorem44_network(16, 20, return_structure=True)
+        for a, b in zip(s.path_nodes[:-1], s.path_nodes[1:]):
+            assert net.has_edge(int(a), int(b))
+        assert s.final_node == int(s.path_nodes[-1])
+
+    def test_diameter_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            theorem44_network(64, 10)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            theorem44_network(2, 100)

@@ -1,0 +1,87 @@
+"""Tests for graph property helpers (BFS, diameter, degrees)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.properties import (
+    bfs_distances,
+    bfs_layers,
+    degree_statistics,
+    diameter_estimate,
+    is_strongly_connected,
+    reachable_from,
+    source_eccentricity,
+)
+from repro.graphs.structured import cycle_network, path_network, star_network
+from repro.radio.network import RadioNetwork
+
+
+class TestBfs:
+    def test_distances_on_path(self, small_path):
+        dist = bfs_distances(small_path, 0)
+        assert list(dist) == list(range(small_path.n))
+
+    def test_unreachable_marked(self, tiny_network):
+        dist = bfs_distances(tiny_network, 4)  # node 4 has no out-edges
+        assert dist[4] == 0
+        assert (dist[:4] == -1).all()
+
+    def test_layers(self, tiny_network):
+        layers = bfs_layers(tiny_network, 0)
+        assert [sorted(l.tolist()) for l in layers] == [[0], [1, 2], [3], [4]]
+
+    def test_invalid_source(self, tiny_network):
+        with pytest.raises(ValueError):
+            bfs_distances(tiny_network, 7)
+
+
+class TestEccentricityAndDiameter:
+    def test_source_eccentricity_path(self, small_path):
+        assert source_eccentricity(small_path, 0) == small_path.n - 1
+        assert source_eccentricity(small_path, small_path.n // 2) >= (small_path.n - 1) // 2
+
+    def test_unreachable_raises(self, tiny_network):
+        with pytest.raises(ValueError):
+            source_eccentricity(tiny_network, 1)
+
+    def test_diameter_small_exact(self):
+        assert diameter_estimate(cycle_network(10)) == 5
+        assert diameter_estimate(star_network(6)) == 2
+
+    def test_diameter_single_node(self):
+        assert diameter_estimate(RadioNetwork(1, [])) == 0
+
+    def test_diameter_sampled_path(self):
+        # Force the sampled branch with a low exact_threshold.
+        net = path_network(50)
+        est = diameter_estimate(net, exact_threshold=10, samples=8, rng=1)
+        assert est >= 25  # sampled estimate is a lower bound, usually exact from endpoints
+
+
+class TestReachabilityAndConnectivity:
+    def test_reachable_from(self, tiny_network):
+        assert reachable_from(tiny_network, 0).all()
+        assert reachable_from(tiny_network, 3).sum() == 2
+
+    def test_strongly_connected(self, small_path):
+        assert is_strongly_connected(small_path)
+
+    def test_not_strongly_connected(self, tiny_network):
+        assert not is_strongly_connected(tiny_network)
+
+    def test_single_node_connected(self):
+        assert is_strongly_connected(RadioNetwork(1, []))
+
+
+class TestDegreeStatistics:
+    def test_values(self, tiny_network):
+        stats = degree_statistics(tiny_network)
+        assert stats.mean_out == pytest.approx(1.0)
+        assert stats.max_out == 2
+        assert stats.min_in == 0
+        assert stats.max_in == 2
+
+    def test_as_dict(self, small_star):
+        d = degree_statistics(small_star).as_dict()
+        assert d["max_out"] == small_star.n - 1
+        assert set(d) >= {"mean_out", "mean_in", "std_out", "std_in"}

@@ -1,0 +1,108 @@
+"""Tests for the random-digraph generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.properties import is_strongly_connected
+from repro.graphs.random_digraph import (
+    connectivity_threshold_probability,
+    random_digraph,
+    random_undirected_radio_network,
+)
+
+
+class TestRandomDigraph:
+    def test_basic_shape(self):
+        net = random_digraph(100, 0.05, rng=1)
+        assert net.n == 100
+        assert net.num_edges > 0
+
+    def test_reproducibility(self):
+        a = random_digraph(200, 0.05, rng=3)
+        b = random_digraph(200, 0.05, rng=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_digraph(200, 0.05, rng=3)
+        b = random_digraph(200, 0.05, rng=4)
+        assert a != b
+
+    def test_expected_degree_close(self):
+        n, p = 600, 0.05
+        net = random_digraph(n, p, rng=5)
+        mean_out = net.out_degrees().mean()
+        assert abs(mean_out - (n - 1) * p) < 3.0
+
+    def test_no_self_loops(self):
+        net = random_digraph(80, 0.2, rng=6)
+        edges = net.edge_list()
+        assert not np.any(edges[:, 0] == edges[:, 1])
+
+    def test_p_zero(self):
+        assert random_digraph(10, 0.0, rng=1).num_edges == 0
+
+    def test_p_one_is_complete(self):
+        net = random_digraph(12, 1.0, rng=1)
+        assert net.num_edges == 12 * 11
+
+    def test_single_node(self):
+        assert random_digraph(1, 0.5, rng=1).num_edges == 0
+
+    def test_default_name(self):
+        assert "gnp" in random_digraph(10, 0.1, rng=1).name
+
+    def test_custom_name(self):
+        assert random_digraph(10, 0.1, rng=1, name="abc").name == "abc"
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            random_digraph(10, 1.2, rng=1)
+
+    def test_connected_in_threshold_regime(self):
+        n = 400
+        p = connectivity_threshold_probability(n, delta=4.0)
+        net = random_digraph(n, p, rng=11)
+        assert is_strongly_connected(net)
+
+
+class TestRandomUndirected:
+    def test_symmetric(self):
+        net = random_undirected_radio_network(100, 0.08, rng=2)
+        assert net.is_symmetric()
+
+    def test_edge_count_close_to_expectation(self):
+        n, p = 300, 0.05
+        net = random_undirected_radio_network(n, p, rng=4)
+        expected_directed = n * (n - 1) * p  # each undirected pair -> 2 edges
+        assert abs(net.num_edges - expected_directed) < 0.2 * expected_directed
+
+    def test_p_zero(self):
+        assert random_undirected_radio_network(10, 0.0, rng=1).num_edges == 0
+
+    def test_p_one(self):
+        net = random_undirected_radio_network(8, 1.0, rng=1)
+        assert net.num_edges == 8 * 7
+
+    def test_reproducible(self):
+        a = random_undirected_radio_network(60, 0.1, rng=9)
+        b = random_undirected_radio_network(60, 0.1, rng=9)
+        assert a == b
+
+
+class TestConnectivityThreshold:
+    def test_formula(self):
+        n = 1024
+        assert connectivity_threshold_probability(n, delta=4.0) == pytest.approx(
+            4 * math.log2(n) / n
+        )
+
+    def test_clamped_to_one(self):
+        assert connectivity_threshold_probability(2, delta=100.0) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            connectivity_threshold_probability(1)
+        with pytest.raises(ValueError):
+            connectivity_threshold_probability(10, delta=0)

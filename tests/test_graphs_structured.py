@@ -1,0 +1,120 @@
+"""Tests for deterministic structured topologies."""
+
+import pytest
+
+from repro.graphs.properties import diameter_estimate, is_strongly_connected, source_eccentricity
+from repro.graphs.structured import (
+    complete_network,
+    cycle_network,
+    grid_network,
+    layered_caterpillar,
+    path_network,
+    path_of_cliques,
+    star_network,
+)
+
+
+class TestPath:
+    def test_structure(self):
+        net = path_network(5)
+        assert net.n == 5
+        assert net.num_edges == 8
+        assert net.is_symmetric()
+
+    def test_diameter(self):
+        assert source_eccentricity(path_network(10), 0) == 9
+
+    def test_single_node(self):
+        assert path_network(1).num_edges == 0
+
+
+class TestCycle:
+    def test_structure(self):
+        net = cycle_network(6)
+        assert net.num_edges == 12
+        assert is_strongly_connected(net)
+
+    def test_diameter(self):
+        assert diameter_estimate(cycle_network(8)) == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_network(2)
+
+
+class TestStar:
+    def test_structure(self):
+        net = star_network(7)
+        assert list(net.out_degrees())[0] == 6
+        assert net.is_symmetric()
+
+    def test_custom_center(self):
+        net = star_network(5, center=2)
+        assert net.out_degrees()[2] == 4
+
+    def test_invalid_center(self):
+        with pytest.raises(ValueError):
+            star_network(5, center=5)
+
+    def test_diameter_two(self):
+        assert diameter_estimate(star_network(9)) == 2
+
+
+class TestComplete:
+    def test_edge_count(self):
+        assert complete_network(6).num_edges == 30
+
+    def test_diameter_one(self):
+        assert diameter_estimate(complete_network(5)) == 1
+
+    def test_single_node(self):
+        assert complete_network(1).num_edges == 0
+
+
+class TestGrid:
+    def test_square_grid(self):
+        net = grid_network(4)
+        assert net.n == 16
+        assert is_strongly_connected(net)
+
+    def test_rectangular_grid(self):
+        net = grid_network(2, 5)
+        assert net.n == 10
+        assert source_eccentricity(net, 0) == 5  # (2-1) + (5-1)
+
+    def test_degenerate(self):
+        assert grid_network(1, 1).num_edges == 0
+
+
+class TestPathOfCliques:
+    def test_counts(self):
+        net = path_of_cliques(4, 5)
+        assert net.n == 20
+        # 4 cliques of 5*4 directed edges plus 3 bidirectional bridges.
+        assert net.num_edges == 4 * 20 + 3 * 2
+
+    def test_connected_and_diameter(self):
+        net = path_of_cliques(6, 4)
+        assert is_strongly_connected(net)
+        # Diameter grows linearly with the number of cliques.
+        assert 2 * 6 - 2 <= diameter_estimate(net) <= 3 * 6
+
+    def test_single_clique(self):
+        net = path_of_cliques(1, 4)
+        assert net.num_edges == 12
+
+
+class TestCaterpillar:
+    def test_counts(self):
+        net = layered_caterpillar(5, 3)
+        assert net.n == 5 + 15
+        assert is_strongly_connected(net)
+
+    def test_no_leaves(self):
+        net = layered_caterpillar(4, 0)
+        assert net.n == 4
+        assert net.num_edges == 6
+
+    def test_diameter(self):
+        # leaf -> spine 0 -> ... -> spine end -> leaf
+        assert diameter_estimate(layered_caterpillar(4, 2)) == 5

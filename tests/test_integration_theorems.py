@@ -1,0 +1,170 @@
+"""Theorem-level integration tests.
+
+Each test runs a full protocol stack (graph generator → protocol → engine →
+analysis) and checks the *shape* of the corresponding theorem at a small but
+meaningful size.  These are the same checks the experiment harness performs
+at larger scale; keeping them in the test suite guards the end-to-end
+pipeline against regressions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util.rng import spawn_generators
+from repro.analysis.scaling import fit_model
+from repro.baselines.czumaj_rytter import KnownDiameterCR
+from repro.core.broadcast_general import KnownDiameterBroadcast
+from repro.core.broadcast_random import EnergyEfficientBroadcast
+from repro.core.gossip_random import RandomNetworkGossip
+from repro.core.tradeoff import TradeoffBroadcast, admissible_lambda_range
+from repro.graphs.lowerbound import observation43_network
+from repro.graphs.properties import source_eccentricity
+from repro.graphs.random_digraph import connectivity_threshold_probability, random_digraph
+from repro.graphs.structured import path_of_cliques
+from repro.radio.engine import run_protocol
+from repro.core.oblivious import TimeInvariantBroadcast
+
+
+class TestTheorem21:
+    """Algorithm 1: O(log n) time, <= 1 transmission per node, O(log n / p) total."""
+
+    def test_full_claim_at_single_size(self):
+        n = 1024
+        p = connectivity_threshold_probability(n, delta=4.0)
+        gens = spawn_generators(2024, 10)
+        completions, totals = [], []
+        for i in range(5):
+            network = random_digraph(n, p, rng=gens[i])
+            result = run_protocol(
+                network,
+                EnergyEfficientBroadcast(p),
+                rng=gens[5 + i],
+                keep_arrays=True,
+                run_to_quiescence=True,
+            )
+            assert result.completed
+            assert result.per_node_transmissions.max() <= 1
+            completions.append(result.completion_round)
+            totals.append(result.energy.total_transmissions)
+        log_n = math.log2(n)
+        assert np.mean(completions) <= 16 * log_n
+        assert np.mean(totals) <= 6 * log_n / p
+
+    def test_time_scales_like_log_n(self):
+        # Start at 512: at n=256 the w.h.p. guarantee is still weak (A_0(v) is
+        # only ~10, so a run occasionally strands a node — see EXPERIMENTS.md).
+        sizes = [512, 1024, 2048, 4096]
+        times = []
+        for n in sizes:
+            p = connectivity_threshold_probability(n, delta=5.0)
+            network = random_digraph(n, p, rng=n)
+            result = run_protocol(network, EnergyEfficientBroadcast(p), rng=n + 1)
+            assert result.completed
+            times.append(result.completion_round)
+        fit = fit_model(sizes, times, lambda n: np.log2(n), name="log n")
+        # The ratio time / log n must stay within a constant band (no n-growth).
+        assert fit.ratio_spread < 3.0
+
+
+class TestTheorem32:
+    """Algorithm 2: O(d log n) gossip time, O(log n) transmissions per node."""
+
+    def test_full_claim(self):
+        n = 128
+        p = 4 * math.log2(n) / n
+        network = random_digraph(n, p, rng=9)
+        result = run_protocol(network, RandomNetworkGossip(p), rng=10)
+        assert result.completed
+        d = n * p
+        assert result.completion_round <= 8 * d * math.log2(n)
+        assert result.energy.max_per_node <= 12 * math.log2(n)
+
+
+class TestTheorem41:
+    """Algorithm 3 vs Czumaj-Rytter: same time bound, log(n/D) energy gap."""
+
+    def test_energy_gap(self):
+        network = path_of_cliques(10, 10)
+        diameter = source_eccentricity(network, 0)
+        n = network.n
+        lam = math.log2(n / diameter)
+        gens = spawn_generators(7, 6)
+        alg3_energy, cr_energy = [], []
+        for i in range(3):
+            a = run_protocol(
+                network, KnownDiameterBroadcast(diameter), rng=gens[i], run_to_quiescence=True
+            )
+            c = run_protocol(
+                network, KnownDiameterCR(diameter), rng=gens[3 + i], run_to_quiescence=True
+            )
+            assert a.completed and c.completed
+            alg3_energy.append(a.energy.mean_per_node)
+            cr_energy.append(c.energy.mean_per_node)
+        ratio = np.mean(cr_energy) / np.mean(alg3_energy)
+        # CR pays more; the gap should be at least ~half the predicted log(n/D).
+        assert ratio > max(1.5, 0.5 * lam)
+
+    def test_time_within_bound(self):
+        network = path_of_cliques(10, 10)
+        diameter = source_eccentricity(network, 0)
+        n = network.n
+        lam = max(1.0, math.log2(n / diameter))
+        bound = diameter * lam + math.log2(n) ** 2
+        result = run_protocol(network, KnownDiameterBroadcast(diameter), rng=4)
+        assert result.completed
+        assert result.completion_round <= 6 * bound
+
+
+class TestTheorem42:
+    """Tradeoff: larger lambda => no more energy, (weakly) more time."""
+
+    def test_endpoints(self):
+        network = path_of_cliques(10, 10)
+        diameter = source_eccentricity(network, 0)
+        lam_low, lam_high = admissible_lambda_range(network.n, diameter)
+        gens = spawn_generators(11, 8)
+        fast_energy, cheap_energy = [], []
+        for i in range(4):
+            fast = run_protocol(
+                network,
+                TradeoffBroadcast(diameter, lam=lam_low),
+                rng=gens[i],
+                run_to_quiescence=True,
+            )
+            cheap = run_protocol(
+                network,
+                TradeoffBroadcast(diameter, lam=lam_high),
+                rng=gens[4 + i],
+                run_to_quiescence=True,
+            )
+            assert fast.completed and cheap.completed
+            fast_energy.append(fast.energy.mean_per_node)
+            cheap_energy.append(cheap.energy.mean_per_node)
+        assert np.mean(cheap_energy) <= np.mean(fast_energy) * 1.1
+
+
+class TestObservation43:
+    """No per-round probability beats the n log n / 2 total-transmission bound."""
+
+    @pytest.mark.parametrize("q", [0.5, 0.2, 0.05])
+    def test_lower_bound_respected(self, q):
+        n = 32
+        network, structure = observation43_network(n, return_structure=True)
+        log_n = math.log2(n)
+        gens = spawn_generators(int(q * 1000), 4)
+        relay_totals = []
+        for i in range(3):
+            result = run_protocol(
+                network,
+                TimeInvariantBroadcast(q, source=structure.source),
+                rng=gens[i],
+                max_rounds=int(300 * log_n / (q * (1 - q) + 1e-9)),
+                keep_arrays=True,
+            )
+            assert result.completed
+            relay_totals.append(
+                result.per_node_transmissions[structure.relays].sum()
+            )
+        assert np.mean(relay_totals) >= 0.5 * (n * log_n / 2)

@@ -1,0 +1,120 @@
+"""Tests for collision semantics (the heart of the radio model)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.collision import (
+    ErasureCollisionModel,
+    StandardCollisionModel,
+    WithCollisionDetectionModel,
+)
+from repro.radio.network import RadioNetwork
+
+
+def mask(n, *transmitters):
+    m = np.zeros(n, dtype=bool)
+    for t in transmitters:
+        m[t] = True
+    return m
+
+
+class TestStandardCollisionModel:
+    def test_single_transmitter_delivers(self, tiny_network):
+        out = StandardCollisionModel().resolve(tiny_network, mask(5, 0))
+        assert sorted(out.receivers.tolist()) == [1, 2]
+        assert all(s == 0 for s in out.senders)
+
+    def test_collision_blocks_delivery(self, tiny_network):
+        # Nodes 1 and 2 both reach node 3 -> collision, nobody receives.
+        out = StandardCollisionModel().resolve(tiny_network, mask(5, 1, 2))
+        assert out.receivers.size == 0
+        assert out.hear_counts[3] == 2
+
+    def test_no_transmitters(self, tiny_network):
+        out = StandardCollisionModel().resolve(tiny_network, mask(5))
+        assert out.receivers.size == 0
+        assert out.hear_counts.sum() == 0
+
+    def test_transmitter_with_no_listeners(self, tiny_network):
+        out = StandardCollisionModel().resolve(tiny_network, mask(5, 4))
+        assert out.receivers.size == 0
+
+    def test_senders_align_with_receivers(self, tiny_network):
+        out = StandardCollisionModel().resolve(tiny_network, mask(5, 3))
+        assert out.receivers.tolist() == [4]
+        assert out.senders.tolist() == [3]
+
+    def test_no_collision_detection_flags(self, tiny_network):
+        out = StandardCollisionModel().resolve(tiny_network, mask(5, 1, 2))
+        assert not out.collision_flags.any()
+
+    def test_transmitter_can_also_receive(self):
+        # 0 -> 1 and 1 -> 0: if both transmit, each hears exactly the other.
+        net = RadioNetwork(2, [(0, 1), (1, 0)])
+        out = StandardCollisionModel().resolve(net, mask(2, 0, 1))
+        assert sorted(out.receivers.tolist()) == [0, 1]
+
+    def test_wrong_mask_shape_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            StandardCollisionModel().resolve(tiny_network, np.zeros(3, dtype=bool))
+
+    def test_star_collision_structure(self, small_star):
+        # All leaves transmit: the centre hears them all colliding.
+        m = np.ones(small_star.n, dtype=bool)
+        m[0] = False
+        out = StandardCollisionModel().resolve(small_star, m)
+        assert out.hear_counts[0] == small_star.n - 1
+        assert 0 not in out.receivers.tolist()
+
+
+class TestWithCollisionDetectionModel:
+    def test_flags_set_on_collision(self, tiny_network):
+        out = WithCollisionDetectionModel().resolve(tiny_network, mask(5, 1, 2))
+        assert out.collision_flags[3]
+        assert out.receivers.size == 0
+
+    def test_no_flag_on_single(self, tiny_network):
+        out = WithCollisionDetectionModel().resolve(tiny_network, mask(5, 0))
+        assert not out.collision_flags.any()
+
+    def test_detects_collisions_attr(self):
+        assert WithCollisionDetectionModel().detects_collisions
+        assert not StandardCollisionModel().detects_collisions
+
+
+class TestErasureCollisionModel:
+    def test_requires_rng(self, tiny_network):
+        with pytest.raises(ValueError):
+            ErasureCollisionModel(0.5).resolve(tiny_network, mask(5, 0))
+
+    def test_zero_erasure_matches_standard(self, tiny_network, rng):
+        out = ErasureCollisionModel(0.0).resolve(tiny_network, mask(5, 0), rng)
+        std = StandardCollisionModel().resolve(tiny_network, mask(5, 0))
+        assert sorted(out.receivers.tolist()) == sorted(std.receivers.tolist())
+
+    def test_full_erasure_drops_everything(self, tiny_network, rng):
+        out = ErasureCollisionModel(1.0).resolve(tiny_network, mask(5, 0), rng)
+        assert out.receivers.size == 0
+        # hear_counts still reflect the channel activity.
+        assert out.hear_counts[1] == 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ErasureCollisionModel(1.5)
+
+    def test_partial_erasure_statistics(self, rng):
+        net = RadioNetwork(101, [(0, v) for v in range(1, 101)])
+        model = ErasureCollisionModel(0.3)
+        received = 0
+        for _ in range(50):
+            out = model.resolve(net, mask(101, 0), rng)
+            received += out.receivers.size
+        # Expect about 70% of 100 listeners per round.
+        assert 2800 < received < 4200
+
+
+class TestRepr:
+    def test_reprs(self):
+        assert "Standard" in repr(StandardCollisionModel())
+        assert "0.25" in repr(ErasureCollisionModel(0.25))
+        assert "Detection" in repr(WithCollisionDetectionModel())

@@ -1,0 +1,72 @@
+"""Tests for energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.radio.energy import EnergyAccountant
+
+
+class TestEnergyAccountant:
+    def test_initial_state(self):
+        acc = EnergyAccountant(4)
+        assert acc.total() == 0
+        assert acc.rounds_recorded == 0
+
+    def test_record_round_counts(self):
+        acc = EnergyAccountant(4)
+        count = acc.record_round(np.array([True, False, True, False]))
+        assert count == 2
+        assert acc.total() == 2
+        assert list(acc.per_node()) == [1, 0, 1, 0]
+
+    def test_accumulation(self):
+        acc = EnergyAccountant(3)
+        acc.record_round(np.array([True, True, False]))
+        acc.record_round(np.array([True, False, False]))
+        assert list(acc.per_node()) == [2, 1, 0]
+        assert acc.rounds_recorded == 2
+
+    def test_report_fields(self):
+        acc = EnergyAccountant(4)
+        acc.record_round(np.array([True, True, True, False]))
+        acc.record_round(np.array([True, False, False, False]))
+        report = acc.report()
+        assert report.total_transmissions == 4
+        assert report.max_per_node == 2
+        assert report.mean_per_node == pytest.approx(1.0)
+        assert report.transmitting_nodes == 3
+        assert report.n == 4
+
+    def test_report_as_dict(self):
+        acc = EnergyAccountant(2)
+        acc.record_round(np.array([True, False]))
+        d = acc.report().as_dict()
+        assert d["total_transmissions"] == 1
+        assert set(d) >= {"max_per_node", "mean_per_node", "median_per_node"}
+
+    def test_reset(self):
+        acc = EnergyAccountant(2)
+        acc.record_round(np.array([True, True]))
+        acc.reset()
+        assert acc.total() == 0
+        assert acc.rounds_recorded == 0
+
+    def test_wrong_shape_rejected(self):
+        acc = EnergyAccountant(3)
+        with pytest.raises(ValueError):
+            acc.record_round(np.array([True, False]))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant(0)
+
+    def test_per_node_is_copy(self):
+        acc = EnergyAccountant(2)
+        acc.record_round(np.array([True, False]))
+        snapshot = acc.per_node()
+        snapshot[0] = 99
+        assert acc.per_node()[0] == 1
+
+    def test_repr(self):
+        acc = EnergyAccountant(2)
+        assert "EnergyAccountant" in repr(acc)

@@ -1,0 +1,150 @@
+"""Tests for the Protocol base classes."""
+
+import numpy as np
+import pytest
+
+from repro.radio.collision import StandardCollisionModel
+from repro.radio.network import RadioNetwork
+from repro.radio.protocol import BroadcastProtocol, GossipProtocol, Protocol
+
+
+class AlwaysTransmitBroadcast(BroadcastProtocol):
+    """Minimal concrete broadcast protocol: informed nodes always transmit."""
+
+    name = "test-always"
+
+    def transmit_mask(self, round_index):
+        return self.informed.copy()
+
+
+class SilentGossip(GossipProtocol):
+    """Gossip protocol that never transmits (for state-machine tests)."""
+
+    name = "test-silent-gossip"
+
+    def transmit_mask(self, round_index):
+        return np.zeros(self.n, dtype=bool)
+
+
+class TestProtocolLifecycle:
+    def test_unbound_access_raises(self):
+        protocol = AlwaysTransmitBroadcast()
+        with pytest.raises(RuntimeError):
+            _ = protocol.network
+        with pytest.raises(RuntimeError):
+            _ = protocol.rng
+        with pytest.raises(RuntimeError):
+            _ = protocol.informed
+
+    def test_bind_initialises_state(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast(source=0)
+        protocol.bind(tiny_network, 1)
+        assert protocol.n == 5
+        assert protocol.informed_count() == 1
+        assert protocol.informed[0]
+        assert protocol.informed_round[0] == 0
+
+    def test_invalid_source_rejected_at_bind(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast(source=99)
+        with pytest.raises(ValueError):
+            protocol.bind(tiny_network, 1)
+
+    def test_default_quiescence_tracks_completion(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast()
+        protocol.bind(tiny_network, 1)
+        assert protocol.is_quiescent(0) == protocol.is_complete()
+
+    def test_suggested_max_rounds_positive(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast()
+        protocol.bind(tiny_network, 1)
+        assert protocol.suggested_max_rounds() > 0
+
+    def test_repr(self, tiny_network):
+        assert "AlwaysTransmitBroadcast" in repr(AlwaysTransmitBroadcast())
+
+
+class TestBroadcastBookkeeping:
+    def test_mark_informed_returns_only_new(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast()
+        protocol.bind(tiny_network, 1)
+        newly = protocol.mark_informed(np.array([0, 1, 2]), round_index=0)
+        assert sorted(newly.tolist()) == [1, 2]
+        # Marking again returns nothing new.
+        assert protocol.mark_informed(np.array([1, 2]), round_index=1).size == 0
+
+    def test_informed_round_recorded(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast()
+        protocol.bind(tiny_network, 1)
+        protocol.mark_informed(np.array([3]), round_index=4)
+        assert protocol.informed_round[3] == 5
+
+    def test_observe_marks_receivers(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast()
+        protocol.bind(tiny_network, 1)
+        outcome = StandardCollisionModel().resolve(
+            tiny_network, protocol.transmit_mask(0)
+        )
+        protocol.observe(0, protocol.transmit_mask(0), outcome)
+        assert protocol.informed_count() == 3  # source + its two listeners
+
+    def test_completion(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast()
+        protocol.bind(tiny_network, 1)
+        assert not protocol.is_complete()
+        protocol.mark_informed(np.arange(5), round_index=0)
+        assert protocol.is_complete()
+
+    def test_rebind_resets(self, tiny_network):
+        protocol = AlwaysTransmitBroadcast()
+        protocol.bind(tiny_network, 1)
+        protocol.mark_informed(np.arange(5), round_index=0)
+        protocol.bind(tiny_network, 2)
+        assert protocol.informed_count() == 1
+
+
+class TestGossipBookkeeping:
+    def test_initial_knowledge_is_identity(self, tiny_network):
+        protocol = SilentGossip()
+        protocol.bind(tiny_network, 1)
+        assert protocol.knowledge.sum() == 5
+        assert list(protocol.rumours_known()) == [1] * 5
+
+    def test_merge_deliveries_joins_rumours(self, tiny_network):
+        protocol = SilentGossip()
+        protocol.bind(tiny_network, 1)
+        # Simulate node 0 delivering to node 1.
+        outcome = StandardCollisionModel().resolve(
+            tiny_network, np.array([True, False, False, False, False])
+        )
+        protocol.merge_deliveries(outcome)
+        assert protocol.knowledge[1, 0]
+        assert protocol.knowledge[2, 0]
+        assert not protocol.knowledge[0, 1]
+
+    def test_merge_uses_round_start_snapshot(self):
+        # Chain 0 -> 1 -> 2: if 0 and 1 both deliver in the same round, node 2
+        # must receive only node 1's round-start knowledge (not rumour 0).
+        net = RadioNetwork(3, [(0, 1), (1, 2)])
+        protocol = SilentGossip()
+        protocol.bind(net, 1)
+        outcome = StandardCollisionModel().resolve(net, np.array([True, True, False]))
+        protocol.merge_deliveries(outcome)
+        assert protocol.knowledge[1, 0]
+        assert protocol.knowledge[2, 1]
+        assert not protocol.knowledge[2, 0]
+
+    def test_completion(self, tiny_network):
+        protocol = SilentGossip()
+        protocol.bind(tiny_network, 1)
+        assert not protocol.is_complete()
+        protocol.knowledge[:] = True
+        assert protocol.is_complete()
+
+    def test_empty_delivery_is_noop(self, tiny_network):
+        protocol = SilentGossip()
+        protocol.bind(tiny_network, 1)
+        outcome = StandardCollisionModel().resolve(
+            tiny_network, np.zeros(5, dtype=bool)
+        )
+        protocol.merge_deliveries(outcome)
+        assert protocol.knowledge.sum() == 5

@@ -1,0 +1,113 @@
+"""Tests for run traces and the topology-dynamics models."""
+
+import numpy as np
+import pytest
+
+from repro.radio.dynamics import EdgeChurnModel, WaypointDriftModel
+from repro.radio.energy import EnergyReport
+from repro.radio.trace import RoundRecord, RunResultTrace
+
+
+def _dummy_energy(n=4):
+    return EnergyReport(
+        total_transmissions=6,
+        max_per_node=3,
+        mean_per_node=1.5,
+        median_per_node=1.0,
+        p95_per_node=3.0,
+        transmitting_nodes=3,
+        n=n,
+    )
+
+
+class TestRunResultTrace:
+    def test_as_dict_roundtrippable(self):
+        trace = RunResultTrace(
+            protocol_name="p",
+            network_name="net",
+            n=4,
+            completed=True,
+            completion_round=7,
+            rounds_executed=7,
+            energy=_dummy_energy(),
+            informed_count=4,
+            rounds=[RoundRecord(0, 1, 2, 2, 3)],
+            metadata={"k": 1},
+        )
+        payload = trace.as_dict()
+        assert payload["completed"] is True
+        assert payload["energy"]["total_transmissions"] == 6
+        assert payload["rounds"][0]["informed_after"] == 3
+
+    def test_curves_require_rounds(self):
+        trace = RunResultTrace(
+            protocol_name="p",
+            network_name="net",
+            n=4,
+            completed=False,
+            completion_round=0,
+            rounds_executed=0,
+            energy=_dummy_energy(),
+        )
+        with pytest.raises(ValueError):
+            trace.informed_curve()
+        with pytest.raises(ValueError):
+            trace.transmitter_curve()
+
+    def test_repr_mentions_status(self):
+        trace = RunResultTrace(
+            protocol_name="p",
+            network_name="net",
+            n=4,
+            completed=True,
+            completion_round=3,
+            rounds_executed=3,
+            energy=_dummy_energy(),
+        )
+        assert "completed" in repr(trace)
+
+
+class TestEdgeChurn:
+    def test_preserves_node_count_and_roughly_edge_count(self, small_gnp, rng):
+        churned = EdgeChurnModel(0.1).evolve(small_gnp, rng=rng)
+        assert churned.n == small_gnp.n
+        assert abs(churned.num_edges - small_gnp.num_edges) < 0.2 * small_gnp.num_edges
+
+    def test_zero_drop_is_identity(self, small_gnp, rng):
+        churned = EdgeChurnModel(0.0).evolve(small_gnp, rng=rng)
+        assert churned is small_gnp
+
+    def test_snapshots_yield_requested_epochs(self, small_gnp, rng):
+        snaps = list(EdgeChurnModel(0.05).snapshots(small_gnp, 3, rng=rng))
+        assert len(snaps) == 3
+        assert snaps[0] is small_gnp
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            EdgeChurnModel(1.5)
+
+
+class TestWaypointDrift:
+    def test_positions_in_unit_square(self, rng):
+        model = WaypointDriftModel(step_std=0.05, radius=0.2)
+        pos = model.initial_positions(50, rng=rng)
+        assert pos.shape == (50, 2)
+        drifted = model.drift(pos, rng=rng)
+        assert (drifted >= 0).all() and (drifted <= 1).all()
+
+    def test_network_from_positions(self, rng):
+        model = WaypointDriftModel(step_std=0.05, radius=0.3)
+        pos = model.initial_positions(40, rng=rng)
+        net = model.network_from_positions(pos)
+        assert net.n == 40
+        assert net.is_symmetric()
+
+    def test_snapshots(self, rng):
+        model = WaypointDriftModel(step_std=0.05, radius=0.3)
+        snaps = list(model.snapshots(30, 4, rng=rng))
+        assert len(snaps) == 4
+        assert all(s.n == 30 for s in snaps)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WaypointDriftModel(step_std=0.0)

@@ -1,0 +1,98 @@
+"""Tests for repro._util.logmath (the paper's parameter arithmetic)."""
+
+import math
+
+import pytest
+
+from repro._util.logmath import (
+    ceil_log_ratio,
+    expected_degree,
+    floor_log_ratio,
+    ilog2,
+    lambda_of,
+    log2_safe,
+    phase1_round_count,
+)
+
+
+class TestLog2Safe:
+    def test_basic(self):
+        assert log2_safe(8) == 3.0
+
+    def test_clamps_below_minimum(self):
+        assert log2_safe(0.5) == 0.0
+        assert log2_safe(0.0) == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            log2_safe(float("nan"))
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (3, 1), (1024, 10), (1025, 10)])
+    def test_values(self, n, expected):
+        assert ilog2(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestFloorCeilLogRatio:
+    def test_floor_matches_paper_definition(self):
+        # T = floor(log n / log d)
+        assert floor_log_ratio(1024, 32) == 2
+        assert floor_log_ratio(1024, 1024) == 1
+
+    def test_ceil(self):
+        assert ceil_log_ratio(1024, 32) == 2
+        assert ceil_log_ratio(1024, 33) == 2
+        assert ceil_log_ratio(1024, 31) == 3 or ceil_log_ratio(1024, 31) == 2
+
+    def test_degenerate_degree(self):
+        # d <= 1: falls back to log n.
+        assert floor_log_ratio(1024, 1.0) == 10
+        assert ceil_log_ratio(1024, 0.5) == 10
+
+    def test_small_n(self):
+        assert floor_log_ratio(1, 10) == 0
+        assert ceil_log_ratio(1, 10) == 0
+
+
+class TestPhase1RoundCount:
+    def test_matches_manual(self):
+        n, p = 1024, 0.03125  # d = 32
+        assert phase1_round_count(n, p) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            phase1_round_count(0, 0.5)
+        with pytest.raises(ValueError):
+            phase1_round_count(10, 0.0)
+        with pytest.raises(ValueError):
+            phase1_round_count(10, 1.5)
+
+
+class TestLambdaOf:
+    def test_basic(self):
+        assert lambda_of(1024, 32) == pytest.approx(5.0)
+
+    def test_clamped_to_one(self):
+        assert lambda_of(16, 16) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lambda_of(1, 1)
+        with pytest.raises(ValueError):
+            lambda_of(16, 0)
+
+
+class TestExpectedDegree:
+    def test_value(self):
+        assert expected_degree(100, 0.1) == pytest.approx(10.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_degree(0, 0.1)
+        with pytest.raises(ValueError):
+            expected_degree(10, 1.5)

@@ -1,0 +1,94 @@
+"""Tests for repro._util.rng."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import RngFactory, as_generator, integer_seeds, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**31, 16)
+        b = as_generator(2).integers(0, 2**31, 16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(9)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_generator(-1)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count_matches(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_streams_are_independent_and_reproducible(self):
+        first = [g.integers(0, 2**31, 4) for g in spawn_generators(7, 3)]
+        second = [g.integers(0, 2**31, 4) for g in spawn_generators(7, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        # Streams differ from each other.
+        assert not np.array_equal(first[0], first[1])
+
+    def test_zero_count(self):
+        assert spawn_generators(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(3, -1)
+
+    def test_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(1), 4)
+        assert len(gens) == 4
+
+
+class TestRngFactory:
+    def test_indexing_is_deterministic(self):
+        a = RngFactory(1234)[0].integers(0, 100, 5)
+        b = RngFactory(1234)[0].integers(0, 100, 5)
+        assert np.array_equal(a, b)
+
+    def test_indices_differ(self):
+        factory = RngFactory(99)
+        a = factory[0].integers(0, 2**31, 8)
+        b = factory[1].integers(0, 2**31, 8)
+        assert not np.array_equal(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            RngFactory(0)[-1]
+
+    def test_generators_helper(self):
+        gens = RngFactory(5).generators(3)
+        assert len(gens) == 3
+
+    def test_repr(self):
+        assert "RngFactory" in repr(RngFactory(5))
+
+
+class TestIntegerSeeds:
+    def test_reproducible(self):
+        assert integer_seeds(11, 6) == integer_seeds(11, 6)
+
+    def test_all_non_negative(self):
+        assert all(s >= 0 for s in integer_seeds(2, 10))

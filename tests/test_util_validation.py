@@ -1,0 +1,86 @@
+"""Tests for repro._util.validation."""
+
+import numpy as np
+import pytest
+
+from repro._util.validation import (
+    check_in_range,
+    check_node_index,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_bad(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(4), "n") == 4
+
+    def test_respects_minimum(self):
+        assert check_positive_int(0, "n", minimum=0) == 0
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "n")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan")])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+    def test_zero_rejected_when_disallowed(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p", allow_zero=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, "x", low=1.0, high=2.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", low=1.0, inclusive=False)
+
+    def test_upper_bound(self):
+        with pytest.raises(ValueError):
+            check_in_range(3.0, "x", high=2.0)
+
+
+class TestCheckNodeIndex:
+    def test_valid(self):
+        assert check_node_index(3, 5) == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_node_index(5, 5)
+        with pytest.raises(ValueError):
+            check_node_index(-1, 5)
+
+    def test_type(self):
+        with pytest.raises(TypeError):
+            check_node_index(1.5, 5)
