@@ -1,0 +1,128 @@
+"""Batched vs serial Monte-Carlo throughput (the tentpole micro-benchmark).
+
+The unit of work is the E1 sweep cell: a full Algorithm-1 broadcast to
+quiescence on a ``G(n, p)`` sample at ``n = 4096``, repeated over R seeds
+with one topology sample per trial — exactly what ``repeat_job`` executes.
+The serial path pays the Python round loop per trial; the batch engine
+advances all R trials per vectorised round.  The measured speedup is stored
+in ``benchmark.extra_info`` (and surfaced into ``BENCH_engine.json`` by
+``benchmarks/run_benchmarks.sh``) so the perf trajectory is tracked across
+PRs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.broadcast_random import (
+    BatchEnergyEfficientBroadcast,
+    EnergyEfficientBroadcast,
+)
+from repro.graphs.random_digraph import (
+    connectivity_threshold_probability,
+    random_digraph,
+)
+from repro.radio.batch import BatchEngine
+from repro.radio.engine import SimulationEngine
+
+N = 4096
+MAX_TRIALS = 32
+
+
+@pytest.fixture(scope="module")
+def e1_workload():
+    """32 pre-sampled G(n, p) topologies at the E1 benchmark size."""
+    p = connectivity_threshold_probability(N, delta=4.0)
+    networks = [random_digraph(N, p, rng=1000 + t) for t in range(MAX_TRIALS)]
+    return networks, p
+
+
+def _serial_seconds(networks, p, trials: int) -> float:
+    engine = SimulationEngine(run_to_quiescence=True)
+    start = time.perf_counter()
+    for t in range(trials):
+        engine.run(networks[t], EnergyEfficientBroadcast(p), rng=2000 + t)
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("trials", [8, 32])
+def test_bench_batch_vs_serial_algorithm1(benchmark, e1_workload, trials):
+    """R complete Algorithm-1 runs: batch engine vs serial loop."""
+    networks, p = e1_workload
+    nets = networks[:trials]
+
+    def batched():
+        return BatchEngine(run_to_quiescence=True).run(
+            nets, BatchEnergyEfficientBroadcast(p), rng=7
+        )
+
+    results = benchmark.pedantic(batched, rounds=3, iterations=1)
+    assert len(results) == trials
+    assert max(r.energy.max_per_node for r in results) <= 1
+
+    batch_seconds = benchmark.stats.stats.min
+    serial_seconds = _serial_seconds(nets, p, trials)
+    speedup = serial_seconds / batch_seconds
+    benchmark.extra_info.update(
+        {
+            "n": N,
+            "trials": trials,
+            "serial_seconds": serial_seconds,
+            "batch_seconds": batch_seconds,
+            "serial_trials_per_second": trials / serial_seconds,
+            "batch_trials_per_second": trials / batch_seconds,
+            "speedup": speedup,
+        }
+    )
+    print(
+        f"\nn={N} R={trials}: serial {serial_seconds:.3f}s "
+        f"({trials / serial_seconds:.1f} trials/s), "
+        f"batch {batch_seconds:.3f}s ({trials / batch_seconds:.1f} trials/s), "
+        f"speedup {speedup:.1f}x"
+    )
+    # Regression guard (the issue's acceptance bar is 5x at R=32; leave
+    # headroom while still catching real regressions).  Timing ratios on
+    # shared CI runners are too noisy for a hard gate, so the assertion is
+    # local-only; CI still records the measured speedup in the JSON.
+    if not os.environ.get("CI"):
+        assert speedup >= (4.0 if trials == 32 else 2.0)
+
+
+def test_bench_batch_collision_round(benchmark, e1_workload):
+    """One batched collision-resolution round for 32 stacked trials."""
+    import numpy as np
+
+    from repro.radio.batch import NetworkBatch
+    from repro.radio.collision import BatchStandardCollisionModel
+
+    networks, _ = e1_workload
+    batch = NetworkBatch(networks)
+    rng = np.random.default_rng(5)
+    masks = rng.random((batch.trials, batch.n)) < 0.1
+    model = BatchStandardCollisionModel()
+    outcome = benchmark(lambda: model.resolve(batch, masks))
+    assert outcome.hear_counts.shape == (batch.trials, batch.n)
+
+
+def test_bench_batched_repeat_job(benchmark, e1_workload):
+    """The experiment-layer fast path end to end (includes topology sampling)."""
+    from repro.experiments.protocols import ProtocolSpec
+    from repro.experiments.runner import repeat_job
+    from repro.graphs.builders import GraphSpec
+
+    _, p = e1_workload
+    graph = GraphSpec("gnp", {"n": N, "p": p})
+    protocol = ProtocolSpec("algorithm1", {"p": p})
+
+    def run():
+        return repeat_job(
+            graph,
+            protocol,
+            repetitions=8,
+            seed=0,
+            run_to_quiescence=True,
+        )
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(results) == 8

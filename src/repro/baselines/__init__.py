@@ -23,8 +23,13 @@
 from repro.baselines.czumaj_rytter import KnownDiameterCR, UniformSelectionBroadcast
 from repro.baselines.decay import DecayBroadcast
 from repro.baselines.elsasser_gasieniec import ElsasserGasieniecBroadcast
-from repro.baselines.flooding import BernoulliFlood, DeterministicFlood
-from repro.baselines.gossip_uniform import UniformScaleGossip
+from repro.baselines.flooding import (
+    BatchBernoulliFlood,
+    BatchDeterministicFlood,
+    BernoulliFlood,
+    DeterministicFlood,
+)
+from repro.baselines.gossip_uniform import BatchUniformScaleGossip, UniformScaleGossip
 from repro.baselines.phone_call import (
     PhoneCallResult,
     run_push_broadcast,
@@ -36,6 +41,9 @@ __all__ = [
     "SequentialBroadcastGossip",
     "DeterministicFlood",
     "BernoulliFlood",
+    "BatchDeterministicFlood",
+    "BatchBernoulliFlood",
+    "BatchUniformScaleGossip",
     "DecayBroadcast",
     "ElsasserGasieniecBroadcast",
     "KnownDiameterCR",

@@ -21,9 +21,15 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro._util.validation import check_positive_int, check_probability
+from repro.radio.batch import BatchBroadcastProtocol
 from repro.radio.protocol import BroadcastProtocol
 
-__all__ = ["DeterministicFlood", "BernoulliFlood"]
+__all__ = [
+    "DeterministicFlood",
+    "BernoulliFlood",
+    "BatchDeterministicFlood",
+    "BatchBernoulliFlood",
+]
 
 
 class DeterministicFlood(BroadcastProtocol):
@@ -74,3 +80,64 @@ class BernoulliFlood(BroadcastProtocol):
     def suggested_max_rounds(self) -> int:
         log_n = max(1.0, math.log2(self.n))
         return int(math.ceil(64 * (self.n + log_n) / self.q))
+
+
+class BatchDeterministicFlood(BatchBroadcastProtocol):
+    """Batched :class:`DeterministicFlood` on ``(R, n)`` state arrays."""
+
+    name = DeterministicFlood.name
+
+    def __init__(self, *, source: int = 0, max_transmissions_per_node: int = 64):
+        super().__init__(source=source)
+        self.max_transmissions_per_node = check_positive_int(
+            max_transmissions_per_node, "max_transmissions_per_node"
+        )
+        self._transmissions: Optional[np.ndarray] = None
+
+    def _setup_broadcast(self) -> None:
+        self._transmissions = np.zeros((self.trials, self.n), dtype=np.int64)
+
+    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        masks = (
+            self.informed
+            & (self._transmissions < self.max_transmissions_per_node)
+            & running[:, None]
+        )
+        self._transmissions += masks
+        return masks
+
+    def suggested_max_rounds(self) -> int:
+        return 4 * self.n + self.max_transmissions_per_node
+
+    def trial_metadata(self, trial: int) -> Dict[str, object]:
+        return {"max_transmissions_per_node": self.max_transmissions_per_node}
+
+
+class BatchBernoulliFlood(BatchBroadcastProtocol):
+    """Batched :class:`BernoulliFlood`.
+
+    In exact mode each running trial draws its full ``rng.random(n)`` vector
+    from its own generator, matching the serial protocol's stream call for
+    call.
+    """
+
+    name = BernoulliFlood.name
+
+    def __init__(self, q: float, *, source: int = 0):
+        super().__init__(source=source)
+        self.q = check_probability(q, "q", allow_zero=False)
+
+    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        masks = np.zeros((self.trials, self.n), dtype=bool)
+        rows = np.flatnonzero(running)
+        if rows.size:
+            draws = self.rng_source.uniform_rows(running, self.n) < self.q
+            masks[rows] = self.informed[rows] & draws
+        return masks
+
+    def suggested_max_rounds(self) -> int:
+        log_n = max(1.0, math.log2(self.n))
+        return int(math.ceil(64 * (self.n + log_n) / self.q))
+
+    def trial_metadata(self, trial: int) -> Dict[str, object]:
+        return {"q": self.q}

@@ -20,7 +20,12 @@
 """
 
 from repro.core.broadcast_general import KnownDiameterBroadcast
-from repro.core.broadcast_random import EnergyEfficientBroadcast
+from repro.core.broadcast_random import (
+    Algorithm1Schedule,
+    BatchEnergyEfficientBroadcast,
+    EnergyEfficientBroadcast,
+    compute_algorithm1_schedule,
+)
 from repro.core.distributions import (
     AlphaDistribution,
     CzumajRytterDistribution,
@@ -35,6 +40,9 @@ from repro.core.tradeoff import TradeoffBroadcast
 
 __all__ = [
     "EnergyEfficientBroadcast",
+    "BatchEnergyEfficientBroadcast",
+    "Algorithm1Schedule",
+    "compute_algorithm1_schedule",
     "RandomNetworkGossip",
     "KnownDiameterBroadcast",
     "TradeoffBroadcast",

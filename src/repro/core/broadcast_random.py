@@ -33,16 +33,23 @@ construction; the tests assert it on every run.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro._util.logmath import expected_degree, phase1_round_count
 from repro._util.validation import check_positive, check_probability
-from repro.radio.collision import CollisionOutcome
+from repro.radio.batch import BatchBroadcastProtocol
+from repro.radio.collision import BatchCollisionOutcome, CollisionOutcome
 from repro.radio.protocol import BroadcastProtocol
 
-__all__ = ["EnergyEfficientBroadcast"]
+__all__ = [
+    "EnergyEfficientBroadcast",
+    "BatchEnergyEfficientBroadcast",
+    "Algorithm1Schedule",
+    "compute_algorithm1_schedule",
+]
 
 # Node states.
 _UNINFORMED = 0
@@ -50,7 +57,156 @@ _ACTIVE = 1
 _PASSIVE = 2
 
 
-class EnergyEfficientBroadcast(BroadcastProtocol):
+@dataclass(frozen=True)
+class Algorithm1Schedule:
+    """The phase schedule of Algorithm 1, derived from ``(n, p)`` alone.
+
+    Both the serial and the batched protocol compute their round logic from
+    this one object, so the two implementations cannot drift apart.
+    """
+
+    n: int
+    p: float
+    d: float
+    T: int
+    phase2_round: Optional[int]
+    phase3_start: int
+    phase3_rounds: int
+    phase2_probability: float
+    phase3_probability: float
+    sparse_regime: bool
+
+    def phase_of_round(self, round_index: int) -> str:
+        """Which phase (``"phase1"``, ``"phase2"``, ``"phase3"``, ``"done"``)."""
+        if round_index < self.T:
+            return "phase1"
+        if self.phase2_round is not None and round_index == self.phase2_round:
+            return "phase2"
+        if round_index < self.phase3_start + self.phase3_rounds:
+            return "phase3"
+        return "done"
+
+    def metadata(self) -> Dict[str, object]:
+        """The schedule facts recorded in every run's metadata."""
+        return {
+            "p": self.p,
+            "d": self.d,
+            "T": self.T,
+            "phase2_round": self.phase2_round,
+            "phase3_start": self.phase3_start,
+            "phase3_rounds": self.phase3_rounds,
+            "phase2_probability": self.phase2_probability,
+            "phase3_probability": self.phase3_probability,
+            "sparse_regime": self.sparse_regime,
+        }
+
+
+def compute_algorithm1_schedule(
+    n: int,
+    p: float,
+    *,
+    beta: float,
+    phase2_threshold_exponent: float,
+    phase1_overshoot_factor: float,
+    dense_min_degree_factor: float,
+    enable_phase2: bool,
+) -> Algorithm1Schedule:
+    """Derive Algorithm 1's phase boundaries and probabilities for ``(n, p)``.
+
+    See :class:`EnergyEfficientBroadcast` for the meaning of the refinement
+    parameters (``phase1_overshoot_factor``, ``dense_min_degree_factor``).
+    """
+    d = max(expected_degree(n, p), 1.0 + 1e-9)
+    T = max(1, phase1_round_count(n, p))
+    if phase1_overshoot_factor > 0 and T > 1 and d**T >= n / phase1_overshoot_factor:
+        T -= 1
+    log_n = max(1.0, math.log2(n))
+
+    # The paper's gate is "dense iff p > n^{-2/5}"; additionally require the
+    # dense branch's Phase-3 pool to give Omega(log n) active neighbours per
+    # node (n p^2 >= factor * log n), which the asymptotic gate implies for
+    # large n but not at the sizes we simulate.
+    paper_dense = p > n ** (-phase2_threshold_exponent)
+    dense_viable = (
+        n * p**2 >= dense_min_degree_factor * log_n
+        if dense_min_degree_factor > 0
+        else True
+    )
+    sparse_regime = not (paper_dense and dense_viable)
+    run_phase2 = enable_phase2 and sparse_regime
+
+    if run_phase2:
+        phase2_round: Optional[int] = T
+        phase3_start = T + 1
+        phase2_probability = min(1.0, 1.0 / ((d**T) * p))
+    else:
+        phase2_round = None
+        phase3_start = T
+        phase2_probability = 0.0
+
+    if sparse_regime:
+        phase3_probability = min(1.0, 1.0 / d)
+    else:
+        phase3_probability = min(1.0, 1.0 / (d * p))
+    phase3_rounds = int(math.ceil(beta * log_n))
+
+    return Algorithm1Schedule(
+        n=n,
+        p=p,
+        d=d,
+        T=T,
+        phase2_round=phase2_round,
+        phase3_start=phase3_start,
+        phase3_rounds=phase3_rounds,
+        phase2_probability=phase2_probability,
+        phase3_probability=phase3_probability,
+        sparse_regime=sparse_regime,
+    )
+
+
+class _Algorithm1Params:
+    """Shared constructor validation for the serial and batched Algorithm 1."""
+
+    def _init_algorithm1_params(
+        self,
+        p: float,
+        *,
+        beta: float,
+        phase2_threshold_exponent: float,
+        phase1_overshoot_factor: float,
+        dense_min_degree_factor: float,
+        enable_phase2: bool,
+    ) -> None:
+        self.p = check_probability(p, "p", allow_zero=False)
+        self.beta = check_positive(beta, "beta")
+        self.phase2_threshold_exponent = check_positive(
+            phase2_threshold_exponent, "phase2_threshold_exponent"
+        )
+        if dense_min_degree_factor < 0:
+            raise ValueError(
+                f"dense_min_degree_factor must be >= 0, got {dense_min_degree_factor}"
+            )
+        if phase1_overshoot_factor < 0:
+            raise ValueError(
+                f"phase1_overshoot_factor must be >= 0, got {phase1_overshoot_factor}"
+            )
+        self.dense_min_degree_factor = float(dense_min_degree_factor)
+        self.phase1_overshoot_factor = float(phase1_overshoot_factor)
+        self.enable_phase2 = bool(enable_phase2)
+
+    def _compute_schedule(self, n: int) -> Algorithm1Schedule:
+        return compute_algorithm1_schedule(
+            n,
+            self.p,
+            beta=self.beta,
+            phase2_threshold_exponent=self.phase2_threshold_exponent,
+            phase1_overshoot_factor=self.phase1_overshoot_factor,
+            dense_min_degree_factor=self.dense_min_degree_factor,
+            enable_phase2=self.enable_phase2,
+        )
+
+
+class EnergyEfficientBroadcast(_Algorithm1Params, BroadcastProtocol):
     """Algorithm 1 of the paper.
 
     Parameters
@@ -109,25 +265,18 @@ class EnergyEfficientBroadcast(BroadcastProtocol):
         enable_phase2: bool = True,
     ):
         super().__init__(source=source)
-        self.p = check_probability(p, "p", allow_zero=False)
-        self.beta = check_positive(beta, "beta")
-        self.phase2_threshold_exponent = check_positive(
-            phase2_threshold_exponent, "phase2_threshold_exponent"
+        self._init_algorithm1_params(
+            p,
+            beta=beta,
+            phase2_threshold_exponent=phase2_threshold_exponent,
+            phase1_overshoot_factor=phase1_overshoot_factor,
+            dense_min_degree_factor=dense_min_degree_factor,
+            enable_phase2=enable_phase2,
         )
-        if dense_min_degree_factor < 0:
-            raise ValueError(
-                f"dense_min_degree_factor must be >= 0, got {dense_min_degree_factor}"
-            )
-        if phase1_overshoot_factor < 0:
-            raise ValueError(
-                f"phase1_overshoot_factor must be >= 0, got {phase1_overshoot_factor}"
-            )
-        self.dense_min_degree_factor = float(dense_min_degree_factor)
-        self.phase1_overshoot_factor = float(phase1_overshoot_factor)
-        self.enable_phase2 = bool(enable_phase2)
 
         # Filled in at bind time (depend on n).
         self._status: Optional[np.ndarray] = None
+        self.schedule: Optional[Algorithm1Schedule] = None
         self.T: int = 0
         self.d: float = 0.0
         self.phase2_round: Optional[int] = None
@@ -143,87 +292,57 @@ class EnergyEfficientBroadcast(BroadcastProtocol):
     # ------------------------------------------------------------------ #
     def _setup_broadcast(self) -> None:
         n = self.n
-        self.d = max(expected_degree(n, self.p), 1.0 + 1e-9)
-        self.T = max(1, phase1_round_count(n, self.p))
-        if (
-            self.phase1_overshoot_factor > 0
-            and self.T > 1
-            and self.d**self.T >= n / self.phase1_overshoot_factor
-        ):
-            self.T -= 1
-        log_n = max(1.0, math.log2(n))
-
-        # The paper's gate is "dense iff p > n^{-2/5}"; additionally require
-        # the dense branch's Phase-3 pool to give Omega(log n) active
-        # neighbours per node (n p^2 >= factor * log n), which the asymptotic
-        # gate implies for large n but not at the sizes we simulate.
-        paper_dense = self.p > n ** (-self.phase2_threshold_exponent)
-        dense_viable = (
-            n * self.p**2 >= self.dense_min_degree_factor * log_n
-            if self.dense_min_degree_factor > 0
-            else True
-        )
-        sparse_regime = not (paper_dense and dense_viable)
-        self._sparse_regime = sparse_regime
-        run_phase2 = self.enable_phase2 and sparse_regime
-
-        if run_phase2:
-            self.phase2_round = self.T
-            self.phase3_start = self.T + 1
-            self.phase2_probability = min(1.0, 1.0 / ((self.d**self.T) * self.p))
-        else:
-            self.phase2_round = None
-            self.phase3_start = self.T
-            self.phase2_probability = 0.0
-
-        if sparse_regime:
-            self.phase3_probability = min(1.0, 1.0 / self.d)
-        else:
-            self.phase3_probability = min(1.0, 1.0 / (self.d * self.p))
-        self.phase3_rounds = int(math.ceil(self.beta * log_n))
+        schedule = self._compute_schedule(n)
+        self.schedule = schedule
+        self.d = schedule.d
+        self.T = schedule.T
+        self.phase2_round = schedule.phase2_round
+        self.phase3_start = schedule.phase3_start
+        self.phase3_rounds = schedule.phase3_rounds
+        self.phase2_probability = schedule.phase2_probability
+        self.phase3_probability = schedule.phase3_probability
+        self._sparse_regime = schedule.sparse_regime
 
         self._status = np.full(n, _UNINFORMED, dtype=np.int8)
         self._status[self.source] = _ACTIVE
         self._active_history = []
-        self.run_metadata = {
-            "p": self.p,
-            "d": self.d,
-            "T": self.T,
-            "phase2_round": self.phase2_round,
-            "phase3_start": self.phase3_start,
-            "phase3_rounds": self.phase3_rounds,
-            "phase2_probability": self.phase2_probability,
-            "phase3_probability": self.phase3_probability,
-            "sparse_regime": sparse_regime,
-            "active_history": self._active_history,
-        }
+        self.run_metadata = dict(schedule.metadata())
+        self.run_metadata["active_history"] = self._active_history
 
     # ------------------------------------------------------------------ #
     # Round logic
     # ------------------------------------------------------------------ #
     def phase_of_round(self, round_index: int) -> str:
         """Which phase (``"phase1"``, ``"phase2"``, ``"phase3"``, ``"done"``) a round belongs to."""
-        if round_index < self.T:
-            return "phase1"
-        if self.phase2_round is not None and round_index == self.phase2_round:
-            return "phase2"
-        if round_index < self.phase3_start + self.phase3_rounds:
-            return "phase3"
-        return "done"
+        return self.schedule.phase_of_round(round_index)
 
     def transmit_mask(self, round_index: int) -> np.ndarray:
+        """Who transmits this round.
+
+        Phase-2/3 coin flips are drawn only for the currently *active* nodes
+        (in ascending node-id order), not for all ``n`` nodes: late Phase-3
+        rounds have a handful of active nodes, and full-width draws dominated
+        the round cost.  This changes the RNG stream relative to older
+        releases — the same seed now yields different (equally valid) runs.
+        """
         status = self._status
         active = status == _ACTIVE
         self._active_history.append(int(active.sum()))
         phase = self.phase_of_round(round_index)
         if phase == "phase1":
             return active
-        if phase == "phase2":
-            draws = self.rng.random(self.n) < self.phase2_probability
-            return active & draws
-        if phase == "phase3":
-            draws = self.rng.random(self.n) < self.phase3_probability
-            return active & draws
+        if phase in ("phase2", "phase3"):
+            probability = (
+                self.phase2_probability
+                if phase == "phase2"
+                else self.phase3_probability
+            )
+            mask = np.zeros(self.n, dtype=bool)
+            idx = np.flatnonzero(active)
+            if idx.size:
+                draws = self.rng.random(idx.size)
+                mask[idx[draws < probability]] = True
+            return mask
         return np.zeros(self.n, dtype=bool)
 
     def observe(
@@ -284,5 +403,215 @@ class EnergyEfficientBroadcast(BroadcastProtocol):
     def __repr__(self) -> str:
         return (
             f"EnergyEfficientBroadcast(p={self.p}, source={self.source}, "
+            f"beta={self.beta}, enable_phase2={self.enable_phase2})"
+        )
+
+
+class BatchEnergyEfficientBroadcast(_Algorithm1Params, BatchBroadcastProtocol):
+    """Batched Algorithm 1: ``R`` trials advance through the phases together.
+
+    Same parameters and phase logic as :class:`EnergyEfficientBroadcast`
+    (both derive their round behaviour from the one
+    :class:`Algorithm1Schedule`).  The phase of a round depends only on the
+    round index, so all trials are always in the same phase and one
+    vectorised update advances everyone.
+
+    The active pool is kept *sparse* — a sorted array of flat node ids
+    (``trial * n + node``) plus per-trial counts — because after Phase 1 only
+    a vanishing fraction of the ``R x n`` state is active: a Phase-3 round
+    then costs O(active + transmissions), not O(R n), which is where the
+    batch engine's throughput comes from.
+
+    In the exact-equivalence rng mode the Phase-2/3 coin flips are drawn one
+    trial at a time from that trial's generator, matching the serial
+    protocol's active-only ``rng.random(active_count)`` call (uniforms land
+    on active nodes in ascending id order in both implementations) — batched
+    runs are then bit-identical to serial runs of the same per-trial seeds.
+    """
+
+    name = EnergyEfficientBroadcast.name
+
+    def __init__(
+        self,
+        p: float,
+        *,
+        source: int = 0,
+        beta: float = 8.0,
+        phase2_threshold_exponent: float = 0.4,
+        phase1_overshoot_factor: float = 2.0,
+        dense_min_degree_factor: float = 2.0,
+        enable_phase2: bool = True,
+    ):
+        super().__init__(source=source)
+        self._init_algorithm1_params(
+            p,
+            beta=beta,
+            phase2_threshold_exponent=phase2_threshold_exponent,
+            phase1_overshoot_factor=phase1_overshoot_factor,
+            dense_min_degree_factor=dense_min_degree_factor,
+            enable_phase2=enable_phase2,
+        )
+        self.schedule: Optional[Algorithm1Schedule] = None
+        self._active_flat: Optional[np.ndarray] = None
+        self._active_count: Optional[np.ndarray] = None
+        self._history_log: List[tuple] = []
+        self._phase3_ids: Optional[np.ndarray] = None
+        self._phase3_offsets: Optional[np.ndarray] = None
+        self._phase3_first_round: int = 0
+
+    def _setup_broadcast(self) -> None:
+        trials, n = self.trials, self.n
+        self.schedule = self._compute_schedule(n)
+        self._active_flat = (
+            np.arange(trials, dtype=np.int64) * n + self.source
+        )
+        self._active_count = np.ones(trials, dtype=np.int64)
+        # (running, active_count) snapshots per round; materialised into
+        # per-trial histories on demand so the round loop stays array-only.
+        self._history_log = []
+        self._phase3_ids = None
+        self._phase3_offsets = None
+
+    # ------------------------------------------------------------------ #
+    # Round logic (mirrors the serial class on the sparse active pool)
+    # ------------------------------------------------------------------ #
+    def transmit_flat(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        counts = self._active_count
+        self._history_log.append((running, counts.copy()))
+        phase = self.schedule.phase_of_round(round_index)
+        if phase == "phase3" and not self.rng_source.exact_mode:
+            if self._phase3_ids is None:
+                self._presample_phase3(round_index)
+            return self._phase3_bucket(round_index, running)
+        active = self._active_flat
+        if active.size:
+            keep = running[active // self.n]
+            gated = active if keep.all() else active[keep]
+        else:
+            gated = active
+        if phase == "phase1":
+            return gated
+        if phase in ("phase2", "phase3") and gated.size:
+            probability = (
+                self.schedule.phase2_probability
+                if phase == "phase2"
+                else self.schedule.phase3_probability
+            )
+            # Per-trial draw counts mirror the serial rng.random(active_count)
+            # call; `gated` is trial-major ascending, matching the serial
+            # assignment of uniforms to active nodes in ascending id order.
+            draw_counts = np.where(running, counts, 0)
+            draws = self.rng_source.uniforms_for_counts(draw_counts)
+            return gated[draws < probability]
+        return active[:0]
+
+    def _presample_phase3(self, start_round: int) -> None:
+        """Fast-mode Phase 3: pre-sample every node's transmission round.
+
+        A Phase-3 node transmits with probability ``q`` each round until it
+        does, then retires — so its (unique) transmission round is
+        ``start + Geometric(q) - 1``, and the whole phase's schedule can be
+        drawn in one vectorised call the moment the pool is fixed (recruits
+        never join the pool).  The per-round loop then just slices the next
+        bucket instead of drawing and compressing the active pool every
+        round.  The process is distributed *identically* to the per-round
+        coin flips; only the RNG stream differs, which is why the
+        exact-equivalence mode keeps the per-round path.
+        """
+        pool = self._active_flat
+        q = self.schedule.phase3_probability
+        end_round = self.schedule.phase3_start + self.schedule.phase3_rounds
+        tx_round = (
+            start_round
+            + self.rng_source.generator.geometric(q, size=pool.size)
+            - 1
+        )
+        scheduled = tx_round < end_round
+        order = np.argsort(tx_round[scheduled], kind="stable")
+        self._phase3_ids = pool[scheduled][order]
+        rounds_sorted = tx_round[scheduled][order]
+        self._phase3_offsets = np.searchsorted(
+            rounds_sorted, np.arange(start_round, end_round + 1)
+        )
+        self._phase3_first_round = start_round
+
+    def _phase3_bucket(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        lo = self._phase3_offsets[round_index - self._phase3_first_round]
+        hi = self._phase3_offsets[round_index - self._phase3_first_round + 1]
+        bucket = self._phase3_ids[lo:hi]
+        if bucket.size and not running.all():
+            bucket = bucket[running[bucket // self.n]]
+        return bucket
+
+    def observe(
+        self,
+        round_index: int,
+        tx_flat: np.ndarray,
+        outcome: BatchCollisionOutcome,
+        running: np.ndarray,
+    ) -> None:
+        phase = self.schedule.phase_of_round(round_index)
+        newly_flat = self.mark_informed(outcome.receiver_flat, round_index)
+        n, trials = self.n, self.trials
+
+        if phase in ("phase1", "phase2"):
+            # Every active node of a running trial retires (it either
+            # transmitted, or — in Phase 2 — consumed its single chance);
+            # nodes informed for the first time become active next round.
+            # Receivers only exist in running trials, so the new pool is
+            # exactly the newly informed set.
+            self._active_flat = np.sort(newly_flat)
+            self._active_count = np.bincount(
+                self._active_flat // n, minlength=trials
+            )
+        elif phase == "phase3" and tx_flat.size:
+            # Only nodes that actually transmitted retire; Phase-3 recruits
+            # are informed but never become active (Algorithm 1, Phase 3).
+            if self._phase3_ids is None:
+                # Per-round path (exact mode): the transmitters are a sorted
+                # subset of the (sorted, unique) active pool, so one
+                # searchsorted with the *small* array as the needle locates
+                # every retiree.
+                active = self._active_flat
+                keep = np.ones(active.size, dtype=bool)
+                keep[np.searchsorted(active, tx_flat)] = False
+                self._active_flat = active[keep]
+            # Pre-sampled path: retirements are already encoded in the
+            # schedule buckets; only the per-trial counts need updating.
+            self._active_count = self._active_count - np.bincount(
+                tx_flat // n, minlength=trials
+            )
+
+    # ------------------------------------------------------------------ #
+    # Engine hooks / introspection
+    # ------------------------------------------------------------------ #
+    def active_counts(self) -> np.ndarray:
+        """Per-trial number of currently active nodes."""
+        return self._active_count.copy()
+
+    def active_history(self, trial: int) -> List[int]:
+        """``|U_t|`` per round for one trial (serial ``active_history``)."""
+        return [
+            int(counts[trial])
+            for running, counts in self._history_log
+            if running[trial]
+        ]
+
+    def quiescent(self, round_index: int) -> np.ndarray:
+        if round_index >= self.schedule.phase3_start + self.schedule.phase3_rounds:
+            return np.ones(self.trials, dtype=bool)
+        return self._active_count == 0
+
+    def suggested_max_rounds(self) -> int:
+        return self.schedule.phase3_start + self.schedule.phase3_rounds + 1
+
+    def trial_metadata(self, trial: int) -> Dict[str, object]:
+        meta = dict(self.schedule.metadata())
+        meta["active_history"] = self.active_history(trial)
+        return meta
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchEnergyEfficientBroadcast(p={self.p}, source={self.source}, "
             f"beta={self.beta}, enable_phase2={self.enable_phase2})"
         )

@@ -15,11 +15,19 @@ from typing import Any, Callable, Dict
 from repro.baselines.czumaj_rytter import KnownDiameterCR, UniformSelectionBroadcast
 from repro.baselines.decay import DecayBroadcast
 from repro.baselines.elsasser_gasieniec import ElsasserGasieniecBroadcast
-from repro.baselines.flooding import BernoulliFlood, DeterministicFlood
-from repro.baselines.gossip_uniform import UniformScaleGossip
+from repro.baselines.flooding import (
+    BatchBernoulliFlood,
+    BatchDeterministicFlood,
+    BernoulliFlood,
+    DeterministicFlood,
+)
+from repro.baselines.gossip_uniform import BatchUniformScaleGossip, UniformScaleGossip
 from repro.baselines.sequential_gossip import SequentialBroadcastGossip
 from repro.core.broadcast_general import KnownDiameterBroadcast
-from repro.core.broadcast_random import EnergyEfficientBroadcast
+from repro.core.broadcast_random import (
+    BatchEnergyEfficientBroadcast,
+    EnergyEfficientBroadcast,
+)
 from repro.core.distributions import (
     AlphaDistribution,
     CzumajRytterDistribution,
@@ -29,9 +37,17 @@ from repro.core.distributions import (
 from repro.core.gossip_random import RandomNetworkGossip
 from repro.core.oblivious import TimeInvariantBroadcast
 from repro.core.tradeoff import TradeoffBroadcast
+from repro.radio.batch import BatchProtocol
 from repro.radio.protocol import Protocol
 
-__all__ = ["ProtocolSpec", "build_protocol", "PROTOCOL_FACTORIES"]
+__all__ = [
+    "ProtocolSpec",
+    "build_protocol",
+    "build_batch_protocol",
+    "supports_batch",
+    "PROTOCOL_FACTORIES",
+    "BATCH_PROTOCOL_FACTORIES",
+]
 
 
 def _build_time_invariant(**params) -> TimeInvariantBroadcast:
@@ -105,5 +121,34 @@ def build_protocol(spec: ProtocolSpec) -> Protocol:
         known = ", ".join(sorted(PROTOCOL_FACTORIES))
         raise ValueError(
             f"unknown protocol {spec.name!r}; known protocols: {known}"
+        )
+    return factory(**spec.params)
+
+
+#: Protocols with a batched (R-trials-per-round) implementation.  The batch
+#: fast path of :func:`repro.experiments.runner.repeat_job` consults this
+#: registry and silently falls back to serial execution for anything else.
+BATCH_PROTOCOL_FACTORIES: Dict[str, Callable[..., BatchProtocol]] = {
+    "algorithm1": BatchEnergyEfficientBroadcast,
+    "deterministic_flood": BatchDeterministicFlood,
+    "bernoulli_flood": BatchBernoulliFlood,
+    "uniform_gossip": BatchUniformScaleGossip,
+}
+
+
+def supports_batch(spec: ProtocolSpec) -> bool:
+    """True when ``spec`` has a registered batched implementation."""
+    return spec.name in BATCH_PROTOCOL_FACTORIES
+
+
+def build_batch_protocol(spec: ProtocolSpec) -> BatchProtocol:
+    """Instantiate the batched implementation of ``spec``."""
+    try:
+        factory = BATCH_PROTOCOL_FACTORIES[spec.name]
+    except KeyError:
+        known = ", ".join(sorted(BATCH_PROTOCOL_FACTORIES))
+        raise ValueError(
+            f"protocol {spec.name!r} has no batched implementation; "
+            f"batchable protocols: {known}"
         )
     return factory(**spec.params)

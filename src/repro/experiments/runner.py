@@ -19,9 +19,19 @@ import numpy as np
 
 from repro._util.rng import spawn_generators
 from repro.analysis.statistics import summarize
-from repro.experiments.protocols import ProtocolSpec, build_protocol
+from repro.experiments.protocols import (
+    ProtocolSpec,
+    build_batch_protocol,
+    build_protocol,
+    supports_batch,
+)
 from repro.graphs.builders import GraphSpec, build_network
+from repro.radio.batch import BatchEngine
 from repro.radio.collision import (
+    BatchCollisionModel,
+    BatchErasureCollisionModel,
+    BatchStandardCollisionModel,
+    BatchWithCollisionDetectionModel,
     CollisionModel,
     ErasureCollisionModel,
     StandardCollisionModel,
@@ -35,6 +45,11 @@ __all__ = ["Job", "execute_job", "run_jobs", "aggregate_runs", "repeat_job"]
 _COLLISION_MODELS = {
     "standard": StandardCollisionModel,
     "collision_detection": WithCollisionDetectionModel,
+}
+
+_BATCH_COLLISION_MODELS = {
+    "standard": BatchStandardCollisionModel,
+    "collision_detection": BatchWithCollisionDetectionModel,
 }
 
 
@@ -120,8 +135,12 @@ def run_jobs(
         return [execute_job(job) for job in jobs]
     workers = processes if processes > 0 else (os.cpu_count() or 1)
     workers = min(workers, len(jobs))
+    # A computed chunksize (instead of the default 1) amortises the per-item
+    # pickle/IPC round trip on large sweeps while still keeping ~4 chunks per
+    # worker for load balancing.
+    chunksize = max(1, len(jobs) // (4 * workers))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute_job, jobs))
+        return list(pool.map(execute_job, jobs, chunksize=chunksize))
 
 
 def repeat_job(
@@ -131,17 +150,106 @@ def repeat_job(
     repetitions: int,
     seed: int = 0,
     processes: Optional[int] = None,
+    batch: bool = True,
+    batch_mode: str = "fast",
     **job_options,
 ) -> List[RunResultTrace]:
-    """Run the same (graph, protocol) pair under ``repetitions`` different seeds."""
+    """Run the same (graph, protocol) pair under ``repetitions`` different seeds.
+
+    When ``batch`` is true (the default) and the job is batchable — the
+    protocol has a registered batched implementation, the collision model has
+    a batched counterpart, and no process fan-out was requested — all
+    repetitions run simultaneously through the
+    :class:`~repro.radio.batch.BatchEngine` on stacked ``(R, n)`` state, one
+    topology sample per trial.  Per-trial seeds are spawned exactly as in the
+    serial path, so the sampled topologies are identical and aggregates are
+    statistically interchangeable with serial runs.  Anything non-batchable
+    falls back to :func:`run_jobs` transparently; the returned
+    ``List[RunResultTrace]`` has the same shape either way.
+
+    ``batch_mode`` selects the randomness policy of the batched path:
+
+    * ``"fast"`` (default): one shared generator with vectorised draws —
+      statistically identical to serial, not bit-identical.
+    * ``"exact"``: one child generator per trial, consumed exactly as the
+      serial engine would — batched results are bit-identical to
+      ``batch=False`` runs of the same seed (the equivalence tests rely on
+      this).
+    """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if batch_mode not in ("fast", "exact"):
+        raise ValueError(f"batch_mode must be 'fast' or 'exact', got {batch_mode!r}")
     base = np.random.SeedSequence(seed)
-    seeds = [int(s.generate_state(1)[0]) for s in base.spawn(repetitions)]
+    # The extra child seeds the fast-mode batch generator; the first
+    # ``repetitions`` children are identical to what the serial path spawns.
+    children = base.spawn(repetitions + 1)
+    seeds = [int(s.generate_state(1)[0]) for s in children[:repetitions]]
     jobs = [
         Job(graph=graph, protocol=protocol, seed=s, **job_options) for s in seeds
     ]
+    if batch and processes is None:
+        results = _execute_jobs_batched(jobs, mode=batch_mode, fast_seed=children[-1])
+        if results is not None:
+            return results
     return run_jobs(jobs, processes=processes)
+
+
+def _batch_collision_model_for(job: Job) -> Optional[BatchCollisionModel]:
+    if job.erasure_probability > 0.0:
+        return BatchErasureCollisionModel(job.erasure_probability)
+    factory = _BATCH_COLLISION_MODELS.get(job.collision_model)
+    return factory() if factory is not None else None
+
+
+def _execute_jobs_batched(
+    jobs: Sequence[Job],
+    *,
+    mode: str,
+    fast_seed: np.random.SeedSequence,
+) -> Optional[List[RunResultTrace]]:
+    """Run a homogeneous repetition sweep through the batch engine.
+
+    Returns ``None`` when the jobs are not batchable (unknown protocol or
+    collision model), in which case the caller falls back to the serial path.
+    """
+    template = jobs[0]
+    if not supports_batch(template.protocol):
+        return None
+    collision_model = _batch_collision_model_for(template)
+    if collision_model is None:
+        return None
+
+    networks = []
+    protocol_rngs = []
+    for job in jobs:
+        graph_rng, protocol_rng = spawn_generators(job.seed, 2)
+        networks.append(build_network(job.graph, rng=graph_rng))
+        protocol_rngs.append(protocol_rng)
+
+    engine = BatchEngine(
+        collision_model,
+        record_rounds=template.record_rounds,
+        keep_arrays=template.keep_arrays,
+        run_to_quiescence=template.run_to_quiescence,
+    )
+    protocol = build_batch_protocol(template.protocol)
+    if mode == "exact":
+        results = engine.run(
+            networks, protocol, rngs=protocol_rngs, max_rounds=template.max_rounds
+        )
+    else:
+        results = engine.run(
+            networks,
+            protocol,
+            rng=np.random.default_rng(fast_seed),
+            max_rounds=template.max_rounds,
+        )
+    for job, result in zip(jobs, results):
+        result.metadata.setdefault("job", job.as_dict())
+        if job.label:
+            result.metadata["label"] = job.label
+    return results
 
 
 def aggregate_runs(runs: Sequence[RunResultTrace]) -> Dict[str, object]:

@@ -25,16 +25,34 @@ Public surface:
 * :class:`~repro.radio.energy.EnergyAccountant` — transmission accounting.
 * :mod:`~repro.radio.collision` — pluggable collision semantics.
 * :mod:`~repro.radio.trace` — per-round traces and run summaries.
+* :mod:`~repro.radio.batch` — the batched Monte-Carlo engine: ``R``
+  independent trials advanced per vectorised round on stacked ``(R, n)``
+  state, with per-trial completion masking and an exact-equivalence mode.
 """
 
+from repro.radio.batch import (
+    BatchBroadcastProtocol,
+    BatchEngine,
+    BatchGossipProtocol,
+    BatchProtocol,
+    BatchRandomSource,
+    NetworkBatch,
+    run_protocol_batch,
+)
 from repro.radio.collision import (
+    BatchCollisionModel,
+    BatchCollisionOutcome,
+    BatchErasureCollisionModel,
+    BatchStandardCollisionModel,
+    BatchWithCollisionDetectionModel,
     CollisionModel,
     CollisionOutcome,
     ErasureCollisionModel,
     StandardCollisionModel,
     WithCollisionDetectionModel,
+    as_batch_collision_model,
 )
-from repro.radio.energy import EnergyAccountant, EnergyReport
+from repro.radio.energy import BatchEnergyAccountant, EnergyAccountant, EnergyReport
 from repro.radio.engine import SimulationEngine, run_protocol
 from repro.radio.network import RadioNetwork
 from repro.radio.protocol import BroadcastProtocol, GossipProtocol, Protocol
@@ -42,18 +60,32 @@ from repro.radio.trace import RoundRecord, RunResultTrace
 
 __all__ = [
     "RadioNetwork",
+    "NetworkBatch",
     "Protocol",
     "BroadcastProtocol",
     "GossipProtocol",
+    "BatchProtocol",
+    "BatchBroadcastProtocol",
+    "BatchGossipProtocol",
     "SimulationEngine",
     "run_protocol",
+    "BatchEngine",
+    "BatchRandomSource",
+    "run_protocol_batch",
     "EnergyAccountant",
+    "BatchEnergyAccountant",
     "EnergyReport",
     "CollisionModel",
     "CollisionOutcome",
     "StandardCollisionModel",
     "WithCollisionDetectionModel",
     "ErasureCollisionModel",
+    "BatchCollisionModel",
+    "BatchCollisionOutcome",
+    "BatchStandardCollisionModel",
+    "BatchWithCollisionDetectionModel",
+    "BatchErasureCollisionModel",
+    "as_batch_collision_model",
     "RoundRecord",
     "RunResultTrace",
 ]

@@ -1,0 +1,769 @@
+"""Batched Monte-Carlo simulation: ``R`` independent trials per round.
+
+Every experiment in this repository is a Monte-Carlo sweep — the same
+``(n, p, protocol)`` point repeated over dozens of seeds.  The serial
+:class:`~repro.radio.engine.SimulationEngine` pays the full Python round-loop
+overhead once *per trial*; this module makes the repetition axis an array
+dimension instead:
+
+* :class:`NetworkBatch` stacks ``R`` equally-sized networks into one
+  block-diagonal CSR, so collision resolution for all trials is a single
+  flattened gather plus one ``bincount`` over ``trial * n + listener`` ids
+  (see :class:`~repro.radio.collision.BatchCollisionModel`).
+* :class:`BatchProtocol` (and the broadcast/gossip bases) keep per-node state
+  in ``(R, n)`` arrays and advance every trial with one set of vectorised
+  operations per round.
+* :class:`BatchEngine` owns the batched round loop, masking out trials that
+  have individually completed (or gone quiescent) so a finished trial costs
+  nothing while its siblings run on.
+
+Randomness comes in two modes, selected by the :class:`BatchRandomSource`
+the engine builds:
+
+* **fast** (default): one shared generator serves all trials with single
+  vectorised draws per round.  Results are statistically identical to serial
+  runs but not bit-identical.
+* **exact**: one child generator per trial, consumed in exactly the calls
+  the serial engine + protocol would make.  Batched runs are then
+  *bit-identical* to serial runs trial by trial — the equivalence tests in
+  ``tests/test_batch_engine.py`` assert this for broadcast, gossip and the
+  erasure collision model.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_node_index, check_positive_int
+from repro.radio.collision import (
+    BatchCollisionModel,
+    BatchCollisionOutcome,
+    BatchStandardCollisionModel,
+    CollisionModel,
+    as_batch_collision_model,
+)
+from repro.radio.energy import BatchEnergyAccountant
+from repro.radio.network import RadioNetwork
+from repro.radio.trace import RoundRecord, RunResultTrace
+
+__all__ = [
+    "NetworkBatch",
+    "BatchRandomSource",
+    "BatchProtocol",
+    "BatchBroadcastProtocol",
+    "BatchGossipProtocol",
+    "BatchEngine",
+    "run_protocol_batch",
+]
+
+
+class NetworkBatch:
+    """``R`` equally-sized radio networks stacked block-diagonally.
+
+    Trial ``t``'s node ``v`` becomes flat node ``t * n + v``; no edge crosses
+    a trial boundary, so any whole-round computation on the stacked CSR is
+    exactly ``R`` independent per-trial computations.
+
+    Parameters
+    ----------
+    networks:
+        The per-trial topologies.  All must have the same number of nodes.
+        Pass the same network object ``R`` times (or use :meth:`shared`) to
+        run every trial on one shared topology.
+    """
+
+    __slots__ = ("networks", "trials", "n", "total_nodes", "out_indptr", "out_indices")
+
+    def __init__(self, networks: Sequence[RadioNetwork]):
+        networks = list(networks)
+        if not networks:
+            raise ValueError("NetworkBatch needs at least one network")
+        n = networks[0].n
+        for net in networks[1:]:
+            if net.n != n:
+                raise ValueError(
+                    f"all networks in a batch must have the same size; "
+                    f"got {net.n} and {n}"
+                )
+        trials = len(networks)
+        self.networks = networks
+        self.trials = trials
+        self.n = n
+        self.total_nodes = trials * n
+
+        if trials * n > np.iinfo(np.int32).max:
+            raise ValueError(
+                f"batch of {trials} x {n} nodes exceeds the int32 id space; "
+                "split the repetitions into smaller batches"
+            )
+        total_edges = sum(net.num_edges for net in networks)
+        indptr = np.empty(self.total_nodes + 1, dtype=np.int64)
+        indptr[0] = 0
+        # int32 flat ids halve the memory traffic of the per-round gathers.
+        indices = np.empty(total_edges, dtype=np.int32)
+        edge_offset = 0
+        for t, net in enumerate(networks):
+            ip = net.out_indptr
+            indptr[t * n + 1 : (t + 1) * n + 1] = ip[1:] + edge_offset
+            block = indices[edge_offset : edge_offset + net.num_edges]
+            np.add(net.out_indices, np.int32(t * n), out=block, casting="unsafe")
+            edge_offset += net.num_edges
+        self.out_indptr = indptr
+        self.out_indices = indices
+
+    @classmethod
+    def shared(cls, network: RadioNetwork, trials: int) -> "NetworkBatch":
+        """Batch that runs every trial on the same shared topology."""
+        trials = check_positive_int(trials, "trials")
+        return cls([network] * trials)
+
+    def __repr__(self) -> str:
+        return f"NetworkBatch(trials={self.trials}, n={self.n})"
+
+
+class BatchRandomSource:
+    """Random draws for a batch of trials, in fast or exact mode.
+
+    Fast mode serves every request from one shared generator with a single
+    vectorised draw.  Exact mode holds one generator per trial and consumes
+    each trial's stream with exactly the calls the serial path would make
+    (``rng.random(k)`` per trial, trials in ascending order), which is what
+    makes batched runs bit-identical to serial ones.
+    """
+
+    def __init__(
+        self,
+        *,
+        generator: Optional[np.random.Generator] = None,
+        per_trial: Optional[Sequence[np.random.Generator]] = None,
+    ):
+        if (generator is None) == (per_trial is None):
+            raise ValueError("provide exactly one of generator / per_trial")
+        self._generator = generator
+        self._per_trial = list(per_trial) if per_trial is not None else None
+
+    @classmethod
+    def fast(cls, rng: SeedLike = None) -> "BatchRandomSource":
+        """Shared-generator mode (vectorised, not stream-equivalent)."""
+        return cls(generator=as_generator(rng))
+
+    @classmethod
+    def exact(cls, rngs: Sequence[SeedLike]) -> "BatchRandomSource":
+        """Per-trial-generator mode (bit-identical to serial runs)."""
+        return cls(per_trial=[as_generator(r) for r in rngs])
+
+    @property
+    def exact_mode(self) -> bool:
+        """True when each trial owns its generator (serial-equivalent draws)."""
+        return self._per_trial is not None
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The shared generator (fast mode only)."""
+        if self._generator is None:
+            raise RuntimeError("no shared generator in exact mode")
+        return self._generator
+
+    def generator_for_trial(self, trial: int) -> np.random.Generator:
+        """Trial ``trial``'s own generator (exact mode only)."""
+        if self._per_trial is None:
+            raise RuntimeError("no per-trial generators in fast mode")
+        return self._per_trial[trial]
+
+    # ------------------------------------------------------------------ #
+    # Draw helpers (uniforms in [0, 1))
+    # ------------------------------------------------------------------ #
+    def uniforms_for_counts(self, counts: np.ndarray) -> np.ndarray:
+        """``counts[t]`` uniforms per trial, concatenated in trial order.
+
+        Exact mode draws trial ``t``'s block as one ``random(counts[t])``
+        call from trial ``t``'s generator — the same call (and therefore the
+        same values, assigned in the caller's trial-major order) the serial
+        protocol makes.
+        """
+        counts = np.asarray(counts)
+        if not self.exact_mode:
+            return self._generator.random(int(counts.sum()))
+        chunks = [
+            self._per_trial[t].random(int(c))
+            for t, c in enumerate(counts)
+            if c
+        ]
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+    def uniform_rows(self, rows: np.ndarray, n: int) -> np.ndarray:
+        """A ``(k, n)`` uniform matrix for the ``k`` trials flagged in ``rows``."""
+        rows = np.asarray(rows, dtype=bool)
+        k = int(rows.sum())
+        if not self.exact_mode:
+            return self._generator.random((k, n))
+        if k == 0:
+            return np.empty((0, n))
+        return np.stack(
+            [self._per_trial[t].random(n) for t in np.flatnonzero(rows)]
+        )
+
+
+class BatchProtocol(abc.ABC):
+    """Base class for batched protocols: ``R`` trials on stacked state.
+
+    The lifecycle mirrors :class:`~repro.radio.protocol.Protocol`, with every
+    hook operating on whole-batch data and a ``running`` mask of trials still
+    being advanced::
+
+        protocol.bind(batch, rng_source)
+        for r in range(max_rounds):
+            tx_flat = protocol.transmit_flat(r, running)     # sorted flat ids
+            outcome = collision_model.resolve(batch, tx_flat, rng_source)
+            protocol.observe(r, tx_flat, outcome, running)
+            ... engine updates `running` from completed()/quiescent() ...
+
+    Transmitters travel as sorted *flat* node ids (``trial * n + node``) so a
+    round's cost scales with the number of transmitters, not with ``R * n``;
+    protocols whose decision rule is naturally dense implement
+    :meth:`transmit_masks` instead and inherit the flattening.
+
+    Implementations must not consume randomness for trials outside
+    ``running`` (the rng helpers make this natural), so a trial's stream is
+    untouched after it stops — a requirement of the exact-equivalence mode.
+    """
+
+    #: Same machine-readable name as the serial counterpart, so batched runs
+    #: drop into existing experiment tables unchanged.
+    name: str = "batch-protocol"
+
+    def __init__(self) -> None:
+        self._batch: Optional[NetworkBatch] = None
+        self._rng_source: Optional[BatchRandomSource] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def bind(self, batch: NetworkBatch, rng_source: BatchRandomSource) -> None:
+        """Attach to a network batch and reset all per-run state."""
+        self._batch = batch
+        self._rng_source = rng_source
+        self._setup()
+
+    def _setup(self) -> None:
+        """Initialise per-run state (called from :meth:`bind`). Override."""
+
+    def transmit_flat(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        """Sorted flat ids of this round's transmitters (running trials only).
+
+        The default flattens :meth:`transmit_masks`; sparse protocols
+        override this directly and never materialise an ``(R, n)`` mask.
+        """
+        masks = np.asarray(self.transmit_masks(round_index, running), dtype=bool)
+        if masks.shape != (self.trials, self.n):
+            raise ValueError(
+                f"transmit_masks must have shape ({self.trials}, {self.n}), "
+                f"got {masks.shape}"
+            )
+        masks = masks & running[:, None]
+        return np.flatnonzero(masks.reshape(-1))
+
+    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        """Boolean ``(R, n)`` transmit matrix (dense-protocol hook)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must override transmit_flat or transmit_masks"
+        )
+
+    def observe(
+        self,
+        round_index: int,
+        tx_flat: np.ndarray,
+        outcome: BatchCollisionOutcome,
+        running: np.ndarray,
+    ) -> None:
+        """Update per-trial state from the resolved round (override as needed)."""
+
+    def listener_interest(self) -> Optional[np.ndarray]:
+        """Flat bool vector of nodes whose deliveries the protocol still uses.
+
+        When a protocol ignores deliveries to some nodes (a broadcast ignores
+        deliveries to already-informed nodes), returning that mask lets the
+        engine drop uninteresting deliveries inside collision resolution —
+        late rounds then cost O(new information), not O(deliveries).  Only
+        consulted in fast mode with ``record_rounds`` off, where trimmed
+        outcomes are observably equivalent.  ``None`` keeps every delivery.
+        """
+        return None
+
+    @abc.abstractmethod
+    def completed(self) -> np.ndarray:
+        """Per-trial bool vector: objective reached."""
+
+    def quiescent(self, round_index: int) -> np.ndarray:
+        """Per-trial bool vector: no node will ever transmit again."""
+        return self.completed()
+
+    def suggested_max_rounds(self) -> int:
+        """Horizon after which the engine gives up (same for all trials)."""
+        return 4 * self.n * max(1, int(np.log2(max(2, self.n))))
+
+    def informed_counts(self) -> Optional[np.ndarray]:
+        """Per-trial progress metric (``None`` when not applicable)."""
+        return None
+
+    def trial_metadata(self, trial: int) -> dict:
+        """Per-trial metadata carried onto the trial's result trace."""
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def batch(self) -> NetworkBatch:
+        """The bound network batch."""
+        if self._batch is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound yet")
+        return self._batch
+
+    @property
+    def rng_source(self) -> BatchRandomSource:
+        """The batch random source."""
+        if self._rng_source is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound yet")
+        return self._rng_source
+
+    @property
+    def trials(self) -> int:
+        """Number of trials in the bound batch."""
+        return self.batch.trials
+
+    @property
+    def n(self) -> int:
+        """Number of nodes per trial."""
+        return self.batch.n
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BatchBroadcastProtocol(BatchProtocol):
+    """Batched broadcasting: one source per trial informs every node.
+
+    Mirrors :class:`~repro.radio.protocol.BroadcastProtocol` on stacked
+    ``(R, n)`` informed / informed-round arrays.
+    """
+
+    name = "broadcast"
+
+    def __init__(self, source: int = 0):
+        super().__init__()
+        self.source = int(source)
+        self._informed: Optional[np.ndarray] = None
+        self._informed_round: Optional[np.ndarray] = None
+
+    def _setup(self) -> None:
+        trials, n = self.trials, self.n
+        check_node_index(self.source, n, "source")
+        self._informed = np.zeros((trials, n), dtype=bool)
+        self._informed[:, self.source] = True
+        self._informed_round = np.full((trials, n), -1, dtype=np.int64)
+        self._informed_round[:, self.source] = 0
+        # Maintained incrementally by mark_informed so completed() is O(R),
+        # not O(R * n), every round.
+        self._informed_totals = np.ones(trials, dtype=np.int64)
+        # Inverse view handed to the engine as the listener-interest filter.
+        self._uninformed_flat = ~self._informed.reshape(-1)
+        self._setup_broadcast()
+
+    def _setup_broadcast(self) -> None:
+        """Subclass hook for additional per-run state."""
+
+    @property
+    def informed(self) -> np.ndarray:
+        """Boolean ``(R, n)`` informed matrix (live view — do not mutate)."""
+        if self._informed is None:
+            raise RuntimeError("protocol not bound")
+        return self._informed
+
+    @property
+    def informed_round(self) -> np.ndarray:
+        """``(R, n)`` round in which each node was informed (-1 if never)."""
+        if self._informed_round is None:
+            raise RuntimeError("protocol not bound")
+        return self._informed_round
+
+    def informed_counts(self) -> np.ndarray:
+        """Per-trial number of informed nodes."""
+        return self._informed_totals.copy()
+
+    def mark_informed(self, flat_nodes: np.ndarray, round_index: int) -> np.ndarray:
+        """Mark flat node ids informed; returns the newly-informed subset."""
+        flat_nodes = np.asarray(flat_nodes, dtype=np.int64)
+        if flat_nodes.size == 0:
+            return flat_nodes
+        informed_flat = self._informed.reshape(-1)
+        newly = flat_nodes[~informed_flat[flat_nodes]]
+        if newly.size:
+            informed_flat[newly] = True
+            self._uninformed_flat[newly] = False
+            self._informed_round.reshape(-1)[newly] = round_index + 1
+            self._informed_totals += np.bincount(
+                newly // self.n, minlength=self.trials
+            )
+        return newly
+
+    def listener_interest(self) -> np.ndarray:
+        """Deliveries to already-informed nodes carry no new information."""
+        return self._uninformed_flat
+
+    def observe(
+        self,
+        round_index: int,
+        tx_flat: np.ndarray,
+        outcome: BatchCollisionOutcome,
+        running: np.ndarray,
+    ) -> None:
+        self.mark_informed(outcome.receiver_flat, round_index)
+
+    def completed(self) -> np.ndarray:
+        return self._informed_totals == self.n
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(source={self.source})"
+
+
+class BatchGossipProtocol(BatchProtocol):
+    """Batched gossiping on an ``(R, n, n)`` rumour-knowledge tensor.
+
+    The flat ``(R * n, n)`` view of the tensor lets deliveries merge with the
+    same two fancy-indexing operations the serial
+    :class:`~repro.radio.protocol.GossipProtocol` uses — sender rows are
+    gathered before the update, so merges see round-start knowledge.
+    """
+
+    name = "gossip"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._knowledge: Optional[np.ndarray] = None
+
+    def _setup(self) -> None:
+        trials, n = self.trials, self.n
+        self._knowledge = np.broadcast_to(
+            np.eye(n, dtype=bool), (trials, n, n)
+        ).copy()
+        self._setup_gossip()
+
+    def _setup_gossip(self) -> None:
+        """Subclass hook for additional per-run state."""
+
+    @property
+    def knowledge(self) -> np.ndarray:
+        """The ``(R, n, n)`` rumour-knowledge tensor (live view)."""
+        if self._knowledge is None:
+            raise RuntimeError("protocol not bound")
+        return self._knowledge
+
+    def rumours_known(self) -> np.ndarray:
+        """``(R, n)`` per-node count of known rumours."""
+        return self.knowledge.sum(axis=2)
+
+    def merge_deliveries(self, outcome: BatchCollisionOutcome) -> None:
+        """Join every delivered rumour set into its receiver's (all trials)."""
+        if outcome.receiver_flat.size == 0:
+            return
+        flat = self._knowledge.reshape(self.trials * self.n, self.n)
+        payloads = flat[outcome.sender_flat]
+        flat[outcome.receiver_flat] |= payloads
+
+    def observe(
+        self,
+        round_index: int,
+        tx_flat: np.ndarray,
+        outcome: BatchCollisionOutcome,
+        running: np.ndarray,
+    ) -> None:
+        self.merge_deliveries(outcome)
+
+    def informed_counts(self) -> np.ndarray:
+        """Per-trial minimum rumour count (the serial progress metric)."""
+        return self.rumours_known().min(axis=1)
+
+    def completed(self) -> np.ndarray:
+        return self.knowledge.all(axis=(1, 2))
+
+
+class BatchEngine:
+    """Runs a batched protocol over ``R`` trials with one loop of vectorised rounds.
+
+    Per-trial completion masking reproduces the serial engine's stopping rule
+    exactly: a trial stops when it completes (or, under
+    ``run_to_quiescence``, when it goes quiescent), and a stopped trial
+    neither transmits nor consumes randomness while its siblings continue.
+
+    Parameters
+    ----------
+    collision_model:
+        A :class:`~repro.radio.collision.BatchCollisionModel`, or a scalar
+        :class:`~repro.radio.collision.CollisionModel` (converted via
+        :func:`~repro.radio.collision.as_batch_collision_model`).  Defaults
+        to the batched standard model.
+    record_rounds / keep_arrays / run_to_quiescence:
+        Same semantics as on :class:`~repro.radio.engine.SimulationEngine`,
+        applied per trial.
+    """
+
+    def __init__(
+        self,
+        collision_model: Union[BatchCollisionModel, CollisionModel, None] = None,
+        *,
+        record_rounds: bool = False,
+        keep_arrays: bool = False,
+        run_to_quiescence: bool = False,
+    ):
+        if collision_model is None:
+            self.collision_model: BatchCollisionModel = BatchStandardCollisionModel()
+        else:
+            self.collision_model = as_batch_collision_model(collision_model)
+        self.record_rounds = bool(record_rounds)
+        self.keep_arrays = bool(keep_arrays)
+        self.run_to_quiescence = bool(run_to_quiescence)
+
+    def run(
+        self,
+        networks: Union[NetworkBatch, RadioNetwork, Sequence[RadioNetwork]],
+        protocol: BatchProtocol,
+        *,
+        rng: SeedLike = None,
+        rngs: Optional[Sequence[SeedLike]] = None,
+        trials: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+    ) -> List[RunResultTrace]:
+        """Run all trials to their individual completion; one trace per trial.
+
+        Parameters
+        ----------
+        networks:
+            A :class:`NetworkBatch`, a sequence of equally-sized networks
+            (one per trial), or a single network together with ``trials``
+            (every trial then shares that topology).
+        rng:
+            Fast-mode seed/generator: one shared stream serves all trials
+            with vectorised draws.  Ignored when ``rngs`` is given.
+        rngs:
+            Exact-equivalence mode: one seed/generator per trial, consumed
+            exactly as the serial engine would — batched results are then
+            bit-identical to ``SimulationEngine.run`` with the same per-trial
+            generators.
+        max_rounds:
+            Per-trial horizon (defaults to the protocol's suggestion).
+        """
+        batch = self._coerce_batch(networks, trials)
+        if rngs is not None:
+            if len(rngs) != batch.trials:
+                raise ValueError(
+                    f"rngs must have one entry per trial "
+                    f"({batch.trials}), got {len(rngs)}"
+                )
+            rng_source = BatchRandomSource.exact(rngs)
+        else:
+            rng_source = BatchRandomSource.fast(rng)
+
+        protocol.bind(batch, rng_source)
+        if max_rounds is None:
+            max_rounds = protocol.suggested_max_rounds()
+        max_rounds = check_positive_int(max_rounds, "max_rounds")
+
+        trials_count, n = batch.trials, batch.n
+        accountant = BatchEnergyAccountant(trials_count, n)
+        completed = np.asarray(protocol.completed(), dtype=bool).copy()
+        completion_round = np.zeros(trials_count, dtype=np.int64)
+        rounds_executed = np.zeros(trials_count, dtype=np.int64)
+        # Serial rule: a trial that is already complete enters the loop only
+        # under run_to_quiescence (it may still be scheduled to transmit).
+        if self.run_to_quiescence:
+            running = np.ones(trials_count, dtype=bool)
+        else:
+            running = ~completed
+
+        # Trimmed outcomes (deliveries the protocol would ignore dropped in
+        # collision resolution) are observably equivalent only when nobody
+        # records per-round delivery counts and no per-trial stream has to
+        # match the serial engine call for call.
+        use_interest = not self.record_rounds and not rng_source.exact_mode
+
+        round_log: List[dict] = []
+        for round_index in range(max_rounds):
+            if not running.any():
+                break
+            tx_flat = np.asarray(
+                protocol.transmit_flat(round_index, running), dtype=np.int64
+            )
+            transmitters = accountant.record_flat(tx_flat)
+            outcome = self.collision_model.resolve(
+                batch,
+                tx_flat,
+                rng_source,
+                listener_filter=(
+                    protocol.listener_interest() if use_interest else None
+                ),
+            )
+
+            informed_before = (
+                protocol.informed_counts() if self.record_rounds else None
+            )
+            protocol.observe(round_index, tx_flat, outcome, running)
+            rounds_executed[running] = round_index + 1
+
+            if self.record_rounds:
+                round_log.append(
+                    {
+                        "running": running.copy(),
+                        "transmitters": transmitters,
+                        "deliveries": outcome.receiver_counts,
+                        "informed_before": informed_before,
+                        "informed_after": protocol.informed_counts(),
+                    }
+                )
+
+            completed_now = np.asarray(protocol.completed(), dtype=bool)
+            newly_completed = running & completed_now & ~completed
+            completion_round[newly_completed] = round_index + 1
+            completed |= newly_completed
+            if self.run_to_quiescence:
+                stop = running & np.asarray(
+                    protocol.quiescent(round_index + 1), dtype=bool
+                )
+            else:
+                stop = running & completed_now
+            running = running & ~stop
+
+        completion_round[~completed] = rounds_executed[~completed]
+        return self._assemble_results(
+            batch,
+            protocol,
+            accountant,
+            completed,
+            completion_round,
+            rounds_executed,
+            round_log,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce_batch(networks, trials: Optional[int]) -> NetworkBatch:
+        if isinstance(networks, NetworkBatch):
+            return networks
+        if isinstance(networks, RadioNetwork):
+            if trials is None:
+                raise ValueError(
+                    "pass trials=R when running a batch on a single network"
+                )
+            return NetworkBatch.shared(networks, trials)
+        return NetworkBatch(networks)
+
+    def _assemble_results(
+        self,
+        batch: NetworkBatch,
+        protocol: BatchProtocol,
+        accountant: BatchEnergyAccountant,
+        completed: np.ndarray,
+        completion_round: np.ndarray,
+        rounds_executed: np.ndarray,
+        round_log: List[dict],
+    ) -> List[RunResultTrace]:
+        reports = accountant.reports()
+        informed = protocol.informed_counts()
+        per_node = accountant.per_node() if self.keep_arrays else None
+        informed_rounds = (
+            protocol.informed_round
+            if self.keep_arrays and isinstance(protocol, BatchBroadcastProtocol)
+            else None
+        )
+        results: List[RunResultTrace] = []
+        for t in range(batch.trials):
+            rounds: List[RoundRecord] = []
+            for entry in round_log:
+                if not entry["running"][t]:
+                    continue
+                before = entry["informed_before"]
+                after = entry["informed_after"]
+                deliveries = int(entry["deliveries"][t])
+                # Trials run contiguously from round 0 until they stop, so the
+                # per-trial record index equals the engine's round index.
+                rounds.append(
+                    RoundRecord(
+                        round_index=len(rounds),
+                        transmitters=int(entry["transmitters"][t]),
+                        deliveries=deliveries,
+                        newly_informed=(
+                            int(after[t] - before[t])
+                            if after is not None and before is not None
+                            else deliveries
+                        ),
+                        informed_after=int(after[t]) if after is not None else -1,
+                    )
+                )
+            result = RunResultTrace(
+                protocol_name=protocol.name,
+                network_name=batch.networks[t].name,
+                n=batch.n,
+                completed=bool(completed[t]),
+                completion_round=int(completion_round[t]),
+                rounds_executed=int(rounds_executed[t]),
+                energy=reports[t],
+                informed_count=(
+                    int(informed[t]) if informed is not None else None
+                ),
+                rounds=rounds,
+                metadata=dict(protocol.trial_metadata(t)),
+            )
+            if per_node is not None:
+                result.per_node_transmissions = per_node[t]
+            if informed_rounds is not None:
+                result.informed_round = informed_rounds[t].copy()
+            results.append(result)
+        return results
+
+
+def run_protocol_batch(
+    networks: Union[NetworkBatch, RadioNetwork, Sequence[RadioNetwork]],
+    protocol: BatchProtocol,
+    *,
+    rng: SeedLike = None,
+    rngs: Optional[Sequence[SeedLike]] = None,
+    trials: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    collision_model: Union[BatchCollisionModel, CollisionModel, None] = None,
+    record_rounds: bool = False,
+    keep_arrays: bool = False,
+    run_to_quiescence: bool = False,
+) -> List[RunResultTrace]:
+    """Convenience wrapper: build a :class:`BatchEngine` and run once.
+
+    Examples
+    --------
+    >>> from repro.graphs import random_digraph
+    >>> from repro.core import BatchEnergyEfficientBroadcast
+    >>> net = random_digraph(256, 0.05, rng=1)
+    >>> results = run_protocol_batch(
+    ...     net, BatchEnergyEfficientBroadcast(0.05), trials=8, rng=2
+    ... )
+    >>> max(r.energy.max_per_node for r in results) <= 1
+    True
+    """
+    engine = BatchEngine(
+        collision_model,
+        record_rounds=record_rounds,
+        keep_arrays=keep_arrays,
+        run_to_quiescence=run_to_quiescence,
+    )
+    return engine.run(
+        networks,
+        protocol,
+        rng=rng,
+        rngs=rngs,
+        trials=trials,
+        max_rounds=max_rounds,
+    )

@@ -17,11 +17,11 @@ per-node transmission counts over a run and summarises them as an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["EnergyAccountant", "EnergyReport"]
+__all__ = ["EnergyAccountant", "BatchEnergyAccountant", "EnergyReport"]
 
 
 @dataclass(frozen=True)
@@ -110,4 +110,96 @@ class EnergyAccountant:
         return (
             f"EnergyAccountant(n={self._n}, rounds={self._rounds_recorded}, "
             f"total={self.total()})"
+        )
+
+
+class BatchEnergyAccountant:
+    """Per-node transmission counts for ``R`` trials advancing in lockstep.
+
+    The counters live in one ``(R, n)`` matrix so a whole batched round is
+    accounted with a single vectorised add; :meth:`reports` summarises every
+    trial with the same statistics (and therefore bit-identical values) as
+    :class:`EnergyAccountant` produces for a serial run.
+    """
+
+    def __init__(self, trials: int, n: int):
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self._trials = int(trials)
+        self._n = int(n)
+        self._per_node = np.zeros((self._trials, self._n), dtype=np.int64)
+        self._rounds_recorded = 0
+
+    @property
+    def trials(self) -> int:
+        """Number of trials tracked."""
+        return self._trials
+
+    @property
+    def n(self) -> int:
+        """Number of nodes per trial."""
+        return self._n
+
+    @property
+    def rounds_recorded(self) -> int:
+        """How many batched rounds have been recorded."""
+        return self._rounds_recorded
+
+    def record_round(self, transmit_masks: np.ndarray) -> np.ndarray:
+        """Add one round's transmissions; returns per-trial transmitter counts."""
+        transmit_masks = np.asarray(transmit_masks, dtype=bool)
+        if transmit_masks.shape != (self._trials, self._n):
+            raise ValueError(
+                f"transmit_masks must have shape ({self._trials}, {self._n}), "
+                f"got {transmit_masks.shape}"
+            )
+        self._per_node += transmit_masks
+        self._rounds_recorded += 1
+        return transmit_masks.sum(axis=1)
+
+    def record_flat(self, tx_flat: np.ndarray) -> np.ndarray:
+        """Add one round given sorted flat transmitter ids (``trial*n + node``).
+
+        The sparse counterpart of :meth:`record_round`: cost scales with the
+        number of transmitters, not with ``R * n``.  Returns the per-trial
+        transmitter counts.
+        """
+        self._per_node.reshape(-1)[tx_flat] += 1
+        self._rounds_recorded += 1
+        return np.bincount(tx_flat // self._n, minlength=self._trials)
+
+    def per_node(self, trial: Optional[int] = None) -> np.ndarray:
+        """Copy of the counts: the full ``(R, n)`` matrix or one trial's row."""
+        if trial is None:
+            return self._per_node.copy()
+        return self._per_node[trial].copy()
+
+    def reports(self) -> List["EnergyReport"]:
+        """One :class:`EnergyReport` per trial (vectorised across trials)."""
+        counts = self._per_node
+        totals = counts.sum(axis=1)
+        maxima = counts.max(axis=1)
+        means = counts.mean(axis=1)
+        medians = np.median(counts, axis=1)
+        p95s = np.percentile(counts, 95, axis=1)
+        transmitting = (counts > 0).sum(axis=1)
+        return [
+            EnergyReport(
+                total_transmissions=int(totals[t]),
+                max_per_node=int(maxima[t]),
+                mean_per_node=float(means[t]),
+                median_per_node=float(medians[t]),
+                p95_per_node=float(p95s[t]),
+                transmitting_nodes=int(transmitting[t]),
+                n=self._n,
+            )
+            for t in range(self._trials)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchEnergyAccountant(trials={self._trials}, n={self._n}, "
+            f"rounds={self._rounds_recorded})"
         )

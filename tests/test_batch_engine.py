@@ -1,0 +1,330 @@
+"""Batched-vs-serial equivalence suite for the batch simulation subsystem.
+
+The batch engine promises two things:
+
+1. In the **exact** rng mode (one child generator per trial) a batched run is
+   *bit-identical* to running the serial engine trial by trial with the same
+   generators — asserted here field by field for broadcast, gossip, flooding
+   and the erasure collision model.
+2. In the **fast** rng mode (one shared generator, vectorised draws) the
+   per-trial topologies and seeds are spawned identically to the serial
+   path, so aggregates are statistically interchangeable — asserted within
+   tolerance on completion-round and energy statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flooding import (
+    BatchBernoulliFlood,
+    BatchDeterministicFlood,
+    BernoulliFlood,
+    DeterministicFlood,
+)
+from repro.baselines.gossip_uniform import BatchUniformScaleGossip, UniformScaleGossip
+from repro.core.broadcast_random import (
+    BatchEnergyEfficientBroadcast,
+    EnergyEfficientBroadcast,
+)
+from repro.experiments.protocols import ProtocolSpec
+from repro.experiments.runner import aggregate_runs, repeat_job
+from repro.graphs.builders import GraphSpec
+from repro.graphs.random_digraph import (
+    connectivity_threshold_probability,
+    random_digraph,
+)
+from repro.radio.batch import BatchEngine, NetworkBatch, run_protocol_batch
+from repro.radio.collision import (
+    BatchStandardCollisionModel,
+    ErasureCollisionModel,
+    StandardCollisionModel,
+)
+from repro.radio.engine import SimulationEngine
+
+
+def _serial_runs(networks, make_protocol, seeds, **engine_options):
+    engine = SimulationEngine(engine_options.pop("collision_model", None), **engine_options)
+    return [
+        engine.run(net, make_protocol(), rng=np.random.default_rng(seed))
+        for net, seed in zip(networks, seeds)
+    ]
+
+
+def _assert_traces_identical(serial, batched, *, check_arrays=False):
+    assert len(serial) == len(batched)
+    for s, b in zip(serial, batched):
+        assert s.protocol_name == b.protocol_name
+        assert s.n == b.n
+        assert s.completed == b.completed
+        assert s.completion_round == b.completion_round
+        assert s.rounds_executed == b.rounds_executed
+        assert s.energy == b.energy
+        assert s.informed_count == b.informed_count
+        if check_arrays:
+            assert np.array_equal(s.per_node_transmissions, b.per_node_transmissions)
+            if s.informed_round is not None:
+                assert np.array_equal(s.informed_round, b.informed_round)
+
+
+@pytest.fixture(scope="module")
+def gnp_batch():
+    """Eight distinct G(n, p) samples, as a repetition sweep would draw."""
+    n = 192
+    p = connectivity_threshold_probability(n, delta=4.0)
+    return [random_digraph(n, p, rng=300 + t) for t in range(8)], p
+
+
+class TestExactEquivalence:
+    def test_algorithm1_bit_identical(self, gnp_batch):
+        networks, p = gnp_batch
+        seeds = list(range(50, 58))
+        serial = _serial_runs(
+            networks,
+            lambda: EnergyEfficientBroadcast(p),
+            seeds,
+            run_to_quiescence=True,
+            keep_arrays=True,
+        )
+        engine = BatchEngine(run_to_quiescence=True, keep_arrays=True)
+        batched = engine.run(
+            networks,
+            BatchEnergyEfficientBroadcast(p),
+            rngs=[np.random.default_rng(s) for s in seeds],
+        )
+        _assert_traces_identical(serial, batched, check_arrays=True)
+        # Schedule metadata and the per-trial |U_t| history also agree.
+        for s, b in zip(serial, batched):
+            assert s.metadata["T"] == b.metadata["T"]
+            assert s.metadata["active_history"] == b.metadata["active_history"]
+
+    def test_gossip_bit_identical(self):
+        n = 40
+        p = 0.25
+        networks = [random_digraph(n, p, rng=400 + t) for t in range(4)]
+        seeds = [90, 91, 92, 93]
+        serial = _serial_runs(networks, UniformScaleGossip, seeds)
+        batched = BatchEngine().run(
+            networks,
+            BatchUniformScaleGossip(),
+            rngs=[np.random.default_rng(s) for s in seeds],
+        )
+        _assert_traces_identical(serial, batched)
+
+    def test_erasure_model_bit_identical(self, gnp_batch):
+        networks, p = gnp_batch
+        seeds = list(range(60, 68))
+        serial = _serial_runs(
+            networks,
+            lambda: EnergyEfficientBroadcast(p),
+            seeds,
+            collision_model=ErasureCollisionModel(0.25),
+            run_to_quiescence=True,
+        )
+        batched = BatchEngine(
+            ErasureCollisionModel(0.25), run_to_quiescence=True
+        ).run(
+            networks,
+            BatchEnergyEfficientBroadcast(p),
+            rngs=[np.random.default_rng(s) for s in seeds],
+        )
+        _assert_traces_identical(serial, batched)
+
+    def test_flooding_bit_identical(self, gnp_batch):
+        networks, _ = gnp_batch
+        seeds = list(range(70, 78))
+        serial = _serial_runs(networks, lambda: BernoulliFlood(0.05), seeds)
+        batched = BatchEngine().run(
+            networks,
+            BatchBernoulliFlood(0.05),
+            rngs=[np.random.default_rng(s) for s in seeds],
+        )
+        _assert_traces_identical(serial, batched)
+
+        serial = _serial_runs(
+            networks, lambda: DeterministicFlood(max_transmissions_per_node=6), seeds
+        )
+        batched = BatchEngine().run(
+            networks,
+            BatchDeterministicFlood(max_transmissions_per_node=6),
+            rngs=[np.random.default_rng(s) for s in seeds],
+        )
+        _assert_traces_identical(serial, batched)
+
+    def test_record_rounds_bit_identical(self, gnp_batch):
+        networks, p = gnp_batch
+        seeds = list(range(80, 84))
+        serial = _serial_runs(
+            networks[:4],
+            lambda: EnergyEfficientBroadcast(p),
+            seeds,
+            record_rounds=True,
+        )
+        batched = BatchEngine(record_rounds=True).run(
+            networks[:4],
+            BatchEnergyEfficientBroadcast(p),
+            rngs=[np.random.default_rng(s) for s in seeds],
+        )
+        for s, b in zip(serial, batched):
+            assert [r.as_dict() for r in s.rounds] == [r.as_dict() for r in b.rounds]
+
+    def test_repeat_job_exact_mode_matches_serial(self):
+        graph = GraphSpec("gnp", {"n": 128, "p": 0.08})
+        protocol = ProtocolSpec("algorithm1", {"p": 0.08})
+        serial = repeat_job(
+            graph, protocol, repetitions=6, seed=11, batch=False, run_to_quiescence=True
+        )
+        batched = repeat_job(
+            graph,
+            protocol,
+            repetitions=6,
+            seed=11,
+            batch=True,
+            batch_mode="exact",
+            run_to_quiescence=True,
+        )
+        _assert_traces_identical(serial, batched)
+        # The topology samples are the same networks in both paths.
+        assert [r.network_name for r in serial] == [r.network_name for r in batched]
+
+
+class TestInvariants:
+    def test_at_most_one_transmission_per_trial(self, gnp_batch):
+        """Theorem 2.1's invariant holds in every trial of the batch path."""
+        networks, p = gnp_batch
+        results = run_protocol_batch(
+            networks,
+            BatchEnergyEfficientBroadcast(p),
+            rng=5,
+            run_to_quiescence=True,
+            keep_arrays=True,
+        )
+        for result in results:
+            assert result.energy.max_per_node <= 1
+            assert result.per_node_transmissions.max() <= 1
+
+    def test_stopped_trials_accrue_nothing(self, gnp_batch):
+        """A trial that completes early neither transmits nor gains rounds."""
+        networks, p = gnp_batch
+        results = run_protocol_batch(
+            networks, BatchEnergyEfficientBroadcast(p), rng=7
+        )
+        rounds = [r.rounds_executed for r in results]
+        assert min(rounds) < max(rounds)  # trials genuinely stop at different times
+        for result in results:
+            if result.completed:
+                assert result.rounds_executed == result.completion_round
+
+    def test_shared_topology_batch(self, gnp_batch):
+        networks, p = gnp_batch
+        results = run_protocol_batch(
+            networks[0], BatchEnergyEfficientBroadcast(p), trials=5, rng=3
+        )
+        assert len(results) == 5
+        assert all(r.network_name == networks[0].name for r in results)
+
+
+class TestBatchCollision:
+    def test_batch_resolution_matches_per_trial_serial(self, gnp_batch):
+        """One batched resolve == R serial resolves, trial by trial."""
+        networks, _ = gnp_batch
+        batch = NetworkBatch(networks)
+        rng = np.random.default_rng(17)
+        masks = rng.random((batch.trials, batch.n)) < 0.1
+        outcome = BatchStandardCollisionModel().resolve(batch, masks)
+        serial_model = StandardCollisionModel()
+        for t, net in enumerate(networks):
+            expected = serial_model.resolve(net, masks[t])
+            assert np.array_equal(outcome.receivers_of(t), expected.receivers)
+            assert np.array_equal(outcome.senders_of(t), expected.senders)
+            assert np.array_equal(outcome.hear_counts[t], expected.hear_counts)
+        assert int(outcome.receiver_counts.sum()) == outcome.receiver_flat.size
+
+    def test_network_batch_rejects_mixed_sizes(self):
+        a = random_digraph(16, 0.2, rng=1)
+        b = random_digraph(17, 0.2, rng=1)
+        with pytest.raises(ValueError):
+            NetworkBatch([a, b])
+
+
+class TestFastSeedingAggregates:
+    def test_completion_aggregates_match_within_tolerance(self):
+        """Fast-mode batching is statistically interchangeable with serial."""
+        graph = GraphSpec("gnp", {"n": 256, "p": 0.06})
+        protocol = ProtocolSpec("algorithm1", {"p": 0.06})
+        serial = aggregate_runs(
+            repeat_job(
+                graph,
+                protocol,
+                repetitions=24,
+                seed=5,
+                batch=False,
+                run_to_quiescence=True,
+            )
+        )
+        batched = aggregate_runs(
+            repeat_job(
+                graph,
+                protocol,
+                repetitions=24,
+                seed=5,
+                batch=True,
+                run_to_quiescence=True,
+            )
+        )
+        assert batched["runs"] == serial["runs"]
+        assert abs(batched["success_rate"] - serial["success_rate"]) <= 0.25
+        s_rounds = serial["completion_rounds"].mean
+        b_rounds = batched["completion_rounds"].mean
+        assert b_rounds == pytest.approx(s_rounds, rel=0.35)
+        s_tx = serial["total_transmissions"].mean
+        b_tx = batched["total_transmissions"].mean
+        assert b_tx == pytest.approx(s_tx, rel=0.35)
+
+    def test_fast_mode_erasure_on_dense_rounds(self):
+        """Erasure + listener filter + dense collision rounds compose.
+
+        Regression: the erasure model filters receiver_flat before the lazy
+        sender_flat is materialised; on rounds with enough gathered edges to
+        take the dense-scan path this used to rebuild the senders from the
+        already-filtered receivers and crash on a size mismatch.
+        """
+        runs = repeat_job(
+            GraphSpec("gnp", {"n": 2048, "p": 0.02}),
+            ProtocolSpec("algorithm1", {"p": 0.02}),
+            repetitions=4,
+            seed=0,
+            erasure_probability=0.2,
+            run_to_quiescence=True,
+        )
+        assert len(runs) == 4
+        assert all(r.energy.max_per_node <= 1 for r in runs)
+
+    def test_non_batchable_protocol_falls_back(self):
+        graph = GraphSpec("gnp", {"n": 96, "p": 0.1})
+        protocol = ProtocolSpec("decay", {})
+        batched = repeat_job(graph, protocol, repetitions=3, seed=4, batch=True)
+        serial = repeat_job(graph, protocol, repetitions=3, seed=4, batch=False)
+        assert [r.completion_round for r in batched] == [
+            r.completion_round for r in serial
+        ]
+
+    def test_invalid_batch_mode_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_job(
+                GraphSpec("gnp", {"n": 32, "p": 0.2}),
+                ProtocolSpec("algorithm1", {"p": 0.2}),
+                repetitions=2,
+                batch_mode="approximate",
+            )
+
+    def test_job_metadata_attached(self):
+        runs = repeat_job(
+            GraphSpec("gnp", {"n": 64, "p": 0.15}),
+            ProtocolSpec("algorithm1", {"p": 0.15}),
+            repetitions=2,
+            seed=9,
+            label="batched-sweep",
+        )
+        for run in runs:
+            assert run.metadata["job"]["protocol"]["name"] == "algorithm1"
+            assert run.metadata["label"] == "batched-sweep"
