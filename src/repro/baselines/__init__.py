@@ -20,9 +20,17 @@
   the Chrobak–Gasieniec–Rytter framework [8].
 """
 
-from repro.baselines.czumaj_rytter import KnownDiameterCR, UniformSelectionBroadcast
-from repro.baselines.decay import DecayBroadcast
-from repro.baselines.elsasser_gasieniec import ElsasserGasieniecBroadcast
+from repro.baselines.czumaj_rytter import (
+    BatchKnownDiameterCR,
+    BatchUniformSelectionBroadcast,
+    KnownDiameterCR,
+    UniformSelectionBroadcast,
+)
+from repro.baselines.decay import BatchDecayBroadcast, DecayBroadcast
+from repro.baselines.elsasser_gasieniec import (
+    BatchElsasserGasieniecBroadcast,
+    ElsasserGasieniecBroadcast,
+)
 from repro.baselines.flooding import (
     BatchBernoulliFlood,
     BatchDeterministicFlood,
@@ -35,19 +43,27 @@ from repro.baselines.phone_call import (
     run_push_broadcast,
     run_push_gossip,
 )
-from repro.baselines.sequential_gossip import SequentialBroadcastGossip
+from repro.baselines.sequential_gossip import (
+    BatchSequentialBroadcastGossip,
+    SequentialBroadcastGossip,
+)
 
 __all__ = [
     "SequentialBroadcastGossip",
+    "BatchSequentialBroadcastGossip",
     "DeterministicFlood",
     "BernoulliFlood",
     "BatchDeterministicFlood",
     "BatchBernoulliFlood",
     "BatchUniformScaleGossip",
     "DecayBroadcast",
+    "BatchDecayBroadcast",
     "ElsasserGasieniecBroadcast",
+    "BatchElsasserGasieniecBroadcast",
     "KnownDiameterCR",
+    "BatchKnownDiameterCR",
     "UniformSelectionBroadcast",
+    "BatchUniformSelectionBroadcast",
     "UniformScaleGossip",
     "PhoneCallResult",
     "run_push_broadcast",

@@ -26,10 +26,11 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro._util.validation import check_positive_int
-from repro.radio.collision import CollisionOutcome
+from repro.radio.batch import BatchBroadcastProtocol
+from repro.radio.collision import BatchCollisionOutcome, CollisionOutcome
 from repro.radio.protocol import BroadcastProtocol
 
-__all__ = ["DecayBroadcast"]
+__all__ = ["DecayBroadcast", "BatchDecayBroadcast"]
 
 
 class DecayBroadcast(BroadcastProtocol):
@@ -106,3 +107,78 @@ class DecayBroadcast(BroadcastProtocol):
     def suggested_max_rounds(self) -> int:
         log_n = max(1.0, math.log2(max(2, self.n)))
         return int(math.ceil(32 * (self.n + log_n) * log_n))
+
+
+class BatchDecayBroadcast(BatchBroadcastProtocol):
+    """Batched Decay: ``R`` trials draw their phase quotas together.
+
+    At each phase boundary the participating nodes of every running trial
+    draw their geometric transmission quotas in one concatenated call
+    (:meth:`~repro.radio.batch.BatchRandomSource.geometrics_for_counts`); the
+    within-phase rounds are then pure mask comparisons.  Exact mode draws
+    each trial's block from its own generator — the serial protocol's
+    ``rng.geometric(0.5, count)`` call — so batched runs are bit-identical
+    to serial ones.
+    """
+
+    name = DecayBroadcast.name
+
+    def __init__(self, *, source: int = 0, max_phases_active: Optional[int] = None):
+        super().__init__(source=source)
+        if max_phases_active is not None:
+            max_phases_active = check_positive_int(
+                max_phases_active, "max_phases_active"
+            )
+        self.max_phases_active = max_phases_active
+        self.phase_length: int = 1
+        self._phase_quota: Optional[np.ndarray] = None
+        self._informed_phase: Optional[np.ndarray] = None
+
+    def _setup_broadcast(self) -> None:
+        trials, n = self.trials, self.n
+        self.phase_length = max(1, int(math.ceil(2 * math.log2(max(2, n)))))
+        self._phase_quota = np.zeros((trials, n), dtype=np.int64)
+        self._informed_phase = np.full((trials, n), -1, dtype=np.int64)
+        self._informed_phase[:, self.source] = 0
+
+    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        phase_index, within = divmod(round_index, self.phase_length)
+        if within == 0:
+            participating = self.informed & running[:, None]
+            if self.max_phases_active is not None:
+                alive = (
+                    phase_index - self._informed_phase
+                ) < self.max_phases_active
+                participating &= alive & (self._informed_phase >= 0)
+            counts = participating.sum(axis=1)
+            quotas = np.zeros((self.trials, self.n), dtype=np.int64)
+            if counts.any():
+                # Concatenated trial-major draws land on participating nodes
+                # in ascending id order — the serial assignment exactly.
+                draws = self.rng_source.geometrics_for_counts(0.5, counts)
+                quotas[participating] = np.minimum(draws, self.phase_length)
+            self._phase_quota = quotas
+        return (self._phase_quota > within) & running[:, None]
+
+    def observe(
+        self,
+        round_index: int,
+        tx_flat: np.ndarray,
+        outcome: BatchCollisionOutcome,
+        running: np.ndarray,
+    ) -> None:
+        newly = self.mark_informed(outcome.receiver_flat, round_index)
+        if newly.size:
+            phase_index = round_index // self.phase_length
+            # Newly informed nodes join from the *next* phase.
+            self._informed_phase.reshape(-1)[newly] = phase_index + 1
+
+    def suggested_max_rounds(self) -> int:
+        log_n = max(1.0, math.log2(max(2, self.n)))
+        return int(math.ceil(32 * (self.n + log_n) * log_n))
+
+    def trial_metadata(self, trial: int) -> Dict[str, object]:
+        return {
+            "phase_length": self.phase_length,
+            "max_phases_active": self.max_phases_active,
+        }

@@ -20,16 +20,17 @@ sequence (no knowledge of the topology is needed), refreshed per epoch.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro._util.validation import check_positive
 from repro.core.distributions import UniformScaleDistribution
 from repro.core.selection import SelectionSequence
+from repro.radio.batch import BatchGossipProtocol
 from repro.radio.protocol import GossipProtocol
 
-__all__ = ["SequentialBroadcastGossip"]
+__all__ = ["SequentialBroadcastGossip", "BatchSequentialBroadcastGossip"]
 
 
 class SequentialBroadcastGossip(GossipProtocol):
@@ -104,3 +105,84 @@ class SequentialBroadcastGossip(GossipProtocol):
             f"SequentialBroadcastGossip(epoch_length_factor={self.epoch_length_factor}, "
             f"passes={self.passes})"
         )
+
+
+class BatchSequentialBroadcastGossip(BatchGossipProtocol):
+    """Batched :class:`SequentialBroadcastGossip`.
+
+    The epoch (and therefore the scheduled rumour) depends only on the round
+    index, so all trials broadcast the same rumour slot; participants are
+    read off the ``(R, n, n)`` knowledge tensor.  Exact mode interleaves each
+    trial's public-scale block draws and node coins exactly as the serial
+    protocol does.
+    """
+
+    name = SequentialBroadcastGossip.name
+
+    def __init__(self, *, epoch_length_factor: float = 2.0, passes: int = 1):
+        super().__init__()
+        self.epoch_length_factor = check_positive(
+            epoch_length_factor, "epoch_length_factor"
+        )
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        self.passes = int(passes)
+        self.epoch_length: int = 1
+        self.round_budget: int = 0
+        self._sequences: Optional[List[SelectionSequence]] = None
+        self._distribution: Optional[UniformScaleDistribution] = None
+
+    def _setup_gossip(self) -> None:
+        n = self.n
+        log_n = max(1.0, math.log2(max(2, n)))
+        self.epoch_length = max(1, int(math.ceil(self.epoch_length_factor * log_n**2)))
+        self.round_budget = self.epoch_length * n * self.passes
+        self._distribution = UniformScaleDistribution(max(2, n))
+        if self.rng_source.exact_mode:
+            self._sequences = [
+                SelectionSequence(
+                    self._distribution, rng=self.rng_source.generator_for_trial(t)
+                )
+                for t in range(self.trials)
+            ]
+        else:
+            self._sequences = None
+
+    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        trials, n = self.trials, self.n
+        masks = np.zeros((trials, n), dtype=bool)
+        if round_index >= self.round_budget:
+            return masks
+        epoch = round_index // self.epoch_length
+        rumour = epoch % n
+        # Participants: nodes that already know the epoch's rumour.
+        participants = self.knowledge[:, :, rumour]
+        if self._sequences is not None:
+            for t in np.flatnonzero(running):
+                if not participants[t].any():
+                    continue
+                probability = self._sequences[t].probability_at(round_index)
+                draws = self.rng_source.generator_for_trial(t).random(n)
+                masks[t] = participants[t] & (draws < probability)
+            return masks
+        probabilities = self._distribution.sample_probabilities(
+            trials, rng=self.rng_source.generator
+        )
+        rows = np.flatnonzero(running)
+        if rows.size:
+            draws = self.rng_source.uniform_rows(running, n)
+            masks[rows] = participants[rows] & (draws < probabilities[rows, None])
+        return masks
+
+    def quiescent(self, round_index: int) -> np.ndarray:
+        return np.full(self.trials, round_index >= self.round_budget, dtype=bool)
+
+    def suggested_max_rounds(self) -> int:
+        return self.round_budget
+
+    def trial_metadata(self, trial: int) -> Dict[str, object]:
+        return {
+            "epoch_length": self.epoch_length,
+            "round_budget": self.round_budget,
+            "passes": self.passes,
+        }

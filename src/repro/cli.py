@@ -12,6 +12,16 @@ Subcommands
 
 ``repro chart E6``
     Run an experiment and render its series as ASCII charts.
+
+Execution flags (``run`` / ``chart`` / ``report``)
+--------------------------------------------------
+
+Repetition sweeps ride the batched execution pipeline by default (all seeds
+of a sweep advance together through the vectorised
+:class:`~repro.radio.batch.BatchEngine`; ``--processes K`` shards them into
+``K`` per-worker batches).  ``--no-batch`` forces the serial per-run engine,
+and ``--batch-mode exact`` makes batched runs bit-identical to serial ones
+(one rng stream per trial) instead of the default vectorised ``fast`` mode.
 """
 
 from __future__ import annotations
@@ -23,8 +33,26 @@ from typing import List, Optional
 
 from repro.experiments.figures import ascii_chart
 from repro.experiments.registry import all_experiments, run_experiment
+from repro.experiments.runner import configure_execution
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags controlling the batched execution pipeline (shared by run/chart/report)."""
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="run repetition sweeps through the serial per-run engine "
+        "instead of the batched pipeline",
+    )
+    parser.add_argument(
+        "--batch-mode",
+        choices=["fast", "exact"],
+        default="fast",
+        help="randomness policy of the batched pipeline: 'fast' (vectorised, "
+        "statistically identical to serial) or 'exact' (bit-identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,11 +80,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--json", type=Path, default=None, help="write JSON result here")
     run_parser.add_argument("--csv", type=Path, default=None, help="write the table as CSV here")
+    _add_execution_flags(run_parser)
 
     chart_parser = sub.add_parser("chart", help="run an experiment and render its series")
     chart_parser.add_argument("experiment", help="experiment id (e.g. E6)")
     chart_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
     chart_parser.add_argument("--seed", type=int, default=0)
+    chart_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan repetitions out over this many worker processes",
+    )
+    _add_execution_flags(chart_parser)
 
     report_parser = sub.add_parser(
         "report", help="run experiments and write a Markdown report + JSON archive"
@@ -73,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--processes", type=int, default=None)
+    _add_execution_flags(report_parser)
 
     return parser
 
@@ -114,7 +151,12 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_chart(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    result = run_experiment(
+        args.experiment,
+        scale=args.scale,
+        seed=args.seed,
+        processes=args.processes,
+    )
     if not result.series:
         print(f"{result.experiment_id} produced no series to chart")
         return 1
@@ -144,6 +186,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if hasattr(args, "no_batch"):
+        configure_execution(
+            batch=False if args.no_batch else True,
+            batch_mode=args.batch_mode,
+        )
     if args.command == "list":
         return _command_list()
     if args.command == "run":

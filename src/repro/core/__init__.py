@@ -19,7 +19,10 @@
 * :mod:`~repro.core.selection` — shared-randomness selection sequences.
 """
 
-from repro.core.broadcast_general import KnownDiameterBroadcast
+from repro.core.broadcast_general import (
+    BatchKnownDiameterBroadcast,
+    KnownDiameterBroadcast,
+)
 from repro.core.broadcast_random import (
     Algorithm1Schedule,
     BatchEnergyEfficientBroadcast,
@@ -33,10 +36,10 @@ from repro.core.distributions import (
     ScaleDistribution,
     UniformScaleDistribution,
 )
-from repro.core.gossip_random import RandomNetworkGossip
-from repro.core.oblivious import TimeInvariantBroadcast
+from repro.core.gossip_random import BatchRandomNetworkGossip, RandomNetworkGossip
+from repro.core.oblivious import BatchTimeInvariantBroadcast, TimeInvariantBroadcast
 from repro.core.selection import SelectionSequence
-from repro.core.tradeoff import TradeoffBroadcast
+from repro.core.tradeoff import BatchTradeoffBroadcast, TradeoffBroadcast
 
 __all__ = [
     "EnergyEfficientBroadcast",
@@ -44,9 +47,13 @@ __all__ = [
     "Algorithm1Schedule",
     "compute_algorithm1_schedule",
     "RandomNetworkGossip",
+    "BatchRandomNetworkGossip",
     "KnownDiameterBroadcast",
+    "BatchKnownDiameterBroadcast",
     "TradeoffBroadcast",
+    "BatchTradeoffBroadcast",
     "TimeInvariantBroadcast",
+    "BatchTimeInvariantBroadcast",
     "ScaleDistribution",
     "AlphaDistribution",
     "CzumajRytterDistribution",

@@ -32,9 +32,10 @@ import numpy as np
 
 from repro._util.logmath import expected_degree
 from repro._util.validation import check_positive, check_probability
+from repro.radio.batch import BatchGossipProtocol
 from repro.radio.protocol import GossipProtocol
 
-__all__ = ["RandomNetworkGossip"]
+__all__ = ["RandomNetworkGossip", "BatchRandomNetworkGossip"]
 
 
 class RandomNetworkGossip(GossipProtocol):
@@ -87,4 +88,63 @@ class RandomNetworkGossip(GossipProtocol):
     def __repr__(self) -> str:
         return (
             f"RandomNetworkGossip(p={self.p}, rounds_constant={self.rounds_constant})"
+        )
+
+
+class BatchRandomNetworkGossip(BatchGossipProtocol):
+    """Batched Algorithm 2: ``R`` gossip trials per vectorised round.
+
+    Every node of every running trial flips the same Bernoulli(1/d) coin each
+    round, so a round is one ``(k, n)`` uniform draw.  In exact mode each
+    running trial draws its full ``rng.random(n)`` vector from its own
+    generator — the serial protocol's stream call for call — making batched
+    runs bit-identical to serial ones.
+    """
+
+    name = RandomNetworkGossip.name
+
+    def __init__(self, p: float, *, rounds_constant: float = 8.0):
+        super().__init__()
+        self.p = check_probability(p, "p", allow_zero=False)
+        self.rounds_constant = check_positive(rounds_constant, "rounds_constant")
+        self.d: float = 0.0
+        self.transmit_probability: float = 0.0
+        self.round_budget: int = 0
+
+    def _setup_gossip(self) -> None:
+        n = self.n
+        self.d = max(expected_degree(n, self.p), 1.0)
+        self.transmit_probability = min(1.0, 1.0 / self.d)
+        log_n = max(1.0, math.log2(n))
+        self.round_budget = int(math.ceil(self.rounds_constant * self.d * log_n))
+
+    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        trials, n = self.trials, self.n
+        masks = np.zeros((trials, n), dtype=bool)
+        if round_index >= self.round_budget:
+            return masks
+        rows = np.flatnonzero(running)
+        if rows.size:
+            draws = self.rng_source.uniform_rows(running, n)
+            masks[rows] = draws < self.transmit_probability
+        return masks
+
+    def quiescent(self, round_index: int) -> np.ndarray:
+        return np.full(self.trials, round_index >= self.round_budget, dtype=bool)
+
+    def suggested_max_rounds(self) -> int:
+        return self.round_budget
+
+    def trial_metadata(self, trial: int) -> Dict[str, object]:
+        return {
+            "p": self.p,
+            "d": self.d,
+            "transmit_probability": self.transmit_probability,
+            "round_budget": self.round_budget,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchRandomNetworkGossip(p={self.p}, "
+            f"rounds_constant={self.rounds_constant})"
         )

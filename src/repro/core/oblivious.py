@@ -27,9 +27,22 @@ import numpy as np
 
 from repro._util.validation import check_positive_int
 from repro.core.distributions import FixedProbabilityOblivious, ScaleDistribution
+from repro.radio.batch import BatchBroadcastProtocol
 from repro.radio.protocol import BroadcastProtocol
 
-__all__ = ["TimeInvariantBroadcast"]
+__all__ = ["TimeInvariantBroadcast", "BatchTimeInvariantBroadcast"]
+
+
+def _coerce_distribution(distribution) -> ScaleDistribution:
+    """Accept a ScaleDistribution or a float ``q`` shorthand (shared check)."""
+    if isinstance(distribution, (int, float)) and not isinstance(distribution, bool):
+        distribution = FixedProbabilityOblivious(float(distribution))
+    if not isinstance(distribution, ScaleDistribution):
+        raise TypeError(
+            "distribution must be a ScaleDistribution or a float probability, "
+            f"got {type(distribution).__name__}"
+        )
+    return distribution
 
 
 class TimeInvariantBroadcast(BroadcastProtocol):
@@ -60,14 +73,7 @@ class TimeInvariantBroadcast(BroadcastProtocol):
         source: int = 0,
     ):
         super().__init__(source=source)
-        if isinstance(distribution, (int, float)) and not isinstance(distribution, bool):
-            distribution = FixedProbabilityOblivious(float(distribution))
-        if not isinstance(distribution, ScaleDistribution):
-            raise TypeError(
-                "distribution must be a ScaleDistribution or a float probability, "
-                f"got {type(distribution).__name__}"
-            )
-        self.distribution = distribution
+        self.distribution = _coerce_distribution(distribution)
         if active_window is not None:
             active_window = check_positive_int(active_window, "active_window")
         self.active_window = active_window
@@ -111,3 +117,90 @@ class TimeInvariantBroadcast(BroadcastProtocol):
         log_n = max(1.0, math.log2(max(2, self.n)))
         mean_q = max(self.distribution.mean_transmission_probability(), 1e-9)
         return int(math.ceil(64 * (self.n + log_n) / mean_q))
+
+
+class BatchTimeInvariantBroadcast(BatchBroadcastProtocol):
+    """Batched :class:`TimeInvariantBroadcast`: ``R`` oblivious trials per round.
+
+    Each trial draws its own shared per-round probability (one scale draw)
+    followed by its ``n`` node coins.  In exact mode both draws come from the
+    trial's own generator in the serial order (and are skipped entirely for
+    trials with no eligible node), so batched runs are bit-identical to
+    serial ones; in fast mode the round's ``R`` scale draws collapse into one
+    call on the shared generator.
+    """
+
+    name = TimeInvariantBroadcast.name
+
+    def __init__(
+        self,
+        distribution,
+        *,
+        active_window: Optional[int] = None,
+        source: int = 0,
+    ):
+        super().__init__(source=source)
+        self.distribution = _coerce_distribution(distribution)
+        if active_window is not None:
+            active_window = check_positive_int(active_window, "active_window")
+        self.active_window = active_window
+
+    def _eligible_masks(self, round_index: int) -> np.ndarray:
+        eligible = self.informed
+        if self.active_window is not None:
+            eligible = eligible & (
+                round_index < self.informed_round + self.active_window
+            )
+        return eligible
+
+    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        trials, n = self.trials, self.n
+        eligible = self._eligible_masks(round_index)
+        masks = np.zeros((trials, n), dtype=bool)
+        fixed = isinstance(self.distribution, FixedProbabilityOblivious)
+        if self.rng_source.exact_mode:
+            for t in np.flatnonzero(running):
+                if not eligible[t].any():
+                    continue
+                generator = self.rng_source.generator_for_trial(t)
+                if fixed:
+                    probability = self.distribution.per_round_probability()
+                else:
+                    probability = float(
+                        self.distribution.sample_probabilities(1, rng=generator)[0]
+                    )
+                draws = generator.random(n)
+                masks[t] = eligible[t] & (draws < probability)
+            return masks
+        if fixed:
+            probabilities = np.full(
+                trials, self.distribution.per_round_probability()
+            )
+        else:
+            probabilities = self.distribution.sample_probabilities(
+                trials, rng=self.rng_source.generator
+            )
+        rows = np.flatnonzero(running)
+        if rows.size:
+            draws = self.rng_source.uniform_rows(running, n)
+            masks[rows] = eligible[rows] & (draws < probabilities[rows, None])
+        return masks
+
+    def quiescent(self, round_index: int) -> np.ndarray:
+        if self.active_window is None:
+            return self.completed()
+        return ~self._eligible_masks(round_index).any(axis=1)
+
+    def suggested_max_rounds(self) -> int:
+        import math
+
+        log_n = max(1.0, math.log2(max(2, self.n)))
+        mean_q = max(self.distribution.mean_transmission_probability(), 1e-9)
+        return int(math.ceil(64 * (self.n + log_n) / mean_q))
+
+    def trial_metadata(self, trial: int) -> Dict[str, object]:
+        return {
+            "distribution": self.distribution.name,
+            "mean_transmission_probability": self.distribution.mean_transmission_probability(),
+            "active_window": self.active_window,
+        }

@@ -12,9 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict
 
-from repro.baselines.czumaj_rytter import KnownDiameterCR, UniformSelectionBroadcast
-from repro.baselines.decay import DecayBroadcast
-from repro.baselines.elsasser_gasieniec import ElsasserGasieniecBroadcast
+from repro.baselines.czumaj_rytter import (
+    BatchKnownDiameterCR,
+    BatchUniformSelectionBroadcast,
+    KnownDiameterCR,
+    UniformSelectionBroadcast,
+)
+from repro.baselines.decay import BatchDecayBroadcast, DecayBroadcast
+from repro.baselines.elsasser_gasieniec import (
+    BatchElsasserGasieniecBroadcast,
+    ElsasserGasieniecBroadcast,
+)
 from repro.baselines.flooding import (
     BatchBernoulliFlood,
     BatchDeterministicFlood,
@@ -22,8 +30,14 @@ from repro.baselines.flooding import (
     DeterministicFlood,
 )
 from repro.baselines.gossip_uniform import BatchUniformScaleGossip, UniformScaleGossip
-from repro.baselines.sequential_gossip import SequentialBroadcastGossip
-from repro.core.broadcast_general import KnownDiameterBroadcast
+from repro.baselines.sequential_gossip import (
+    BatchSequentialBroadcastGossip,
+    SequentialBroadcastGossip,
+)
+from repro.core.broadcast_general import (
+    BatchKnownDiameterBroadcast,
+    KnownDiameterBroadcast,
+)
 from repro.core.broadcast_random import (
     BatchEnergyEfficientBroadcast,
     EnergyEfficientBroadcast,
@@ -34,9 +48,9 @@ from repro.core.distributions import (
     FixedProbabilityOblivious,
     UniformScaleDistribution,
 )
-from repro.core.gossip_random import RandomNetworkGossip
-from repro.core.oblivious import TimeInvariantBroadcast
-from repro.core.tradeoff import TradeoffBroadcast
+from repro.core.gossip_random import BatchRandomNetworkGossip, RandomNetworkGossip
+from repro.core.oblivious import BatchTimeInvariantBroadcast, TimeInvariantBroadcast
+from repro.core.tradeoff import BatchTradeoffBroadcast, TradeoffBroadcast
 from repro.radio.batch import BatchProtocol
 from repro.radio.protocol import Protocol
 
@@ -50,30 +64,36 @@ __all__ = [
 ]
 
 
-def _build_time_invariant(**params) -> TimeInvariantBroadcast:
-    """Factory for :class:`TimeInvariantBroadcast` taking a distribution spec.
-
-    ``distribution`` may be a float (fixed probability) or a dict
-    ``{"kind": "alpha" | "alpha_prime" | "uniform" | "fixed", ...}``.
-    """
-    dist_spec = params.pop("distribution")
+def _resolve_distribution(dist_spec):
+    """Resolve a distribution spec: a float (fixed probability), a
+    ``ScaleDistribution`` instance, or a dict
+    ``{"kind": "alpha" | "alpha_prime" | "uniform" | "fixed", ...}``."""
     if isinstance(dist_spec, dict):
         kind = dist_spec.get("kind")
         if kind == "alpha":
-            dist = AlphaDistribution(
+            return AlphaDistribution(
                 dist_spec["n"], dist_spec["diameter"], lam=dist_spec.get("lam")
             )
-        elif kind == "alpha_prime":
-            dist = CzumajRytterDistribution(dist_spec["n"], dist_spec["diameter"])
-        elif kind == "uniform":
-            dist = UniformScaleDistribution(dist_spec["n"])
-        elif kind == "fixed":
-            dist = FixedProbabilityOblivious(dist_spec["q"])
-        else:
-            raise ValueError(f"unknown distribution kind {kind!r}")
-    else:
-        dist = dist_spec
+        if kind == "alpha_prime":
+            return CzumajRytterDistribution(dist_spec["n"], dist_spec["diameter"])
+        if kind == "uniform":
+            return UniformScaleDistribution(dist_spec["n"])
+        if kind == "fixed":
+            return FixedProbabilityOblivious(dist_spec["q"])
+        raise ValueError(f"unknown distribution kind {kind!r}")
+    return dist_spec
+
+
+def _build_time_invariant(**params) -> TimeInvariantBroadcast:
+    """Factory for :class:`TimeInvariantBroadcast` taking a distribution spec."""
+    dist = _resolve_distribution(params.pop("distribution"))
     return TimeInvariantBroadcast(dist, **params)
+
+
+def _build_batch_time_invariant(**params) -> BatchTimeInvariantBroadcast:
+    """Batched counterpart of :func:`_build_time_invariant` (same spec)."""
+    dist = _resolve_distribution(params.pop("distribution"))
+    return BatchTimeInvariantBroadcast(dist, **params)
 
 
 #: Registry: protocol name -> factory taking keyword parameters.
@@ -125,14 +145,25 @@ def build_protocol(spec: ProtocolSpec) -> Protocol:
     return factory(**spec.params)
 
 
-#: Protocols with a batched (R-trials-per-round) implementation.  The batch
-#: fast path of :func:`repro.experiments.runner.repeat_job` consults this
-#: registry and silently falls back to serial execution for anything else.
+#: Protocols with a batched (R-trials-per-round) implementation.  Every name
+#: in :data:`PROTOCOL_FACTORIES` has an entry (the tests assert the two key
+#: sets are equal), so the batch path of
+#: :func:`repro.experiments.runner.repeat_job` is the default pipeline for
+#: every protocol; serial execution remains available via ``batch=False``.
 BATCH_PROTOCOL_FACTORIES: Dict[str, Callable[..., BatchProtocol]] = {
     "algorithm1": BatchEnergyEfficientBroadcast,
+    "algorithm2": BatchRandomNetworkGossip,
+    "algorithm3": BatchKnownDiameterBroadcast,
+    "tradeoff": BatchTradeoffBroadcast,
+    "time_invariant": _build_batch_time_invariant,
+    "decay": BatchDecayBroadcast,
+    "elsasser_gasieniec": BatchElsasserGasieniecBroadcast,
+    "czumaj_rytter_known_d": BatchKnownDiameterCR,
+    "uniform_selection": BatchUniformSelectionBroadcast,
     "deterministic_flood": BatchDeterministicFlood,
     "bernoulli_flood": BatchBernoulliFlood,
     "uniform_gossip": BatchUniformScaleGossip,
+    "sequential_gossip": BatchSequentialBroadcastGossip,
 }
 
 

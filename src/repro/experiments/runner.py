@@ -1,4 +1,4 @@
-"""Job execution: seeds, repetition, aggregation, optional process fan-out.
+"""Unified job execution: one pipeline composing batching and process fan-out.
 
 A :class:`Job` is a fully declarative description of one protocol run
 (topology spec + protocol spec + seed + engine options), so a list of jobs
@@ -6,20 +6,38 @@ can be executed serially or handed to a :class:`concurrent.futures.
 ProcessPoolExecutor` — each worker rebuilds the network and protocol from the
 specs, keeping results independent of scheduling (the per-job seed fully
 determines both the topology sample and the protocol's randomness).
+
+Repetition sweeps (the workload behind every experiment E1–E16) go through an
+:class:`ExecutionPlan`, which composes the two execution axes instead of
+treating them as alternatives:
+
+* **batching** — every registered protocol has a batched implementation
+  (``BATCH_PROTOCOL_FACTORIES`` covers ``PROTOCOL_FACTORIES`` completely), so
+  by default all ``R`` repetitions advance together through the
+  :class:`~repro.radio.batch.BatchEngine` on stacked ``(R, n)`` state;
+* **process fan-out** — ``processes=K`` shards the ``R`` per-trial seeds into
+  ``K`` contiguous chunks, each worker running its chunk as its own
+  :class:`~repro.radio.batch.NetworkBatch` (batching *within* each worker),
+  rather than falling back to one-job-per-worker serial execution.
+
+Per-trial seeds are spawned identically on every path, so the sampled
+topologies — and, in ``batch_mode="exact"``, the full traces bit for bit —
+are independent of how the sweep was scheduled.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._util.rng import spawn_generators
 from repro.analysis.statistics import summarize
 from repro.experiments.protocols import (
+    BATCH_PROTOCOL_FACTORIES,
     ProtocolSpec,
     build_batch_protocol,
     build_protocol,
@@ -40,7 +58,15 @@ from repro.radio.collision import (
 from repro.radio.engine import SimulationEngine
 from repro.radio.trace import RunResultTrace
 
-__all__ = ["Job", "execute_job", "run_jobs", "aggregate_runs", "repeat_job"]
+__all__ = [
+    "Job",
+    "ExecutionPlan",
+    "configure_execution",
+    "execute_job",
+    "run_jobs",
+    "aggregate_runs",
+    "repeat_job",
+]
 
 _COLLISION_MODELS = {
     "standard": StandardCollisionModel,
@@ -119,22 +145,30 @@ def execute_job(job: Job) -> RunResultTrace:
     return result
 
 
+def _worker_count(processes: Optional[int], task_count: int) -> int:
+    """Resolve a ``processes`` argument into an actual worker count."""
+    if processes is None:
+        return 1
+    workers = processes if processes > 0 else (os.cpu_count() or 1)
+    return max(1, min(workers, task_count))
+
+
 def run_jobs(
     jobs: Sequence[Job],
     *,
     processes: Optional[int] = None,
 ) -> List[RunResultTrace]:
-    """Execute ``jobs`` serially or across ``processes`` workers.
+    """Execute ``jobs`` one engine run per job, serially or across workers.
 
-    ``processes=None`` (default) runs serially — the right choice for the
-    laptop-scale sweeps in this repository; pass an integer (or 0 for
-    ``os.cpu_count()``) to fan out.
+    ``processes=None`` (default) runs serially; pass an integer (or 0 for
+    ``os.cpu_count()``) to fan out.  This is the heterogeneous-job path —
+    repetition sweeps should go through :func:`repeat_job` /
+    :class:`ExecutionPlan`, which batch the repetition axis as well.
     """
     jobs = list(jobs)
-    if processes is None or len(jobs) <= 1:
+    workers = _worker_count(processes, len(jobs))
+    if workers <= 1 or len(jobs) <= 1:
         return [execute_job(job) for job in jobs]
-    workers = processes if processes > 0 else (os.cpu_count() or 1)
-    workers = min(workers, len(jobs))
     # A computed chunksize (instead of the default 1) amortises the per-item
     # pickle/IPC round trip on large sweeps while still keeping ~4 chunks per
     # worker for load balancing.
@@ -143,82 +177,55 @@ def run_jobs(
         return list(pool.map(execute_job, jobs, chunksize=chunksize))
 
 
-def repeat_job(
-    graph: GraphSpec,
-    protocol: ProtocolSpec,
+@dataclass(frozen=True)
+class _ExecutionDefaults:
+    """Process-wide defaults for the batch axis of :class:`ExecutionPlan`."""
+
+    batch: Union[bool, str] = True
+    batch_mode: str = "fast"
+
+
+_EXECUTION_DEFAULTS = _ExecutionDefaults()
+
+
+def configure_execution(
     *,
-    repetitions: int,
-    seed: int = 0,
-    processes: Optional[int] = None,
-    batch: bool = True,
-    batch_mode: str = "fast",
-    **job_options,
-) -> List[RunResultTrace]:
-    """Run the same (graph, protocol) pair under ``repetitions`` different seeds.
+    batch: Union[bool, str, None] = None,
+    batch_mode: Optional[str] = None,
+) -> None:
+    """Set process-wide execution defaults (the CLI's ``--no-batch`` /
+    ``--batch-mode`` flags land here).
 
-    When ``batch`` is true (the default) and the job is batchable — the
-    protocol has a registered batched implementation, the collision model has
-    a batched counterpart, and no process fan-out was requested — all
-    repetitions run simultaneously through the
-    :class:`~repro.radio.batch.BatchEngine` on stacked ``(R, n)`` state, one
-    topology sample per trial.  Per-trial seeds are spawned exactly as in the
-    serial path, so the sampled topologies are identical and aggregates are
-    statistically interchangeable with serial runs.  Anything non-batchable
-    falls back to :func:`run_jobs` transparently; the returned
-    ``List[RunResultTrace]`` has the same shape either way.
-
-    ``batch_mode`` selects the randomness policy of the batched path:
-
-    * ``"fast"`` (default): one shared generator with vectorised draws —
-      statistically identical to serial, not bit-identical.
-    * ``"exact"``: one child generator per trial, consumed exactly as the
-      serial engine would — batched results are bit-identical to
-      ``batch=False`` runs of the same seed (the equivalence tests rely on
-      this).
+    ``repeat_job`` / :class:`ExecutionPlan` use these whenever the caller
+    does not pass ``batch`` / ``batch_mode`` explicitly, so the whole
+    experiment suite can be switched to serial or exact-mode execution
+    without threading flags through every experiment module.
     """
-    if repetitions < 1:
-        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    if batch_mode not in ("fast", "exact"):
-        raise ValueError(f"batch_mode must be 'fast' or 'exact', got {batch_mode!r}")
-    base = np.random.SeedSequence(seed)
-    # The extra child seeds the fast-mode batch generator; the first
-    # ``repetitions`` children are identical to what the serial path spawns.
-    children = base.spawn(repetitions + 1)
-    seeds = [int(s.generate_state(1)[0]) for s in children[:repetitions]]
-    jobs = [
-        Job(graph=graph, protocol=protocol, seed=s, **job_options) for s in seeds
-    ]
-    if batch and processes is None:
-        results = _execute_jobs_batched(jobs, mode=batch_mode, fast_seed=children[-1])
-        if results is not None:
-            return results
-    return run_jobs(jobs, processes=processes)
+    global _EXECUTION_DEFAULTS
+    updates = {}
+    if batch is not None:
+        updates["batch"] = batch
+    if batch_mode is not None:
+        updates["batch_mode"] = batch_mode
+    _EXECUTION_DEFAULTS = replace(_EXECUTION_DEFAULTS, **updates)
 
 
-def _batch_collision_model_for(job: Job) -> Optional[BatchCollisionModel]:
-    if job.erasure_probability > 0.0:
-        return BatchErasureCollisionModel(job.erasure_probability)
-    factory = _BATCH_COLLISION_MODELS.get(job.collision_model)
-    return factory() if factory is not None else None
+@dataclass(frozen=True)
+class _BatchShard:
+    """One worker's contiguous slice of a batched repetition sweep."""
+
+    jobs: Tuple[Job, ...]
+    mode: str
+    fast_seed: Optional[np.random.SeedSequence]
 
 
-def _execute_jobs_batched(
-    jobs: Sequence[Job],
-    *,
-    mode: str,
-    fast_seed: np.random.SeedSequence,
-) -> Optional[List[RunResultTrace]]:
-    """Run a homogeneous repetition sweep through the batch engine.
-
-    Returns ``None`` when the jobs are not batchable (unknown protocol or
-    collision model), in which case the caller falls back to the serial path.
-    """
+def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
+    """Run one shard's jobs as a single :class:`NetworkBatch` through the
+    batch engine.  Runs in the parent (single shard) or a worker process
+    (sharded fan-out); everything it needs is picklable."""
+    jobs = shard.jobs
     template = jobs[0]
-    if not supports_batch(template.protocol):
-        return None
     collision_model = _batch_collision_model_for(template)
-    if collision_model is None:
-        return None
 
     networks = []
     protocol_rngs = []
@@ -234,7 +241,7 @@ def _execute_jobs_batched(
         run_to_quiescence=template.run_to_quiescence,
     )
     protocol = build_batch_protocol(template.protocol)
-    if mode == "exact":
+    if shard.mode == "exact":
         results = engine.run(
             networks, protocol, rngs=protocol_rngs, max_rounds=template.max_rounds
         )
@@ -242,7 +249,7 @@ def _execute_jobs_batched(
         results = engine.run(
             networks,
             protocol,
-            rng=np.random.default_rng(fast_seed),
+            rng=np.random.default_rng(shard.fast_seed),
             max_rounds=template.max_rounds,
         )
     for job, result in zip(jobs, results):
@@ -250,6 +257,190 @@ def _execute_jobs_batched(
         if job.label:
             result.metadata["label"] = job.label
     return results
+
+
+def _batch_collision_model_for(job: Job) -> Optional[BatchCollisionModel]:
+    if job.erasure_probability > 0.0:
+        return BatchErasureCollisionModel(job.erasure_probability)
+    factory = _BATCH_COLLISION_MODELS.get(job.collision_model)
+    return factory() if factory is not None else None
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a homogeneous repetition sweep is executed.
+
+    The plan composes the two execution axes — batching and process fan-out —
+    instead of treating them as mutually exclusive:
+
+    ========== ============= =================================================
+    ``batch``  ``processes`` execution
+    ========== ============= =================================================
+    truthy     ``None``      one :class:`~repro.radio.batch.NetworkBatch` of
+                             all ``R`` trials, in process
+    truthy     ``K``         ``R`` seeds sharded into ``K`` contiguous chunks;
+                             each worker runs its chunk as its own batch
+    ``False``  ``None``      serial loop, one engine run per job
+    ``False``  ``K``         one-job-per-worker serial fan-out
+    ========== ============= =================================================
+
+    ``batch`` may also be the string ``"require"``: batch like ``True`` but
+    raise instead of silently falling back when the sweep is not batchable
+    (unknown collision model, or — should the registries ever diverge again —
+    a protocol without a batched implementation), so a caller counting on
+    batch throughput finds out instead of quietly running ~10x slower.
+
+    ``batch_mode`` selects the randomness policy of the batched path:
+    ``"fast"`` (one shared generator per shard, vectorised draws —
+    statistically identical to serial) or ``"exact"`` (one child generator
+    per trial, consumed exactly as the serial engine would — bit-identical
+    to serial, regardless of sharding).
+
+    The jobs must be a homogeneous sweep: same specs and engine options,
+    differing only in seed/label (what :func:`repeat_job` builds).
+    """
+
+    jobs: Tuple[Job, ...]
+    processes: Optional[int] = None
+    batch: Union[bool, str] = True
+    batch_mode: str = "fast"
+    fast_seed: Optional[np.random.SeedSequence] = None
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("ExecutionPlan needs at least one job")
+        if self.batch not in (True, False, "require"):
+            raise ValueError(
+                f"batch must be True, False or 'require', got {self.batch!r}"
+            )
+        if self.batch_mode not in ("fast", "exact"):
+            raise ValueError(
+                f"batch_mode must be 'fast' or 'exact', got {self.batch_mode!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def unbatchable_reason(self) -> Optional[str]:
+        """Why the sweep cannot take the batch path (``None`` when it can)."""
+        template = self.jobs[0]
+        if not supports_batch(template.protocol):
+            known = ", ".join(sorted(BATCH_PROTOCOL_FACTORIES))
+            return (
+                f"protocol {template.protocol.name!r} has no batched "
+                f"implementation (batchable: {known})"
+            )
+        if _batch_collision_model_for(template) is None:
+            return (
+                f"collision model {template.collision_model!r} has no "
+                "batched counterpart"
+            )
+        return None
+
+    def shards(self) -> List[_BatchShard]:
+        """The per-worker batch shards this plan would execute."""
+        jobs = self.jobs
+        workers = _worker_count(self.processes, len(jobs))
+        bounds = np.linspace(0, len(jobs), workers + 1).astype(int)
+        if self.batch_mode == "exact":
+            fast_seeds: List[Optional[np.random.SeedSequence]] = [None] * workers
+        else:
+            # A plan built without a fast seed still has to be reproducible:
+            # derive one from the (deterministic) job seeds.
+            fast_seed = self.fast_seed
+            if fast_seed is None:
+                fast_seed = np.random.SeedSequence(
+                    [job.seed for job in jobs]
+                )
+            if workers == 1:
+                # Unsharded fast mode keeps the historical single-generator seed.
+                fast_seeds = [fast_seed]
+            else:
+                fast_seeds = list(fast_seed.spawn(workers))
+        return [
+            _BatchShard(
+                jobs=jobs[bounds[k] : bounds[k + 1]],
+                mode=self.batch_mode,
+                fast_seed=fast_seeds[k],
+            )
+            for k in range(workers)
+            if bounds[k] < bounds[k + 1]
+        ]
+
+    def execute(self) -> List[RunResultTrace]:
+        """Run the sweep; returns one trace per job, in job order."""
+        if self.batch:
+            reason = self.unbatchable_reason()
+            if reason is not None:
+                if self.batch == "require":
+                    raise ValueError(
+                        f"batch='require' but the sweep is not batchable: "
+                        f"{reason}"
+                    )
+                return run_jobs(self.jobs, processes=self.processes)
+            shards = self.shards()
+            if len(shards) == 1:
+                return _execute_batch_shard(shards[0])
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                parts = list(pool.map(_execute_batch_shard, shards))
+            return [result for part in parts for result in part]
+        return run_jobs(self.jobs, processes=self.processes)
+
+
+def repeat_job(
+    graph: GraphSpec,
+    protocol: ProtocolSpec,
+    *,
+    repetitions: int,
+    seed: int = 0,
+    processes: Optional[int] = None,
+    batch: Union[bool, str, None] = None,
+    batch_mode: Optional[str] = None,
+    **job_options,
+) -> List[RunResultTrace]:
+    """Run the same (graph, protocol) pair under ``repetitions`` different seeds.
+
+    Builds an :class:`ExecutionPlan` and executes it: by default all
+    repetitions run through the :class:`~repro.radio.batch.BatchEngine` on
+    stacked ``(R, n)`` state (one topology sample per trial), sharded across
+    ``processes`` workers when fan-out is requested.  Per-trial seeds are
+    spawned exactly as in the serial path, so the sampled topologies are
+    identical and aggregates are statistically interchangeable across every
+    execution strategy.  Anything non-batchable falls back to
+    :func:`run_jobs` transparently — pass ``batch="require"`` to get an error
+    instead of the silent fallback.  The returned ``List[RunResultTrace]``
+    has the same shape either way.
+
+    ``batch`` / ``batch_mode`` default to the process-wide settings of
+    :func:`configure_execution` (out of the box: batched, ``"fast"``).
+
+    * ``batch_mode="fast"``: one shared generator per shard with vectorised
+      draws — statistically identical to serial, not bit-identical.
+    * ``batch_mode="exact"``: one child generator per trial, consumed exactly
+      as the serial engine would — results are bit-identical to
+      ``batch=False`` runs of the same seed (the equivalence tests rely on
+      this), regardless of sharding.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if batch is None:
+        batch = _EXECUTION_DEFAULTS.batch
+    if batch_mode is None:
+        batch_mode = _EXECUTION_DEFAULTS.batch_mode
+    base = np.random.SeedSequence(seed)
+    # The extra child seeds the fast-mode batch generator; the first
+    # ``repetitions`` children are identical to what the serial path spawns.
+    children = base.spawn(repetitions + 1)
+    seeds = [int(s.generate_state(1)[0]) for s in children[:repetitions]]
+    jobs = tuple(
+        Job(graph=graph, protocol=protocol, seed=s, **job_options) for s in seeds
+    )
+    plan = ExecutionPlan(
+        jobs=jobs,
+        processes=processes,
+        batch=batch,
+        batch_mode=batch_mode,
+        fast_seed=children[-1],
+    )
+    return plan.execute()
 
 
 def aggregate_runs(runs: Sequence[RunResultTrace]) -> Dict[str, object]:

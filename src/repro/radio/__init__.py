@@ -37,6 +37,8 @@ from repro.radio.batch import (
     BatchProtocol,
     BatchRandomSource,
     NetworkBatch,
+    ScheduledTransmissions,
+    resolve_scheduled_rounds,
     run_protocol_batch,
 )
 from repro.radio.collision import (
@@ -71,6 +73,8 @@ __all__ = [
     "run_protocol",
     "BatchEngine",
     "BatchRandomSource",
+    "ScheduledTransmissions",
+    "resolve_scheduled_rounds",
     "run_protocol_batch",
     "EnergyAccountant",
     "BatchEnergyAccountant",

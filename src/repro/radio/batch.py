@@ -16,6 +16,19 @@ dimension instead:
 * :class:`BatchEngine` owns the batched round loop, masking out trials that
   have individually completed (or gone quiescent) so a finished trial costs
   nothing while its siblings run on.
+* When a protocol commits to a fixed future transmission schedule
+  (:meth:`BatchProtocol.presampled_schedule` — Algorithm 1's fast-mode
+  Phase 3 does), the engine resolves the scheduled rounds ahead of time in
+  sliced mega-gathers (:func:`resolve_scheduled_rounds`): the rounds are
+  mutually independent once the transmitters are fixed, so the exactly-one
+  rule is applied over composite ``round * total_nodes + listener`` keys,
+  pruned against the protocol's current interest set at every slice.
+
+This module is the execution substrate of the *unified pipeline*: every
+protocol in ``repro.experiments.protocols.PROTOCOL_FACTORIES`` has a batched
+implementation registered in ``BATCH_PROTOCOL_FACTORIES``, and the
+experiment runner's ``ExecutionPlan`` composes this engine with process
+fan-out (each worker runs one :class:`NetworkBatch` shard of a sweep).
 
 Randomness comes in two modes, selected by the :class:`BatchRandomSource`
 the engine builds:
@@ -33,7 +46,8 @@ the engine builds:
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -57,6 +71,8 @@ __all__ = [
     "BatchBroadcastProtocol",
     "BatchGossipProtocol",
     "BatchEngine",
+    "ScheduledTransmissions",
+    "resolve_scheduled_rounds",
     "run_protocol_batch",
 ]
 
@@ -207,6 +223,193 @@ class BatchRandomSource:
             [self._per_trial[t].random(n) for t in np.flatnonzero(rows)]
         )
 
+    def geometrics_for_counts(self, p: float, counts: np.ndarray) -> np.ndarray:
+        """``counts[t]`` Geometric(p) draws per trial, concatenated in trial order.
+
+        Exact mode draws trial ``t``'s block as one ``geometric(p, counts[t])``
+        call from trial ``t``'s generator — the call the serial Decay protocol
+        makes at a phase boundary.
+        """
+        counts = np.asarray(counts)
+        if not self.exact_mode:
+            return self._generator.geometric(p, size=int(counts.sum()))
+        chunks = [
+            self._per_trial[t].geometric(p, size=int(c))
+            for t, c in enumerate(counts)
+            if c
+        ]
+        return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ScheduledTransmissions:
+    """A protocol's committed transmission schedule for a block of rounds.
+
+    Once a protocol's remaining randomness is fixed (Algorithm 1's fast-mode
+    Phase 3 pre-samples every pool node's unique transmission round), the
+    transmitters of every future round are known in advance and the rounds
+    become mutually independent: collision resolution for all of them can be
+    done up front by :func:`resolve_scheduled_rounds` in one chunked
+    mega-gather instead of one small gather per round.
+
+    Attributes
+    ----------
+    tx_flat:
+        Flat transmitter ids (``trial * n + node``) of every scheduled round,
+        concatenated round-major; within a round the ids are sorted.
+    offsets:
+        Monotone slice boundaries, one entry per covered round plus one:
+        round ``first_round + j`` transmits ``tx_flat[offsets[j]:offsets[j+1]]``.
+    first_round:
+        Engine round index of ``offsets``' first slice.
+    """
+
+    tx_flat: np.ndarray
+    offsets: np.ndarray
+    first_round: int
+
+    @property
+    def num_rounds(self) -> int:
+        """How many rounds the schedule covers."""
+        return len(self.offsets) - 1
+
+    def slice(self, start: int, stop: int) -> "ScheduledTransmissions":
+        """The sub-schedule covering schedule-relative rounds ``[start, stop)``.
+
+        The engine resolves a long schedule in slices so each slice can be
+        pruned against the protocol's *current* interest set — which shrinks
+        fast while the schedule plays out — and so rounds beyond an early
+        finish are never resolved at all.
+        """
+        offs = self.offsets
+        return ScheduledTransmissions(
+            tx_flat=self.tx_flat[offs[start] : offs[stop]],
+            offsets=offs[start : stop + 1] - offs[start],
+            first_round=self.first_round + start,
+        )
+
+
+def resolve_scheduled_rounds(
+    batch: "NetworkBatch",
+    schedule: ScheduledTransmissions,
+    *,
+    listener_filter: Optional[np.ndarray] = None,
+    max_chunk_edges: int = 1 << 22,
+) -> Dict[int, np.ndarray]:
+    """Resolve every scheduled round's deliveries in chunked mega-gathers.
+
+    Rounds whose transmitters are already fixed are independent of one another
+    and of any protocol state, so instead of one CSR gather per round the
+    listener edges of *many* rounds are gathered at once and the exactly-one
+    rule is applied over composite ``round * total_nodes + listener`` keys —
+    one sort replaces per-round Python overhead.  Chunking along rounds
+    bounds peak memory to ``O(max_chunk_edges)`` gathered edges.
+
+    ``listener_filter`` (a flat bool vector, nodes the protocol still cares
+    about — e.g. a broadcast's uninformed set when the schedule is resolved)
+    prunes the composite keys right after the gather: a listener's hear count
+    depends only on the edges pointing *at it*, so dropping every edge into
+    an uninteresting listener leaves the surviving listeners' counts — and
+    therefore their deliveries — unchanged while typically shrinking the sort
+    by an order of magnitude.  The filter is a snapshot: deliveries to nodes
+    that become uninteresting *during* the scheduled block are retained
+    (a superset of what per-round filtering would keep), which is observably
+    equivalent for protocols whose interest set only shrinks.
+
+    Returns a mapping ``round_index -> sorted flat receiver ids`` for every
+    round the schedule covers (empty rounds included).  Only valid under
+    deterministic collision resolution (no erasure) — the caller gates this.
+    """
+    tx_all = schedule.tx_flat
+    offsets = np.asarray(schedule.offsets, dtype=np.int64)
+    num_rounds = len(offsets) - 1
+    total_nodes = batch.total_nodes
+    outcomes: Dict[int, np.ndarray] = {
+        schedule.first_round + j: tx_all[:0].astype(np.int64)
+        for j in range(num_rounds)
+    }
+    if tx_all.size == 0 or num_rounds == 0:
+        return outcomes
+
+    # Per-transmitter out-degrees let us chunk on gathered-edge volume.
+    degrees = batch.out_indptr[tx_all + 1] - batch.out_indptr[tx_all]
+    edge_cum = np.concatenate([[0], np.cumsum(degrees)])
+
+    start = 0
+    while start < num_rounds:
+        stop = start + 1
+        while (
+            stop < num_rounds
+            and edge_cum[offsets[stop + 1]] - edge_cum[offsets[start]]
+            <= max_chunk_edges
+        ):
+            stop += 1
+        lo, hi = int(offsets[start]), int(offsets[stop])
+        tx_chunk = tx_all[lo:hi]
+        if tx_chunk.size:
+            round_of_tx = (
+                np.searchsorted(offsets, np.arange(lo, hi), side="right") - 1
+            )
+            listeners, _ = CollisionModel._gather_listener_edges(
+                batch.out_indptr, batch.out_indices, tx_chunk
+            )
+            if listeners.size:
+                round_of_edge = np.repeat(round_of_tx, degrees[lo:hi])
+                if listener_filter is not None:
+                    interesting = listener_filter[listeners]
+                    listeners = listeners[interesting]
+                    round_of_edge = round_of_edge[interesting]
+            if listeners.size:
+                keys = round_of_edge * np.int64(total_nodes) + listeners
+                keys.sort()
+                run_first = np.empty(keys.size, dtype=bool)
+                run_last = np.empty(keys.size, dtype=bool)
+                run_first[0] = True
+                run_first[1:] = keys[1:] != keys[:-1]
+                run_last[-1] = True
+                run_last[:-1] = run_first[1:]
+                delivered = keys[run_first & run_last]
+                rounds_of_delivery = delivered // total_nodes
+                receivers = delivered % total_nodes
+                bounds = np.searchsorted(
+                    rounds_of_delivery, np.arange(start, stop + 1)
+                )
+                for j in range(start, stop):
+                    block = receivers[bounds[j - start] : bounds[j - start + 1]]
+                    if block.size:
+                        outcomes[schedule.first_round + j] = block
+        start = stop
+    return outcomes
+
+
+class _ScheduledOutcome(BatchCollisionOutcome):
+    """Outcome rebuilt from pre-resolved receivers: receivers only.
+
+    Scheduled resolution never materialises senders or hear counts, and the
+    lazy base-class getters would silently fabricate empty/zero values for
+    them — wrong-but-plausible data for any future protocol that both
+    presamples a schedule and consults collision feedback.  Fail loudly
+    instead.
+    """
+
+    _UNAVAILABLE = (
+        "{field} is not available on a scheduled-resolution outcome; "
+        "protocols that consult it must not offer a presampled_schedule "
+        "(or the engine must run with scheduled_resolution=False)"
+    )
+
+    @property
+    def sender_flat(self) -> np.ndarray:
+        raise RuntimeError(self._UNAVAILABLE.format(field="sender_flat"))
+
+    @property
+    def hear_counts(self) -> np.ndarray:
+        raise RuntimeError(self._UNAVAILABLE.format(field="hear_counts"))
+
+    @property
+    def collision_flags(self) -> np.ndarray:
+        raise RuntimeError(self._UNAVAILABLE.format(field="collision_flags"))
+
 
 class BatchProtocol(abc.ABC):
     """Base class for batched protocols: ``R`` trials on stacked state.
@@ -291,6 +494,24 @@ class BatchProtocol(abc.ABC):
         late rounds then cost O(new information), not O(deliveries).  Only
         consulted in fast mode with ``record_rounds`` off, where trimmed
         outcomes are observably equivalent.  ``None`` keeps every delivery.
+        """
+        return None
+
+    def presampled_schedule(
+        self, round_index: int
+    ) -> Optional[ScheduledTransmissions]:
+        """The committed transmission schedule from ``round_index`` on, if any.
+
+        A protocol that can fix all of its remaining randomness up front
+        (Algorithm 1's fast-mode Phase 3) returns a
+        :class:`ScheduledTransmissions` here; the engine then resolves every
+        scheduled round's collisions in one chunked mega-gather
+        (:func:`resolve_scheduled_rounds`) instead of one gather per round.
+        The engine still calls :meth:`transmit_flat` every round (for energy
+        accounting and per-trial ``running`` gating), so the returned
+        schedule must enumerate the *ungated* transmitters — the engine
+        intersects outcomes with the live ``running`` mask itself.  Return
+        ``None`` (the default) to keep per-round resolution.
         """
         return None
 
@@ -510,7 +731,19 @@ class BatchEngine:
     record_rounds / keep_arrays / run_to_quiescence:
         Same semantics as on :class:`~repro.radio.engine.SimulationEngine`,
         applied per trial.
+    scheduled_resolution:
+        When a protocol commits to a fixed future transmission schedule
+        (:meth:`BatchProtocol.presampled_schedule`), resolve all scheduled
+        rounds in one chunked mega-gather instead of one gather per round.
+        Only taken under deterministic collision resolution without collision
+        detection; results are identical either way (the flag exists so the
+        equivalence can be tested).
     """
+
+    #: Rounds resolved per scheduled-resolution slice: small enough that the
+    #: interest snapshot stays fresh (and an early finish wastes little),
+    #: large enough to amortise the per-slice gather/sort.
+    _SCHEDULE_SLICE_ROUNDS = 8
 
     def __init__(
         self,
@@ -519,6 +752,7 @@ class BatchEngine:
         record_rounds: bool = False,
         keep_arrays: bool = False,
         run_to_quiescence: bool = False,
+        scheduled_resolution: bool = True,
     ):
         if collision_model is None:
             self.collision_model: BatchCollisionModel = BatchStandardCollisionModel()
@@ -527,6 +761,7 @@ class BatchEngine:
         self.record_rounds = bool(record_rounds)
         self.keep_arrays = bool(keep_arrays)
         self.run_to_quiescence = bool(run_to_quiescence)
+        self.scheduled_resolution = bool(scheduled_resolution)
 
     def run(
         self,
@@ -590,23 +825,74 @@ class BatchEngine:
         # records per-round delivery counts and no per-trial stream has to
         # match the serial engine call for call.
         use_interest = not self.record_rounds and not rng_source.exact_mode
+        # Mega-gather fast path: legal only when resolution is deterministic
+        # (pre-resolving would skip erasure draws), collision-free feedback is
+        # not part of the outcome (scheduled outcomes carry receivers only —
+        # no senders, no hear counts), and trimmed deliveries are observably
+        # equivalent (the resolver prunes against the protocol's interest set
+        # the same way per-round resolution would).
+        can_schedule = (
+            self.scheduled_resolution
+            and use_interest
+            and self.collision_model.resolves_deterministically
+            and not self.collision_model.detects_collisions
+        )
+        plan: Optional[ScheduledTransmissions] = None
+        scheduled: Dict[int, np.ndarray] = {}
+        sched_next = 0  # schedule-relative index of the next unresolved slice
 
         round_log: List[dict] = []
         for round_index in range(max_rounds):
             if not running.any():
                 break
+            if can_schedule and plan is None:
+                plan = protocol.presampled_schedule(round_index)
             tx_flat = np.asarray(
                 protocol.transmit_flat(round_index, running), dtype=np.int64
             )
             transmitters = accountant.record_flat(tx_flat)
-            outcome = self.collision_model.resolve(
-                batch,
-                tx_flat,
-                rng_source,
-                listener_filter=(
-                    protocol.listener_interest() if use_interest else None
-                ),
-            )
+            cached = None
+            if plan is not None:
+                j = round_index - plan.first_round
+                if 0 <= j < plan.num_rounds:
+                    if j >= sched_next:
+                        # Resolve the next slice of rounds in one mega-gather,
+                        # pruned against the interest set as of *now* — it
+                        # shrinks fast while the schedule plays out, so later
+                        # slices sort almost nothing.
+                        stop = min(
+                            j + self._SCHEDULE_SLICE_ROUNDS, plan.num_rounds
+                        )
+                        scheduled.update(
+                            resolve_scheduled_rounds(
+                                batch,
+                                plan.slice(sched_next, stop),
+                                listener_filter=protocol.listener_interest(),
+                            )
+                        )
+                        sched_next = stop
+                    cached = scheduled.pop(round_index)
+            if cached is not None:
+                # Trials are block-diagonal-independent, so dropping a
+                # stopped trial's receivers reproduces per-round resolution
+                # of the running-gated transmitters exactly.
+                receiver_flat = cached
+                if receiver_flat.size and not running.all():
+                    receiver_flat = receiver_flat[running[receiver_flat // n]]
+                outcome = _ScheduledOutcome(
+                    receiver_flat=receiver_flat,
+                    trials=trials_count,
+                    n=n,
+                )
+            else:
+                outcome = self.collision_model.resolve(
+                    batch,
+                    tx_flat,
+                    rng_source,
+                    listener_filter=(
+                        protocol.listener_interest() if use_interest else None
+                    ),
+                )
 
             informed_before = (
                 protocol.informed_counts() if self.record_rounds else None

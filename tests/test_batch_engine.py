@@ -26,8 +26,17 @@ from repro.core.broadcast_random import (
     BatchEnergyEfficientBroadcast,
     EnergyEfficientBroadcast,
 )
-from repro.experiments.protocols import ProtocolSpec
-from repro.experiments.runner import aggregate_runs, repeat_job
+from repro.experiments.protocols import (
+    BATCH_PROTOCOL_FACTORIES,
+    PROTOCOL_FACTORIES,
+    ProtocolSpec,
+)
+from repro.experiments.runner import (
+    ExecutionPlan,
+    Job,
+    aggregate_runs,
+    repeat_job,
+)
 from repro.graphs.builders import GraphSpec
 from repro.graphs.random_digraph import (
     connectivity_threshold_probability,
@@ -186,6 +195,78 @@ class TestExactEquivalence:
         # The topology samples are the same networks in both paths.
         assert [r.network_name for r in serial] == [r.network_name for r in batched]
 
+    # Every registered protocol, exercised through the registry factories the
+    # experiment layer uses.  Exact mode must be bit-identical to serial.
+    _REGISTRY_CASES = [
+        ("algorithm2", {"p": 0.2}, {"n": 48, "p": 0.2}, {}),
+        ("algorithm3", {"diameter": 3}, {"n": 64, "p": 0.18}, {}),
+        (
+            "algorithm3",
+            {"diameter": 3},
+            {"n": 64, "p": 0.18},
+            {"run_to_quiescence": True},
+        ),
+        ("tradeoff", {"diameter": 3, "lam": 4.0}, {"n": 64, "p": 0.18}, {}),
+        ("decay", {}, {"n": 64, "p": 0.18}, {}),
+        (
+            "decay",
+            {"max_phases_active": 3},
+            {"n": 64, "p": 0.18},
+            {"run_to_quiescence": True},
+        ),
+        (
+            "time_invariant",
+            {"distribution": {"kind": "fixed", "q": 0.06}},
+            {"n": 64, "p": 0.18},
+            {},
+        ),
+        (
+            "time_invariant",
+            {
+                "distribution": {"kind": "alpha", "n": 64, "diameter": 3},
+                "active_window": 60,
+            },
+            {"n": 64, "p": 0.18},
+            {"run_to_quiescence": True},
+        ),
+        ("czumaj_rytter_known_d", {"diameter": 3}, {"n": 64, "p": 0.18}, {}),
+        ("uniform_selection", {"diameter": 3}, {"n": 64, "p": 0.18}, {}),
+        (
+            "elsasser_gasieniec",
+            {"p": 0.18},
+            {"n": 64, "p": 0.18},
+            {"run_to_quiescence": True},
+        ),
+        ("sequential_gossip", {}, {"n": 24, "p": 0.3}, {}),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,params,graph_params,options",
+        _REGISTRY_CASES,
+        ids=[
+            f"{case[0]}{'-q' if case[3] else ''}{'-capped' if 'max_phases_active' in case[1] or 'active_window' in case[1] else ''}"
+            for case in _REGISTRY_CASES
+        ],
+    )
+    def test_registry_protocols_bit_identical(
+        self, name, params, graph_params, options
+    ):
+        graph = GraphSpec("gnp", graph_params)
+        protocol = ProtocolSpec(name, params)
+        serial = repeat_job(
+            graph, protocol, repetitions=4, seed=17, batch=False, **options
+        )
+        batched = repeat_job(
+            graph,
+            protocol,
+            repetitions=4,
+            seed=17,
+            batch=True,
+            batch_mode="exact",
+            **options,
+        )
+        _assert_traces_identical(serial, batched)
+
 
 class TestInvariants:
     def test_at_most_one_transmission_per_trial(self, gnp_batch):
@@ -299,7 +380,9 @@ class TestFastSeedingAggregates:
         assert len(runs) == 4
         assert all(r.energy.max_per_node <= 1 for r in runs)
 
-    def test_non_batchable_protocol_falls_back(self):
+    def test_non_batchable_protocol_falls_back(self, monkeypatch):
+        """With a registry entry removed, batch=True silently runs serial."""
+        monkeypatch.delitem(BATCH_PROTOCOL_FACTORIES, "decay")
         graph = GraphSpec("gnp", {"n": 96, "p": 0.1})
         protocol = ProtocolSpec("decay", {})
         batched = repeat_job(graph, protocol, repetitions=3, seed=4, batch=True)
@@ -307,6 +390,27 @@ class TestFastSeedingAggregates:
         assert [r.completion_round for r in batched] == [
             r.completion_round for r in serial
         ]
+
+    def test_batch_require_raises_when_not_batchable(self, monkeypatch):
+        """batch='require' surfaces the silent fallback as an error."""
+        monkeypatch.delitem(BATCH_PROTOCOL_FACTORIES, "decay")
+        with pytest.raises(ValueError, match="not batchable"):
+            repeat_job(
+                GraphSpec("gnp", {"n": 32, "p": 0.2}),
+                ProtocolSpec("decay", {}),
+                repetitions=2,
+                batch="require",
+            )
+
+    def test_batch_require_runs_when_batchable(self):
+        runs = repeat_job(
+            GraphSpec("gnp", {"n": 48, "p": 0.2}),
+            ProtocolSpec("algorithm1", {"p": 0.2}),
+            repetitions=3,
+            seed=2,
+            batch="require",
+        )
+        assert len(runs) == 3
 
     def test_invalid_batch_mode_rejected(self):
         with pytest.raises(ValueError):
@@ -328,3 +432,151 @@ class TestFastSeedingAggregates:
         for run in runs:
             assert run.metadata["job"]["protocol"]["name"] == "algorithm1"
             assert run.metadata["label"] == "batched-sweep"
+
+
+class TestRegistryCoverage:
+    def test_every_protocol_has_a_batched_implementation(self):
+        """The unified pipeline covers the full protocol registry."""
+        assert BATCH_PROTOCOL_FACTORIES.keys() == PROTOCOL_FACTORIES.keys()
+
+    def test_batched_names_match_serial_names(self):
+        """Batched runs drop into existing experiment tables unchanged."""
+        cases = {
+            "algorithm1": {"p": 0.1},
+            "algorithm2": {"p": 0.1},
+            "algorithm3": {"diameter": 3},
+            "tradeoff": {"diameter": 3, "lam": 3.0},
+            "time_invariant": {"distribution": 0.1},
+            "decay": {},
+            "elsasser_gasieniec": {"p": 0.1},
+            "czumaj_rytter_known_d": {"diameter": 3},
+            "uniform_selection": {"diameter": 3},
+            "deterministic_flood": {},
+            "bernoulli_flood": {"q": 0.1},
+            "uniform_gossip": {},
+            "sequential_gossip": {},
+        }
+        assert cases.keys() == PROTOCOL_FACTORIES.keys()
+        for name, params in cases.items():
+            serial = PROTOCOL_FACTORIES[name](**params)
+            batched = BATCH_PROTOCOL_FACTORIES[name](**params)
+            assert serial.name == batched.name, name
+
+
+class TestShardedFanOut:
+    def test_plan_shards_are_contiguous_and_cover_all_jobs(self):
+        graph = GraphSpec("gnp", {"n": 32, "p": 0.2})
+        protocol = ProtocolSpec("algorithm1", {"p": 0.2})
+        jobs = tuple(
+            Job(graph=graph, protocol=protocol, seed=s) for s in range(7)
+        )
+        plan = ExecutionPlan(jobs=jobs, processes=3)
+        shards = plan.shards()
+        assert len(shards) == 3
+        sizes = [len(s.jobs) for s in shards]
+        assert sum(sizes) == 7 and max(sizes) - min(sizes) <= 1
+        flat = [job for shard in shards for job in shard.jobs]
+        assert list(flat) == list(jobs)
+
+    def test_sharded_exact_mode_is_bit_identical_to_serial(self):
+        """processes=K + batch=True runs K sharded batches, not serial jobs."""
+        graph = GraphSpec("gnp", {"n": 96, "p": 0.1})
+        protocol = ProtocolSpec("algorithm1", {"p": 0.1})
+        serial = repeat_job(
+            graph, protocol, repetitions=6, seed=3, batch=False,
+            run_to_quiescence=True,
+        )
+        sharded = repeat_job(
+            graph,
+            protocol,
+            repetitions=6,
+            seed=3,
+            processes=2,
+            batch=True,
+            batch_mode="exact",
+            run_to_quiescence=True,
+        )
+        _assert_traces_identical(serial, sharded)
+
+    def test_sharded_fast_mode_uses_same_topologies(self):
+        graph = GraphSpec("gnp", {"n": 64, "p": 0.15})
+        protocol = ProtocolSpec("algorithm2", {"p": 0.15})
+        unsharded = repeat_job(graph, protocol, repetitions=4, seed=6)
+        sharded = repeat_job(graph, protocol, repetitions=4, seed=6, processes=2)
+        assert [r.network_name for r in unsharded] == [
+            r.network_name for r in sharded
+        ]
+        assert all(r.completed for r in sharded)
+
+
+class TestScheduledResolution:
+    def test_mega_gather_matches_per_round_resolution(self, gnp_batch):
+        """Fast-mode Phase-3 mega-gather is bit-identical to per-round resolves.
+
+        Fast mode fixes all of Phase 3's randomness the moment the pool is
+        (geometric pre-sampling), so resolving the remaining rounds up front
+        must change nothing observable.
+        """
+        networks, p = gnp_batch
+        for quiescence in (False, True):
+            mega = BatchEngine(
+                run_to_quiescence=quiescence, scheduled_resolution=True
+            ).run(networks, BatchEnergyEfficientBroadcast(p), rng=13)
+            per_round = BatchEngine(
+                run_to_quiescence=quiescence, scheduled_resolution=False
+            ).run(networks, BatchEnergyEfficientBroadcast(p), rng=13)
+            _assert_traces_identical(per_round, mega)
+
+    @pytest.mark.parametrize("max_chunk_edges", [1, 50, 1 << 22])
+    def test_chunked_resolver_matches_per_round_resolution(
+        self, gnp_batch, max_chunk_edges
+    ):
+        """Chunk boundaries never change the resolved deliveries."""
+        from repro.radio.batch import (
+            ScheduledTransmissions,
+            resolve_scheduled_rounds,
+        )
+
+        networks, _ = gnp_batch
+        batch = NetworkBatch(networks)
+        rng = np.random.default_rng(23)
+        rounds = 5
+        buckets = [
+            np.flatnonzero(rng.random(batch.total_nodes) < 0.01)
+            for _ in range(rounds)
+        ]
+        buckets[2] = buckets[2][:0]  # an empty round inside the schedule
+        offsets = np.concatenate(
+            [[0], np.cumsum([b.size for b in buckets])]
+        )
+        schedule = ScheduledTransmissions(
+            tx_flat=np.concatenate(buckets),
+            offsets=offsets,
+            first_round=4,
+        )
+        resolved = resolve_scheduled_rounds(
+            batch, schedule, max_chunk_edges=max_chunk_edges
+        )
+        model = BatchStandardCollisionModel()
+        for r, bucket in enumerate(buckets):
+            expected = model.resolve(batch, bucket.astype(np.int64))
+            assert np.array_equal(
+                np.sort(resolved[4 + r]), np.sort(expected.receiver_flat)
+            ), f"round {r}"
+
+    def test_schedule_slicing(self):
+        import numpy as np
+
+        from repro.radio.batch import ScheduledTransmissions
+
+        tx = np.array([0, 5, 9, 12, 30], dtype=np.int64)
+        offsets = np.array([0, 2, 2, 3, 5], dtype=np.int64)
+        schedule = ScheduledTransmissions(
+            tx_flat=tx, offsets=offsets, first_round=10
+        )
+        assert schedule.num_rounds == 4
+        part = schedule.slice(1, 3)
+        assert part.first_round == 11
+        assert part.num_rounds == 2
+        assert list(part.tx_flat) == [9]
+        assert list(part.offsets) == [0, 0, 1]
