@@ -16,6 +16,14 @@ grows linearly with the number of phases it lives through —
 ``Θ(log n)``-ish near the source but up to ``Θ((D + log n))`` transmissions
 per node overall.  This is the energy cost Algorithm 3 avoids.  An optional
 ``max_phases_active`` cut-off bounds it for the comparison experiments.
+
+Frontier bookkeeping goes through the :mod:`repro.radio.nodesets` kernel:
+phase quotas live in a :class:`~repro.radio.nodesets.QuotaFrontier`, drawn
+only for the participating nodes.  The serial protocol always uses the
+sparse pool (strictly less work than a dense quota array at every ``n``);
+the batched protocol takes whichever backend its kernel selects, so large-n
+sweeps prune the frontier geometrically within each phase instead of paying
+``O(R * n)`` mask work per round.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import numpy as np
 from repro._util.validation import check_positive_int
 from repro.radio.batch import BatchBroadcastProtocol
 from repro.radio.collision import BatchCollisionOutcome, CollisionOutcome
+from repro.radio.nodesets import QuotaFrontier, SparseQuotaFrontier
 from repro.radio.protocol import BroadcastProtocol
 
 __all__ = ["DecayBroadcast", "BatchDecayBroadcast"]
@@ -56,15 +65,17 @@ class DecayBroadcast(BroadcastProtocol):
             )
         self.max_phases_active = max_phases_active
         self.phase_length: int = 1
-        self._phase_quota: Optional[np.ndarray] = None
+        self._frontier: Optional[QuotaFrontier] = None
+        self._all_running = np.ones(1, dtype=bool)
         self._informed_phase: Optional[np.ndarray] = None
         self.run_metadata: Dict[str, object] = {}
 
     def _setup_broadcast(self) -> None:
         n = self.n
         self.phase_length = max(1, int(math.ceil(2 * math.log2(max(2, n)))))
-        # Number of rounds (within the current phase) each node will still transmit.
-        self._phase_quota = np.zeros(n, dtype=np.int64)
+        # Sparse pool: quotas are drawn (and stored) only for the phase's
+        # participants, and the pool halves every round of the phase.
+        self._frontier = SparseQuotaFrontier(1, n)
         self._informed_phase = np.full(n, -1, dtype=np.int64)
         self._informed_phase[self.source] = 0
         self.run_metadata = {
@@ -74,12 +85,13 @@ class DecayBroadcast(BroadcastProtocol):
 
     def _draw_phase_quotas(self, participating: np.ndarray) -> None:
         """Draw the per-phase geometric transmission quotas for participants."""
-        quotas = np.zeros(self.n, dtype=np.int64)
         count = int(participating.sum())
         if count:
             draws = self.rng.geometric(0.5, size=count)
-            quotas[participating] = np.minimum(draws, self.phase_length)
-        self._phase_quota = quotas
+            values = np.minimum(draws, self.phase_length)
+        else:
+            values = np.empty(0, dtype=np.int64)
+        self._frontier.begin_phase(participating[None, :], values)
 
     def transmit_mask(self, round_index: int) -> np.ndarray:
         phase_index, within = divmod(round_index, self.phase_length)
@@ -89,7 +101,8 @@ class DecayBroadcast(BroadcastProtocol):
                 alive = (phase_index - self._informed_phase) < self.max_phases_active
                 participating &= alive & (self._informed_phase >= 0)
             self._draw_phase_quotas(participating)
-        mask = self._phase_quota > within
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self._frontier.transmitters(within, self._all_running)] = True
         return mask
 
     def observe(
@@ -115,13 +128,17 @@ class BatchDecayBroadcast(BatchBroadcastProtocol):
     At each phase boundary the participating nodes of every running trial
     draw their geometric transmission quotas in one concatenated call
     (:meth:`~repro.radio.batch.BatchRandomSource.geometrics_for_counts`); the
-    within-phase rounds are then pure mask comparisons.  Exact mode draws
-    each trial's block from its own generator — the serial protocol's
-    ``rng.geometric(0.5, count)`` call — so batched runs are bit-identical
-    to serial ones.
+    within-phase rounds then ask the kernel's
+    :class:`~repro.radio.nodesets.QuotaFrontier` for the surviving
+    transmitters — a dense ``(R, n)`` mask comparison or, under the sparse
+    backend, an index pool that shrinks geometrically as the phase decays.
+    Exact mode draws each trial's block from its own generator — the serial
+    protocol's ``rng.geometric(0.5, count)`` call — so batched runs are
+    bit-identical to serial ones under every backend.
     """
 
     name = DecayBroadcast.name
+    state_profile = "frontier"
 
     def __init__(self, *, source: int = 0, max_phases_active: Optional[int] = None):
         super().__init__(source=source)
@@ -131,17 +148,17 @@ class BatchDecayBroadcast(BatchBroadcastProtocol):
             )
         self.max_phases_active = max_phases_active
         self.phase_length: int = 1
-        self._phase_quota: Optional[np.ndarray] = None
+        self._frontier: Optional[QuotaFrontier] = None
         self._informed_phase: Optional[np.ndarray] = None
 
     def _setup_broadcast(self) -> None:
         trials, n = self.trials, self.n
         self.phase_length = max(1, int(math.ceil(2 * math.log2(max(2, n)))))
-        self._phase_quota = np.zeros((trials, n), dtype=np.int64)
+        self._frontier = self.kernel.quota_frontier(trials, n)
         self._informed_phase = np.full((trials, n), -1, dtype=np.int64)
         self._informed_phase[:, self.source] = 0
 
-    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
+    def transmit_flat(self, round_index: int, running: np.ndarray) -> np.ndarray:
         phase_index, within = divmod(round_index, self.phase_length)
         if within == 0:
             participating = self.informed & running[:, None]
@@ -151,14 +168,15 @@ class BatchDecayBroadcast(BatchBroadcastProtocol):
                 ) < self.max_phases_active
                 participating &= alive & (self._informed_phase >= 0)
             counts = participating.sum(axis=1)
-            quotas = np.zeros((self.trials, self.n), dtype=np.int64)
             if counts.any():
                 # Concatenated trial-major draws land on participating nodes
                 # in ascending id order — the serial assignment exactly.
                 draws = self.rng_source.geometrics_for_counts(0.5, counts)
-                quotas[participating] = np.minimum(draws, self.phase_length)
-            self._phase_quota = quotas
-        return (self._phase_quota > within) & running[:, None]
+                values = np.minimum(draws, self.phase_length)
+            else:
+                values = np.empty(0, dtype=np.int64)
+            self._frontier.begin_phase(participating, values)
+        return self._frontier.transmitters(within, running)
 
     def observe(
         self,

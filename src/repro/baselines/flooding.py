@@ -11,6 +11,12 @@
   in-degree) this completes but spends Θ(time · q) transmissions per node —
   the energy-oblivious strawman against which the paper's bounded-energy
   protocols are measured in E14.
+
+Deterministic flooding's per-node budget bookkeeping goes through the
+:mod:`repro.radio.nodesets` kernel's
+:class:`~repro.radio.nodesets.BudgetFrontier`: the serial protocol always
+uses the sparse pool (flooded-out nodes cost nothing once evicted), the
+batched protocol takes whichever backend its kernel selects.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import numpy as np
 
 from repro._util.validation import check_positive_int, check_probability
 from repro.radio.batch import BatchBroadcastProtocol
+from repro.radio.collision import BatchCollisionOutcome, CollisionOutcome
+from repro.radio.nodesets import BudgetFrontier, SparseBudgetFrontier
 from repro.radio.protocol import BroadcastProtocol
 
 __all__ = [
@@ -42,19 +50,34 @@ class DeterministicFlood(BroadcastProtocol):
         self.max_transmissions_per_node = check_positive_int(
             max_transmissions_per_node, "max_transmissions_per_node"
         )
-        self._transmissions: Optional[np.ndarray] = None
+        self._frontier: Optional[BudgetFrontier] = None
+        self._all_running = np.ones(1, dtype=bool)
         self.run_metadata: Dict[str, object] = {}
 
     def _setup_broadcast(self) -> None:
-        self._transmissions = np.zeros(self.n, dtype=np.int64)
+        self._frontier = SparseBudgetFrontier(1, self.n)
+        self._frontier.admit(
+            np.array([self.source], dtype=np.int64),
+            self.max_transmissions_per_node,
+        )
         self.run_metadata = {
             "max_transmissions_per_node": self.max_transmissions_per_node
         }
 
     def transmit_mask(self, round_index: int) -> np.ndarray:
-        mask = self.informed & (self._transmissions < self.max_transmissions_per_node)
-        self._transmissions += mask
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self._frontier.transmitters(self._all_running)] = True
         return mask
+
+    def observe(
+        self,
+        round_index: int,
+        transmit_mask: np.ndarray,
+        outcome: CollisionOutcome,
+    ) -> None:
+        newly = self.mark_informed(outcome.receivers, round_index)
+        if newly.size:
+            self._frontier.admit(newly, self.max_transmissions_per_node)
 
     def suggested_max_rounds(self) -> int:
         return 4 * self.n + self.max_transmissions_per_node
@@ -83,28 +106,46 @@ class BernoulliFlood(BroadcastProtocol):
 
 
 class BatchDeterministicFlood(BatchBroadcastProtocol):
-    """Batched :class:`DeterministicFlood` on ``(R, n)`` state arrays."""
+    """Batched :class:`DeterministicFlood` on a kernel budget frontier.
+
+    The informed-with-budget-left set is exactly a
+    :class:`~repro.radio.nodesets.BudgetFrontier`: dense backends compare a
+    ``(R, n)`` remaining-budget array per round, the sparse backend walks an
+    index pool that evicts flooded-out nodes — identical transmitters either
+    way.
+    """
 
     name = DeterministicFlood.name
+    state_profile = "frontier"
 
     def __init__(self, *, source: int = 0, max_transmissions_per_node: int = 64):
         super().__init__(source=source)
         self.max_transmissions_per_node = check_positive_int(
             max_transmissions_per_node, "max_transmissions_per_node"
         )
-        self._transmissions: Optional[np.ndarray] = None
+        self._frontier: Optional[BudgetFrontier] = None
 
     def _setup_broadcast(self) -> None:
-        self._transmissions = np.zeros((self.trials, self.n), dtype=np.int64)
-
-    def transmit_masks(self, round_index: int, running: np.ndarray) -> np.ndarray:
-        masks = (
-            self.informed
-            & (self._transmissions < self.max_transmissions_per_node)
-            & running[:, None]
+        trials, n = self.trials, self.n
+        self._frontier = self.kernel.budget_frontier(trials, n)
+        self._frontier.admit(
+            np.arange(trials, dtype=np.int64) * n + self.source,
+            self.max_transmissions_per_node,
         )
-        self._transmissions += masks
-        return masks
+
+    def transmit_flat(self, round_index: int, running: np.ndarray) -> np.ndarray:
+        return self._frontier.transmitters(running)
+
+    def observe(
+        self,
+        round_index: int,
+        tx_flat: np.ndarray,
+        outcome: BatchCollisionOutcome,
+        running: np.ndarray,
+    ) -> None:
+        newly = self.mark_informed(outcome.receiver_flat, round_index)
+        if newly.size:
+            self._frontier.admit(newly, self.max_transmissions_per_node)
 
     def suggested_max_rounds(self) -> int:
         return 4 * self.n + self.max_transmissions_per_node
@@ -118,7 +159,9 @@ class BatchBernoulliFlood(BatchBroadcastProtocol):
 
     In exact mode each running trial draws its full ``rng.random(n)`` vector
     from its own generator, matching the serial protocol's stream call for
-    call.
+    call.  (The per-round draws are dense by construction, so this protocol
+    gains nothing from the sparse frontier backend and keeps the plain
+    membership profile.)
     """
 
     name = BernoulliFlood.name

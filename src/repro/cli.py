@@ -20,8 +20,11 @@ Repetition sweeps ride the batched execution pipeline by default (all seeds
 of a sweep advance together through the vectorised
 :class:`~repro.radio.batch.BatchEngine`; ``--processes K`` shards them into
 ``K`` per-worker batches).  ``--no-batch`` forces the serial per-run engine,
-and ``--batch-mode exact`` makes batched runs bit-identical to serial ones
-(one rng stream per trial) instead of the default vectorised ``fast`` mode.
+``--batch-mode exact`` makes batched runs bit-identical to serial ones
+(one rng stream per trial) instead of the default vectorised ``fast`` mode,
+and ``--state-backend {auto,dense,bitset,sparse}`` pins the node-set state
+representation (:mod:`repro.radio.nodesets`) instead of the per-workload
+heuristic.
 """
 
 from __future__ import annotations
@@ -52,6 +55,15 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default="fast",
         help="randomness policy of the batched pipeline: 'fast' (vectorised, "
         "statistically identical to serial) or 'exact' (bit-identical)",
+    )
+    parser.add_argument(
+        "--state-backend",
+        choices=["auto", "dense", "bitset", "sparse"],
+        default="auto",
+        help="node-set state backend of the batch engine: 'auto' picks per "
+        "workload, 'dense' boolean arrays, 'bitset' packed uint64 words "
+        "(8x smaller gossip knowledge), 'sparse' frontier index pools "
+        "(decay/flooding at large n); results are identical either way",
     )
 
 
@@ -190,6 +202,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         configure_execution(
             batch=False if args.no_batch else True,
             batch_mode=args.batch_mode,
+            state_backend=args.state_backend,
         )
     if args.command == "list":
         return _command_list()

@@ -43,8 +43,10 @@ from repro.experiments.protocols import (
     build_protocol,
     supports_batch,
 )
-from repro.graphs.builders import GraphSpec, build_network
+from repro.graphs.builders import GraphSpec, build_network, spec_is_deterministic
 from repro.radio.batch import BatchEngine
+from repro.radio.network import RadioNetwork
+from repro.radio.nodesets import STATE_BACKENDS
 from repro.radio.collision import (
     BatchCollisionModel,
     BatchErasureCollisionModel,
@@ -183,6 +185,7 @@ class _ExecutionDefaults:
 
     batch: Union[bool, str] = True
     batch_mode: str = "fast"
+    state_backend: str = "auto"
 
 
 _EXECUTION_DEFAULTS = _ExecutionDefaults()
@@ -192,14 +195,16 @@ def configure_execution(
     *,
     batch: Union[bool, str, None] = None,
     batch_mode: Optional[str] = None,
+    state_backend: Optional[str] = None,
 ) -> None:
     """Set process-wide execution defaults (the CLI's ``--no-batch`` /
-    ``--batch-mode`` flags land here).
+    ``--batch-mode`` / ``--state-backend`` flags land here).
 
     ``repeat_job`` / :class:`ExecutionPlan` use these whenever the caller
-    does not pass ``batch`` / ``batch_mode`` explicitly, so the whole
-    experiment suite can be switched to serial or exact-mode execution
-    without threading flags through every experiment module.
+    does not pass ``batch`` / ``batch_mode`` / ``state_backend`` explicitly,
+    so the whole experiment suite can be switched to serial, exact-mode or a
+    forced node-set state backend without threading flags through every
+    experiment module.
     """
     global _EXECUTION_DEFAULTS
     updates = {}
@@ -207,6 +212,8 @@ def configure_execution(
         updates["batch"] = batch
     if batch_mode is not None:
         updates["batch_mode"] = batch_mode
+    if state_backend is not None:
+        updates["state_backend"] = state_backend
     _EXECUTION_DEFAULTS = replace(_EXECUTION_DEFAULTS, **updates)
 
 
@@ -217,6 +224,13 @@ class _BatchShard:
     jobs: Tuple[Job, ...]
     mode: str
     fast_seed: Optional[np.random.SeedSequence]
+    state_backend: str = "auto"
+    #: Plan-level topology cache: for deterministic graph families every
+    #: job's sample is the same network, so the plan builds it once and every
+    #: shard (and every trial within a shard) shares the object instead of
+    #: rebuilding it per job.  ``None`` for random families, whose per-trial
+    #: samples are (deliberately) distinct.
+    shared_network: Optional[RadioNetwork] = None
 
 
 def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
@@ -230,8 +244,13 @@ def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
     networks = []
     protocol_rngs = []
     for job in jobs:
+        # The graph stream is spawned even when the cached topology makes it
+        # unused, so the protocol stream stays identical on every path.
         graph_rng, protocol_rng = spawn_generators(job.seed, 2)
-        networks.append(build_network(job.graph, rng=graph_rng))
+        if shard.shared_network is not None:
+            networks.append(shard.shared_network)
+        else:
+            networks.append(build_network(job.graph, rng=graph_rng))
         protocol_rngs.append(protocol_rng)
 
     engine = BatchEngine(
@@ -239,6 +258,7 @@ def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
         record_rounds=template.record_rounds,
         keep_arrays=template.keep_arrays,
         run_to_quiescence=template.run_to_quiescence,
+        state_backend=shard.state_backend,
     )
     protocol = build_batch_protocol(template.protocol)
     if shard.mode == "exact":
@@ -296,6 +316,16 @@ class ExecutionPlan:
     per trial, consumed exactly as the serial engine would — bit-identical
     to serial, regardless of sharding).
 
+    ``state_backend`` selects the node-set state representation of the batch
+    engine (``"auto"`` / ``"dense"`` / ``"bitset"`` / ``"sparse"``, see
+    :mod:`repro.radio.nodesets`); results are identical under every backend
+    (bit-identical in exact mode), so this is purely a space/time knob.
+
+    Deterministic graph families (paths, grids, the lower-bound gadgets …)
+    sample to the same network under every seed, so the plan builds that
+    topology **once** and hands every shard a shared view instead of
+    rebuilding it per job; random families keep their per-trial samples.
+
     The jobs must be a homogeneous sweep: same specs and engine options,
     differing only in seed/label (what :func:`repeat_job` builds).
     """
@@ -305,6 +335,7 @@ class ExecutionPlan:
     batch: Union[bool, str] = True
     batch_mode: str = "fast"
     fast_seed: Optional[np.random.SeedSequence] = None
+    state_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -316,6 +347,12 @@ class ExecutionPlan:
         if self.batch_mode not in ("fast", "exact"):
             raise ValueError(
                 f"batch_mode must be 'fast' or 'exact', got {self.batch_mode!r}"
+            )
+        if self.state_backend not in STATE_BACKENDS:
+            known = ", ".join(STATE_BACKENDS)
+            raise ValueError(
+                f"state_backend must be one of {known}, "
+                f"got {self.state_backend!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -335,11 +372,25 @@ class ExecutionPlan:
             )
         return None
 
+    def shared_topology(self) -> Optional[RadioNetwork]:
+        """The plan-wide topology cache entry, if the sweep admits one.
+
+        Deterministic graph families ignore their sampling rng, so all jobs
+        of the sweep run on the same network: build it once here (the sample
+        is seed-independent, so any job's spec works) and let every shard —
+        and every trial inside a shard — share the object.
+        """
+        template = self.jobs[0]
+        if not spec_is_deterministic(template.graph):
+            return None
+        return build_network(template.graph)
+
     def shards(self) -> List[_BatchShard]:
         """The per-worker batch shards this plan would execute."""
         jobs = self.jobs
         workers = _worker_count(self.processes, len(jobs))
         bounds = np.linspace(0, len(jobs), workers + 1).astype(int)
+        shared_network = self.shared_topology()
         if self.batch_mode == "exact":
             fast_seeds: List[Optional[np.random.SeedSequence]] = [None] * workers
         else:
@@ -360,6 +411,8 @@ class ExecutionPlan:
                 jobs=jobs[bounds[k] : bounds[k + 1]],
                 mode=self.batch_mode,
                 fast_seed=fast_seeds[k],
+                state_backend=self.state_backend,
+                shared_network=shared_network,
             )
             for k in range(workers)
             if bounds[k] < bounds[k + 1]
@@ -394,6 +447,7 @@ def repeat_job(
     processes: Optional[int] = None,
     batch: Union[bool, str, None] = None,
     batch_mode: Optional[str] = None,
+    state_backend: Optional[str] = None,
     **job_options,
 ) -> List[RunResultTrace]:
     """Run the same (graph, protocol) pair under ``repetitions`` different seeds.
@@ -409,8 +463,9 @@ def repeat_job(
     instead of the silent fallback.  The returned ``List[RunResultTrace]``
     has the same shape either way.
 
-    ``batch`` / ``batch_mode`` default to the process-wide settings of
-    :func:`configure_execution` (out of the box: batched, ``"fast"``).
+    ``batch`` / ``batch_mode`` / ``state_backend`` default to the
+    process-wide settings of :func:`configure_execution` (out of the box:
+    batched, ``"fast"``, ``"auto"`` node-set state).
 
     * ``batch_mode="fast"``: one shared generator per shard with vectorised
       draws — statistically identical to serial, not bit-identical.
@@ -425,6 +480,8 @@ def repeat_job(
         batch = _EXECUTION_DEFAULTS.batch
     if batch_mode is None:
         batch_mode = _EXECUTION_DEFAULTS.batch_mode
+    if state_backend is None:
+        state_backend = _EXECUTION_DEFAULTS.state_backend
     base = np.random.SeedSequence(seed)
     # The extra child seeds the fast-mode batch generator; the first
     # ``repetitions`` children are identical to what the serial path spawns.
@@ -439,6 +496,7 @@ def repeat_job(
         batch=batch,
         batch_mode=batch_mode,
         fast_seed=children[-1],
+        state_backend=state_backend,
     )
     return plan.execute()
 

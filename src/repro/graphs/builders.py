@@ -20,7 +20,7 @@ from repro.graphs.random_digraph import (
 )
 from repro.radio.network import RadioNetwork
 
-__all__ = ["GraphSpec", "build_network", "FAMILIES"]
+__all__ = ["GraphSpec", "build_network", "spec_is_deterministic", "FAMILIES"]
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,31 @@ FAMILIES = {
     "observation43": _build_observation43,
     "theorem44": _build_theorem44,
 }
+
+
+#: Families whose builders ignore the sampling rng (same network under every
+#: seed), which is what lets the execution plan build such a topology once
+#: per sweep and share it.  An *allowlist* so a newly registered family
+#: fails safe: until it is declared deterministic here, every trial keeps
+#: its own sample — merely unoptimised, never statistically wrong.
+_DETERMINISTIC_FAMILIES = frozenset(
+    {
+        "path",
+        "cycle",
+        "star",
+        "complete",
+        "grid",
+        "path_of_cliques",
+        "caterpillar",
+        "observation43",
+        "theorem44",
+    }
+)
+
+
+def spec_is_deterministic(spec: GraphSpec) -> bool:
+    """True when ``spec``'s builder ignores the rng (same network per seed)."""
+    return spec.family in _DETERMINISTIC_FAMILIES
 
 
 def build_network(spec: GraphSpec, *, rng: SeedLike = None) -> RadioNetwork:

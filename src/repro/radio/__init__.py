@@ -28,6 +28,10 @@ Public surface:
 * :mod:`~repro.radio.batch` — the batched Monte-Carlo engine: ``R``
   independent trials advanced per vectorised round on stacked ``(R, n)``
   state, with per-trial completion masking and an exact-equivalence mode.
+* :mod:`~repro.radio.nodesets` — pluggable node-set state backends (dense
+  boolean arrays, bitset-packed ``uint64`` words, sparse frontier index
+  pools) behind the :class:`~repro.radio.nodesets.NodeSetKernel` the batch
+  protocols bind against.
 """
 
 from repro.radio.batch import (
@@ -55,6 +59,12 @@ from repro.radio.collision import (
     as_batch_collision_model,
 )
 from repro.radio.energy import BatchEnergyAccountant, EnergyAccountant, EnergyReport
+from repro.radio.nodesets import (
+    STATE_BACKENDS,
+    NodeSetKernel,
+    resolve_kernel,
+    select_backend,
+)
 from repro.radio.engine import SimulationEngine, run_protocol
 from repro.radio.network import RadioNetwork
 from repro.radio.protocol import BroadcastProtocol, GossipProtocol, Protocol
@@ -90,6 +100,10 @@ __all__ = [
     "BatchWithCollisionDetectionModel",
     "BatchErasureCollisionModel",
     "as_batch_collision_model",
+    "STATE_BACKENDS",
+    "NodeSetKernel",
+    "resolve_kernel",
+    "select_backend",
     "RoundRecord",
     "RunResultTrace",
 ]

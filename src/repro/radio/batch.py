@@ -11,8 +11,13 @@ dimension instead:
   flattened gather plus one ``bincount`` over ``trial * n + listener`` ids
   (see :class:`~repro.radio.collision.BatchCollisionModel`).
 * :class:`BatchProtocol` (and the broadcast/gossip bases) keep per-node state
-  in ``(R, n)`` arrays and advance every trial with one set of vectorised
-  operations per round.
+  in whole-batch node-set structures and advance every trial with one set of
+  vectorised operations per round.  The state representation is pluggable
+  (:mod:`repro.radio.nodesets`): dense boolean arrays, bitset-packed
+  ``uint64`` words (8x smaller gossip knowledge tensors), or sparse frontier
+  index pools (Decay/flooding at large ``n``) — selected automatically per
+  workload or forced via ``state_backend=``; every backend is bit-identical
+  to dense under the exact rng mode.
 * :class:`BatchEngine` owns the batched round loop, masking out trials that
   have individually completed (or gone quiescent) so a finished trial costs
   nothing while its siblings run on.
@@ -62,6 +67,13 @@ from repro.radio.collision import (
 )
 from repro.radio.energy import BatchEnergyAccountant
 from repro.radio.network import RadioNetwork
+from repro.radio.nodesets import (
+    KnowledgeState,
+    NodeSetKernel,
+    NodeSetState,
+    STATE_BACKENDS,
+    resolve_kernel,
+)
 from repro.radio.trace import RoundRecord, RunResultTrace
 
 __all__ = [
@@ -136,6 +148,12 @@ class NetworkBatch:
         """Batch that runs every trial on the same shared topology."""
         trials = check_positive_int(trials, "trials")
         return cls([network] * trials)
+
+    @property
+    def edge_density(self) -> float:
+        """Fraction of possible (directed, loop-free) edges present."""
+        possible = self.trials * self.n * max(self.n - 1, 1)
+        return self.out_indices.size / possible
 
     def __repr__(self) -> str:
         return f"NetworkBatch(trials={self.trials}, n={self.n})"
@@ -439,17 +457,44 @@ class BatchProtocol(abc.ABC):
     #: drop into existing experiment tables unchanged.
     name: str = "batch-protocol"
 
+    #: State shape consumed by the backend auto-selection heuristic
+    #: (:func:`repro.radio.nodesets.select_backend`): ``"knowledge"`` for
+    #: gossip's ``(R, n, n)`` tensor, ``"frontier"`` for quota/budget-pool
+    #: protocols (Decay, deterministic flooding), ``"plain"`` otherwise.
+    state_profile: str = "plain"
+
     def __init__(self) -> None:
         self._batch: Optional[NetworkBatch] = None
         self._rng_source: Optional[BatchRandomSource] = None
+        self._kernel: Optional[NodeSetKernel] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def bind(self, batch: NetworkBatch, rng_source: BatchRandomSource) -> None:
-        """Attach to a network batch and reset all per-run state."""
+    def bind(
+        self,
+        batch: NetworkBatch,
+        rng_source: BatchRandomSource,
+        kernel: Optional[NodeSetKernel] = None,
+    ) -> None:
+        """Attach to a network batch and reset all per-run state.
+
+        ``kernel`` picks the node-set state backend; when omitted the
+        ``"auto"`` heuristic resolves one from the batch shape and the
+        protocol's :attr:`state_profile`.  Every backend is bit-identical
+        under the exact rng mode, so the choice is purely a space/time one.
+        """
         self._batch = batch
         self._rng_source = rng_source
+        if kernel is None:
+            kernel = resolve_kernel(
+                "auto",
+                batch.trials,
+                batch.n,
+                profile=self.state_profile,
+                density=batch.edge_density,
+            )
+        self._kernel = kernel
         self._setup()
 
     def _setup(self) -> None:
@@ -553,6 +598,13 @@ class BatchProtocol(abc.ABC):
         return self._rng_source
 
     @property
+    def kernel(self) -> NodeSetKernel:
+        """The node-set state kernel this run was bound with."""
+        if self._kernel is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound yet")
+        return self._kernel
+
+    @property
     def trials(self) -> int:
         """Number of trials in the bound batch."""
         return self.batch.trials
@@ -569,8 +621,10 @@ class BatchProtocol(abc.ABC):
 class BatchBroadcastProtocol(BatchProtocol):
     """Batched broadcasting: one source per trial informs every node.
 
-    Mirrors :class:`~repro.radio.protocol.BroadcastProtocol` on stacked
-    ``(R, n)`` informed / informed-round arrays.
+    Mirrors :class:`~repro.radio.protocol.BroadcastProtocol`; the informed
+    set lives in a kernel-selected :class:`~repro.radio.nodesets.
+    NodeSetState` (dense mask or packed bitset), the informed-round array
+    stays dense (it is trace metadata, identical under every backend).
     """
 
     name = "broadcast"
@@ -578,21 +632,18 @@ class BatchBroadcastProtocol(BatchProtocol):
     def __init__(self, source: int = 0):
         super().__init__()
         self.source = int(source)
-        self._informed: Optional[np.ndarray] = None
+        self._members: Optional[NodeSetState] = None
         self._informed_round: Optional[np.ndarray] = None
 
     def _setup(self) -> None:
         trials, n = self.trials, self.n
         check_node_index(self.source, n, "source")
-        self._informed = np.zeros((trials, n), dtype=bool)
-        self._informed[:, self.source] = True
+        self._members = self.kernel.node_set(trials, n)
+        self._members.add_flat(
+            np.arange(trials, dtype=np.int64) * n + self.source
+        )
         self._informed_round = np.full((trials, n), -1, dtype=np.int64)
         self._informed_round[:, self.source] = 0
-        # Maintained incrementally by mark_informed so completed() is O(R),
-        # not O(R * n), every round.
-        self._informed_totals = np.ones(trials, dtype=np.int64)
-        # Inverse view handed to the engine as the listener-interest filter.
-        self._uninformed_flat = ~self._informed.reshape(-1)
         self._setup_broadcast()
 
     def _setup_broadcast(self) -> None:
@@ -600,10 +651,10 @@ class BatchBroadcastProtocol(BatchProtocol):
 
     @property
     def informed(self) -> np.ndarray:
-        """Boolean ``(R, n)`` informed matrix (live view — do not mutate)."""
-        if self._informed is None:
+        """Boolean ``(R, n)`` informed matrix (read-only — do not mutate)."""
+        if self._members is None:
             raise RuntimeError("protocol not bound")
-        return self._informed
+        return self._members.mask()
 
     @property
     def informed_round(self) -> np.ndarray:
@@ -614,27 +665,18 @@ class BatchBroadcastProtocol(BatchProtocol):
 
     def informed_counts(self) -> np.ndarray:
         """Per-trial number of informed nodes."""
-        return self._informed_totals.copy()
+        return self._members.counts().copy()
 
     def mark_informed(self, flat_nodes: np.ndarray, round_index: int) -> np.ndarray:
         """Mark flat node ids informed; returns the newly-informed subset."""
-        flat_nodes = np.asarray(flat_nodes, dtype=np.int64)
-        if flat_nodes.size == 0:
-            return flat_nodes
-        informed_flat = self._informed.reshape(-1)
-        newly = flat_nodes[~informed_flat[flat_nodes]]
+        newly = self._members.add_flat(flat_nodes)
         if newly.size:
-            informed_flat[newly] = True
-            self._uninformed_flat[newly] = False
             self._informed_round.reshape(-1)[newly] = round_index + 1
-            self._informed_totals += np.bincount(
-                newly // self.n, minlength=self.trials
-            )
         return newly
 
     def listener_interest(self) -> np.ndarray:
         """Deliveries to already-informed nodes carry no new information."""
-        return self._uninformed_flat
+        return self._members.complement_flat()
 
     def observe(
         self,
@@ -646,55 +688,70 @@ class BatchBroadcastProtocol(BatchProtocol):
         self.mark_informed(outcome.receiver_flat, round_index)
 
     def completed(self) -> np.ndarray:
-        return self._informed_totals == self.n
+        return self._members.counts() == self.n
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(source={self.source})"
 
 
 class BatchGossipProtocol(BatchProtocol):
-    """Batched gossiping on an ``(R, n, n)`` rumour-knowledge tensor.
+    """Batched gossiping on an ``R x n x n`` rumour-knowledge relation.
 
-    The flat ``(R * n, n)`` view of the tensor lets deliveries merge with the
-    same two fancy-indexing operations the serial
-    :class:`~repro.radio.protocol.GossipProtocol` uses — sender rows are
-    gathered before the update, so merges see round-start knowledge.
+    The knowledge lives in a kernel-selected
+    :class:`~repro.radio.nodesets.KnowledgeState`: the dense backend keeps
+    the original boolean ``(R, n, n)`` tensor, the bitset/sparse backends a
+    packed ``(R, n, ceil(n/64))`` uint64 tensor — 8x smaller, which is what
+    lifts the practical gossip batch ceiling past ``R * n² ~ 1e8`` bool
+    cells.  Deliveries merge with the same sender-rows-gathered-first
+    semantics the serial :class:`~repro.radio.protocol.GossipProtocol` uses,
+    so merges always see round-start knowledge.
     """
 
     name = "gossip"
+    state_profile = "knowledge"
 
     def __init__(self) -> None:
         super().__init__()
-        self._knowledge: Optional[np.ndarray] = None
+        self._knowledge_state: Optional[KnowledgeState] = None
 
     def _setup(self) -> None:
-        trials, n = self.trials, self.n
-        self._knowledge = np.broadcast_to(
-            np.eye(n, dtype=bool), (trials, n, n)
-        ).copy()
+        self._knowledge_state = self.kernel.knowledge(self.trials, self.n)
         self._setup_gossip()
 
     def _setup_gossip(self) -> None:
         """Subclass hook for additional per-run state."""
 
     @property
-    def knowledge(self) -> np.ndarray:
-        """The ``(R, n, n)`` rumour-knowledge tensor (live view)."""
-        if self._knowledge is None:
+    def knowledge_state(self) -> KnowledgeState:
+        """The backend knowledge object (preferred over :attr:`knowledge`)."""
+        if self._knowledge_state is None:
             raise RuntimeError("protocol not bound")
-        return self._knowledge
+        return self._knowledge_state
+
+    @property
+    def knowledge(self) -> np.ndarray:
+        """The ``(R, n, n)`` bool tensor.
+
+        A live view on the dense backend; packed backends materialise a
+        fresh unpacked copy, so large-``n`` code should prefer the
+        :attr:`knowledge_state` operations (:meth:`knows_rumour`,
+        :meth:`rumours_known`) which never expand the tensor.
+        """
+        return self.knowledge_state.as_dense()
+
+    def knows_rumour(self, rumour: int) -> np.ndarray:
+        """``(R, n)`` bool: which nodes currently know ``rumour``."""
+        return self.knowledge_state.column(rumour)
 
     def rumours_known(self) -> np.ndarray:
         """``(R, n)`` per-node count of known rumours."""
-        return self.knowledge.sum(axis=2)
+        return self.knowledge_state.per_node_counts()
 
     def merge_deliveries(self, outcome: BatchCollisionOutcome) -> None:
         """Join every delivered rumour set into its receiver's (all trials)."""
         if outcome.receiver_flat.size == 0:
             return
-        flat = self._knowledge.reshape(self.trials * self.n, self.n)
-        payloads = flat[outcome.sender_flat]
-        flat[outcome.receiver_flat] |= payloads
+        self.knowledge_state.merge_flat(outcome.sender_flat, outcome.receiver_flat)
 
     def observe(
         self,
@@ -707,10 +764,10 @@ class BatchGossipProtocol(BatchProtocol):
 
     def informed_counts(self) -> np.ndarray:
         """Per-trial minimum rumour count (the serial progress metric)."""
-        return self.rumours_known().min(axis=1)
+        return self.knowledge_state.min_counts()
 
     def completed(self) -> np.ndarray:
-        return self.knowledge.all(axis=(1, 2))
+        return self.knowledge_state.complete()
 
 
 class BatchEngine:
@@ -738,6 +795,13 @@ class BatchEngine:
         Only taken under deterministic collision resolution without collision
         detection; results are identical either way (the flag exists so the
         equivalence can be tested).
+    state_backend:
+        Node-set state backend handed to the protocol at bind time:
+        ``"auto"`` (default — heuristic per workload), ``"dense"``,
+        ``"bitset"`` or ``"sparse"``.  All backends produce identical
+        results (bit-identical in exact rng mode); the knob trades memory
+        (packed gossip knowledge) against per-round bookkeeping (sparse
+        frontiers).
     """
 
     #: Rounds resolved per scheduled-resolution slice: small enough that the
@@ -753,6 +817,7 @@ class BatchEngine:
         keep_arrays: bool = False,
         run_to_quiescence: bool = False,
         scheduled_resolution: bool = True,
+        state_backend: str = "auto",
     ):
         if collision_model is None:
             self.collision_model: BatchCollisionModel = BatchStandardCollisionModel()
@@ -762,6 +827,12 @@ class BatchEngine:
         self.keep_arrays = bool(keep_arrays)
         self.run_to_quiescence = bool(run_to_quiescence)
         self.scheduled_resolution = bool(scheduled_resolution)
+        if state_backend not in STATE_BACKENDS:
+            known = ", ".join(STATE_BACKENDS)
+            raise ValueError(
+                f"unknown state backend {state_backend!r}; known: {known}"
+            )
+        self.state_backend = state_backend
 
     def run(
         self,
@@ -803,7 +874,14 @@ class BatchEngine:
         else:
             rng_source = BatchRandomSource.fast(rng)
 
-        protocol.bind(batch, rng_source)
+        kernel = resolve_kernel(
+            self.state_backend,
+            batch.trials,
+            batch.n,
+            profile=protocol.state_profile,
+            density=batch.edge_density,
+        )
+        protocol.bind(batch, rng_source, kernel)
         if max_rounds is None:
             max_rounds = protocol.suggested_max_rounds()
         max_rounds = check_positive_int(max_rounds, "max_rounds")
@@ -1025,6 +1103,7 @@ def run_protocol_batch(
     record_rounds: bool = False,
     keep_arrays: bool = False,
     run_to_quiescence: bool = False,
+    state_backend: str = "auto",
 ) -> List[RunResultTrace]:
     """Convenience wrapper: build a :class:`BatchEngine` and run once.
 
@@ -1044,6 +1123,7 @@ def run_protocol_batch(
         record_rounds=record_rounds,
         keep_arrays=keep_arrays,
         run_to_quiescence=run_to_quiescence,
+        state_backend=state_backend,
     )
     return engine.run(
         networks,

@@ -1,0 +1,671 @@
+"""Pluggable node-set state backends for the simulation engines.
+
+Every protocol in this repository is a *set dynamic*: broadcasts grow an
+informed set, gossip grows per-node rumour sets, Decay and flooding walk a
+transmit frontier with per-node quotas.  This module extracts that state out
+of the protocol classes into a small kernel API with three interchangeable
+backends, so the representation can be chosen per workload without touching
+any protocol logic:
+
+``dense``
+    The original representation — boolean ``(R, n)`` masks and ``(R, n, n)``
+    knowledge tensors, dense per-node quota/budget arrays.  Fastest at small
+    scales and the bit-for-bit reference the other backends are tested
+    against.
+
+``bitset``
+    Node sets packed into ``np.uint64`` words (64 set members per word) with
+    popcount-based counts.  The headline win is the gossip knowledge tensor:
+    ``(R, n, ceil(n / 64))`` words instead of ``R * n**2`` bool bytes — an
+    ~8x memory lift that moves the practical gossip batch ceiling from
+    ``R * n**2 ~ 1e8`` bool cells to ~1e9, and makes the per-round
+    completion scan 8x smaller.
+
+``sparse``
+    Frontier state kept as index pools (flat node ids plus per-node
+    quota/budget), tracking only the nodes that can still transmit.  Aimed
+    at the collision-edge-bound regimes of Decay and flooding at large
+    ``n``: within a Decay phase the surviving frontier halves every round,
+    so the pool shrinks geometrically while a dense mask comparison keeps
+    paying ``O(R * n)`` per round.  Membership sets stay dense under this
+    backend (both transmit rules and the collision listener filter consume
+    them as masks) and the knowledge tensor falls back to the bitset
+    packing.
+
+Backends are bundled by :class:`NodeSetKernel` (one factory per state kind)
+and chosen by :func:`select_backend` from ``(R, n, density)`` plus the
+protocol's declared *state profile*, with an explicit override plumbed
+through ``ExecutionPlan`` / ``configure_execution`` and the CLI's
+``--state-backend`` flag.  Every backend is bit-identical to ``dense`` under
+``batch_mode="exact"`` — ``tests/test_nodesets.py`` pins this for the whole
+protocol registry.
+
+Packing layout: node ``m`` of a row lives in word ``m // 64`` at bit
+``m % 64`` (``np.packbits(..., bitorder="little")`` on a little-endian
+host, which is what the NumPy wheels this project targets run on).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "STATE_BACKENDS",
+    "NodeSetKernel",
+    "resolve_kernel",
+    "select_backend",
+    "words_for",
+    "pack_bool_rows",
+    "unpack_bool_rows",
+    "popcount",
+    "NodeSetState",
+    "DenseNodeSet",
+    "BitsetNodeSet",
+    "KnowledgeState",
+    "DenseKnowledge",
+    "BitsetKnowledge",
+    "QuotaFrontier",
+    "DenseQuotaFrontier",
+    "SparseQuotaFrontier",
+    "BudgetFrontier",
+    "DenseBudgetFrontier",
+    "SparseBudgetFrontier",
+]
+
+#: Valid values of every ``state_backend`` knob ("auto" resolves via
+#: :func:`select_backend`; the rest name a concrete backend).
+STATE_BACKENDS = ("auto", "dense", "bitset", "sparse")
+
+_WORD_BITS = 64
+
+
+# --------------------------------------------------------------------------- #
+# Bit-packing primitives
+# --------------------------------------------------------------------------- #
+def words_for(n: int) -> int:
+    """Number of ``uint64`` words needed for an ``n``-bit row."""
+    return (int(n) + _WORD_BITS - 1) // _WORD_BITS
+
+
+def pack_bool_rows(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(..., n)`` array into ``(..., words_for(n))`` uint64."""
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    n = mask.shape[-1]
+    n_words = words_for(n)
+    packed = np.packbits(mask, axis=-1, bitorder="little")
+    pad = n_words * 8 - packed.shape[-1]
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(mask.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bool_rows(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_rows`: ``(..., W)`` uint64 -> ``(..., n)`` bool."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little", count=n)
+    return bits.astype(bool)
+
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-word population count (same shape as ``words``)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+    _POPCOUNT8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-word population count (same shape as ``words``)."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        per_byte = _POPCOUNT8[as_bytes].reshape(words.shape + (8,))
+        return per_byte.sum(axis=-1, dtype=np.int64)
+
+
+def _full_row_template(n: int) -> np.ndarray:
+    """The packed word pattern of an all-``True`` ``n``-bit row."""
+    template = np.full(words_for(n), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    tail = n % _WORD_BITS
+    if tail:
+        template[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+    return template
+
+
+# --------------------------------------------------------------------------- #
+# Membership sets (one node set per trial)
+# --------------------------------------------------------------------------- #
+class NodeSetState(abc.ABC):
+    """``R`` per-trial node sets over flat ids ``trial * n + node``.
+
+    The contract every backend honours (and the equivalence tests pin):
+
+    * :meth:`add_flat` returns the not-yet-member subset of its input, in
+      input order — exactly what the dense ``mask[ids]`` membership test
+      yields;
+    * :meth:`counts` is maintained incrementally, so reading it is ``O(R)``;
+    * :meth:`mask` / :meth:`complement_flat` expose dense boolean views for
+      the transmit rules and the collision listener filter.  ``dense``
+      returns live arrays; packed backends materialise on demand (cached
+      until the next mutation).
+    """
+
+    __slots__ = ("trials", "n", "_counts")
+
+    def __init__(self, trials: int, n: int):
+        self.trials = int(trials)
+        self.n = int(n)
+        self._counts = np.zeros(self.trials, dtype=np.int64)
+
+    def counts(self) -> np.ndarray:
+        """Per-trial member counts (live array — copy before mutating)."""
+        return self._counts
+
+    @abc.abstractmethod
+    def add_flat(self, flat_ids: np.ndarray) -> np.ndarray:
+        """Add flat ids; return the newly added subset (input order)."""
+
+    @abc.abstractmethod
+    def mask(self) -> np.ndarray:
+        """Dense boolean ``(R, n)`` membership matrix (do not mutate)."""
+
+    @abc.abstractmethod
+    def complement_flat(self) -> np.ndarray:
+        """Dense boolean ``(R * n,)`` non-membership vector (do not mutate)."""
+
+
+class DenseNodeSet(NodeSetState):
+    """Boolean-mask membership — the original representation."""
+
+    __slots__ = ("_mask", "_flat", "_complement_flat")
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._mask = np.zeros((self.trials, self.n), dtype=bool)
+        self._flat = self._mask.reshape(-1)
+        self._complement_flat = ~self._flat
+
+    def add_flat(self, flat_ids: np.ndarray) -> np.ndarray:
+        flat_ids = np.asarray(flat_ids, dtype=np.int64)
+        if flat_ids.size == 0:
+            return flat_ids
+        newly = flat_ids[~self._flat[flat_ids]]
+        if newly.size:
+            self._flat[newly] = True
+            self._complement_flat[newly] = False
+            self._counts += np.bincount(newly // self.n, minlength=self.trials)
+        return newly
+
+    def mask(self) -> np.ndarray:
+        return self._mask
+
+    def complement_flat(self) -> np.ndarray:
+        return self._complement_flat
+
+
+class BitsetNodeSet(NodeSetState):
+    """Membership packed into ``(R, words_for(n))`` uint64 words.
+
+    Dense views are unpacked on demand and cached until the next
+    :meth:`add_flat`, so the steady-state cost is one unpack per round —
+    the same order of work a dense mask read performs — while the resident
+    set state is 8x smaller.
+    """
+
+    __slots__ = ("_words", "_mask_cache", "_complement_cache")
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._words = np.zeros((self.trials, words_for(self.n)), dtype=np.uint64)
+        self._mask_cache: Optional[np.ndarray] = None
+        self._complement_cache: Optional[np.ndarray] = None
+
+    def add_flat(self, flat_ids: np.ndarray) -> np.ndarray:
+        flat_ids = np.asarray(flat_ids, dtype=np.int64)
+        if flat_ids.size == 0:
+            return flat_ids
+        rows = flat_ids // self.n
+        cols = flat_ids - rows * self.n
+        word = cols >> 6
+        bit = (cols & 63).astype(np.uint64)
+        present = (self._words[rows, word] >> bit) & np.uint64(1)
+        keep = present == 0
+        newly = flat_ids[keep]
+        if newly.size:
+            # bitwise_or.at: several new members can land in the same word,
+            # which buffered fancy assignment would collapse to one.
+            np.bitwise_or.at(
+                self._words,
+                (rows[keep], word[keep]),
+                np.uint64(1) << bit[keep],
+            )
+            self._counts += np.bincount(newly // self.n, minlength=self.trials)
+            self._mask_cache = None
+            self._complement_cache = None
+        return newly
+
+    def mask(self) -> np.ndarray:
+        if self._mask_cache is None:
+            self._mask_cache = unpack_bool_rows(self._words, self.n)
+        return self._mask_cache
+
+    def complement_flat(self) -> np.ndarray:
+        if self._complement_cache is None:
+            self._complement_cache = ~self.mask().reshape(-1)
+        return self._complement_cache
+
+
+# --------------------------------------------------------------------------- #
+# Gossip knowledge tensors
+# --------------------------------------------------------------------------- #
+class KnowledgeState(abc.ABC):
+    """``R`` per-trial ``(n, n)`` rumour-knowledge relations.
+
+    Row ``(t, v)`` is the set of rumours node ``v`` of trial ``t`` knows;
+    rows only ever grow (the join model), which is what lets the packed
+    backend stay bit-compatible with the dense one.
+    """
+
+    __slots__ = ("trials", "n")
+
+    def __init__(self, trials: int, n: int):
+        self.trials = int(trials)
+        self.n = int(n)
+
+    @abc.abstractmethod
+    def merge_flat(self, sender_flat: np.ndarray, receiver_flat: np.ndarray) -> None:
+        """OR each (unique) receiver row with its sender's round-start row."""
+
+    @abc.abstractmethod
+    def per_node_counts(self) -> np.ndarray:
+        """``(R, n)`` number of rumours each node knows."""
+
+    @abc.abstractmethod
+    def complete(self) -> np.ndarray:
+        """Per-trial bool vector: every node knows every rumour."""
+
+    @abc.abstractmethod
+    def column(self, rumour: int) -> np.ndarray:
+        """``(R, n)`` bool: which nodes know ``rumour``."""
+
+    @abc.abstractmethod
+    def as_dense(self) -> np.ndarray:
+        """Materialise the ``(R, n, n)`` bool tensor (dense: live view)."""
+
+    def min_counts(self) -> np.ndarray:
+        """Per-trial minimum rumour count (the gossip progress metric)."""
+        return self.per_node_counts().min(axis=1)
+
+
+class DenseKnowledge(KnowledgeState):
+    """Boolean ``(R, n, n)`` tensor — the original representation."""
+
+    __slots__ = ("_tensor",)
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._tensor = np.broadcast_to(
+            np.eye(n, dtype=bool), (self.trials, n, n)
+        ).copy()
+
+    def merge_flat(self, sender_flat: np.ndarray, receiver_flat: np.ndarray) -> None:
+        if receiver_flat.size == 0:
+            return
+        flat = self._tensor.reshape(self.trials * self.n, self.n)
+        payloads = flat[sender_flat]  # fancy indexing copies round-start rows
+        flat[receiver_flat] |= payloads
+
+    def per_node_counts(self) -> np.ndarray:
+        return self._tensor.sum(axis=2)
+
+    def complete(self) -> np.ndarray:
+        return self._tensor.all(axis=(1, 2))
+
+    def column(self, rumour: int) -> np.ndarray:
+        return self._tensor[:, :, rumour]
+
+    def as_dense(self) -> np.ndarray:
+        return self._tensor
+
+
+class BitsetKnowledge(KnowledgeState):
+    """Knowledge packed into ``(R, n, words_for(n))`` uint64 words.
+
+    8x smaller than the dense tensor and 8x less memory traffic on the
+    per-round completion scan; rumour counts come from a popcount.
+    """
+
+    __slots__ = ("_words", "_full_row")
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._words = np.zeros((self.trials, n, words_for(n)), dtype=np.uint64)
+        idx = np.arange(n)
+        self._words[:, idx, idx >> 6] = np.uint64(1) << (idx & 63).astype(np.uint64)
+        self._full_row = _full_row_template(n)
+
+    def merge_flat(self, sender_flat: np.ndarray, receiver_flat: np.ndarray) -> None:
+        if receiver_flat.size == 0:
+            return
+        flat = self._words.reshape(self.trials * self.n, -1)
+        payloads = flat[sender_flat]
+        flat[receiver_flat] |= payloads
+
+    def per_node_counts(self) -> np.ndarray:
+        return popcount(self._words).sum(axis=2, dtype=np.int64)
+
+    def complete(self) -> np.ndarray:
+        return (self._words == self._full_row).all(axis=(1, 2))
+
+    def column(self, rumour: int) -> np.ndarray:
+        rumour = int(rumour)
+        word = self._words[:, :, rumour >> 6]
+        return ((word >> np.uint64(rumour & 63)) & np.uint64(1)).astype(bool)
+
+    def as_dense(self) -> np.ndarray:
+        return unpack_bool_rows(self._words, self.n)
+
+
+# --------------------------------------------------------------------------- #
+# Transmit frontiers
+# --------------------------------------------------------------------------- #
+class QuotaFrontier(abc.ABC):
+    """Per-phase transmission quotas (the Decay frontier).
+
+    :meth:`begin_phase` installs one quota per participating node (values in
+    trial-major ascending node-id order — the order the phase draws are
+    made in); :meth:`transmitters` yields the sorted flat ids with
+    ``quota > within`` in running trials.  Quotas are monotone in ``within``
+    within a phase, which is what lets the sparse backend prune its pool as
+    the phase plays out.
+    """
+
+    __slots__ = ("trials", "n")
+
+    def __init__(self, trials: int, n: int):
+        self.trials = int(trials)
+        self.n = int(n)
+
+    @abc.abstractmethod
+    def begin_phase(self, participating: np.ndarray, values: np.ndarray) -> None:
+        """Install quotas: ``participating`` is ``(R, n)`` bool, ``values``
+        one quota per ``True`` cell in trial-major ascending order."""
+
+    @abc.abstractmethod
+    def transmitters(self, within: int, running: np.ndarray) -> np.ndarray:
+        """Sorted flat ids with remaining quota ``> within`` in running trials."""
+
+
+class DenseQuotaFrontier(QuotaFrontier):
+    """Quotas in a dense ``(R, n)`` array; one mask comparison per round."""
+
+    __slots__ = ("_quota",)
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._quota = np.zeros((self.trials, self.n), dtype=np.int64)
+
+    def begin_phase(self, participating: np.ndarray, values: np.ndarray) -> None:
+        quota = np.zeros((self.trials, self.n), dtype=np.int64)
+        quota[participating] = values
+        self._quota = quota
+
+    def transmitters(self, within: int, running: np.ndarray) -> np.ndarray:
+        mask = self._quota > within
+        if not running.all():
+            mask &= running[:, None]
+        return np.flatnonzero(mask.reshape(-1))
+
+    def quota_matrix(self) -> np.ndarray:
+        """The dense quota matrix (diagnostics)."""
+        return self._quota
+
+
+class SparseQuotaFrontier(QuotaFrontier):
+    """Quotas as a (sorted flat id, value) pool pruned as the phase decays.
+
+    A Decay quota is ``min(Geometric(1/2), k)``, so the surviving pool
+    halves every round of the phase; per-round cost is ``O(|pool|)`` and
+    the tail rounds of a phase — the majority, at ``k = 2 log2 n`` rounds
+    per phase — touch almost nothing, where a dense comparison keeps paying
+    ``O(R * n)``.
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._ids = np.empty(0, dtype=np.int64)
+        self._values = np.empty(0, dtype=np.int64)
+
+    def begin_phase(self, participating: np.ndarray, values: np.ndarray) -> None:
+        # flatnonzero of the trial-major mask is exactly the draw order.
+        self._ids = np.flatnonzero(np.asarray(participating).reshape(-1))
+        self._values = np.asarray(values, dtype=np.int64)
+
+    def transmitters(self, within: int, running: np.ndarray) -> np.ndarray:
+        alive = self._values > within
+        if not alive.all():
+            # Quotas only ever compare against growing `within`, so dropping
+            # exhausted entries now can never change a later round.
+            self._ids = self._ids[alive]
+            self._values = self._values[alive]
+        out = self._ids
+        if not running.all():
+            out = out[running[out // self.n]]
+        return out
+
+
+class BudgetFrontier(abc.ABC):
+    """Admitted nodes each holding a transmission budget (flooding frontier).
+
+    A node transmits every round its trial is running until its budget is
+    exhausted, then leaves the frontier for good.
+    """
+
+    __slots__ = ("trials", "n")
+
+    def __init__(self, trials: int, n: int):
+        self.trials = int(trials)
+        self.n = int(n)
+
+    @abc.abstractmethod
+    def admit(self, flat_ids: np.ndarray, budget: int) -> None:
+        """Admit (unique, never-before-admitted) flat ids with this budget.
+
+        Input order does not matter; backends keep their own order.
+        """
+
+    @abc.abstractmethod
+    def transmitters(self, running: np.ndarray) -> np.ndarray:
+        """Sorted flat ids transmitting this round (their budgets decrement;
+        exhausted nodes are evicted)."""
+
+
+class DenseBudgetFrontier(BudgetFrontier):
+    """Budgets in a dense ``(R * n,)`` array; one mask comparison per round."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._remaining = np.zeros((self.trials, self.n), dtype=np.int64)
+
+    def admit(self, flat_ids: np.ndarray, budget: int) -> None:
+        flat_ids = np.asarray(flat_ids, dtype=np.int64)
+        if flat_ids.size:
+            self._remaining.reshape(-1)[flat_ids] = int(budget)
+
+    def transmitters(self, running: np.ndarray) -> np.ndarray:
+        mask = self._remaining > 0
+        if not running.all():
+            mask &= running[:, None]
+        out = np.flatnonzero(mask.reshape(-1))
+        if out.size:
+            self._remaining.reshape(-1)[out] -= 1
+        return out
+
+
+class SparseBudgetFrontier(BudgetFrontier):
+    """Budgets as a sorted (flat id, remaining) pool.
+
+    Per-round cost is ``O(|pool|)``; a flooded-out node costs nothing after
+    eviction, where the dense mask keeps scanning all ``R * n`` cells.
+    """
+
+    __slots__ = ("_ids", "_remaining")
+
+    def __init__(self, trials: int, n: int):
+        super().__init__(trials, n)
+        self._ids = np.empty(0, dtype=np.int64)
+        self._remaining = np.empty(0, dtype=np.int64)
+
+    def admit(self, flat_ids: np.ndarray, budget: int) -> None:
+        flat_ids = np.asarray(flat_ids, dtype=np.int64)
+        if flat_ids.size == 0:
+            return
+        merged = np.concatenate([self._ids, np.sort(flat_ids)])
+        remaining = np.concatenate(
+            [self._remaining, np.full(flat_ids.size, int(budget), dtype=np.int64)]
+        )
+        order = np.argsort(merged, kind="stable")
+        self._ids = merged[order]
+        self._remaining = remaining[order]
+
+    def transmitters(self, running: np.ndarray) -> np.ndarray:
+        if self._ids.size == 0:
+            return self._ids
+        if running.all():
+            out = self._ids.copy()
+            self._remaining -= 1
+        else:
+            live = running[self._ids // self.n]
+            out = self._ids[live]
+            self._remaining[live] -= 1
+        exhausted = self._remaining == 0
+        if exhausted.any():
+            keep = ~exhausted
+            self._ids = self._ids[keep]
+            self._remaining = self._remaining[keep]
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Kernel: backend bundle + selection heuristic
+# --------------------------------------------------------------------------- #
+#: Dense knowledge tensors above this many bool cells (~128 MiB) switch the
+#: auto heuristic to the bitset packing.
+_DENSE_KNOWLEDGE_CEILING = 1 << 27
+
+#: Frontier protocols switch to sparse pools once the per-round dense state
+#: work (``R * n`` cells) clears this floor; below it the pool bookkeeping
+#: costs more than the mask comparison it replaces.
+_SPARSE_FRONTIER_FLOOR = 1 << 16
+
+
+def select_backend(
+    trials: int,
+    n: int,
+    *,
+    profile: str = "plain",
+    density: Optional[float] = None,
+) -> str:
+    """Pick a concrete backend for a ``(R, n, density)`` workload.
+
+    ``profile`` is the protocol's declared state shape:
+
+    * ``"knowledge"`` (gossip) — memory-bound by the ``(R, n, n)`` tensor:
+      pack to bitset words once the dense tensor would clear ~128 MiB.
+    * ``"frontier"`` (Decay, deterministic flooding) — bound by per-round
+      frontier bookkeeping: use sparse index pools once the dense mask work
+      ``R * n`` clears the floor.  Denser graphs inform (and therefore
+      re-fill the frontier) faster, so the bar doubles above 10% density.
+    * anything else — dense boolean state, the reference representation.
+    """
+    trials, n = int(trials), int(n)
+    if profile == "knowledge":
+        return "bitset" if trials * n * n >= _DENSE_KNOWLEDGE_CEILING else "dense"
+    if profile == "frontier":
+        floor = _SPARSE_FRONTIER_FLOOR
+        if density is not None and density > 0.1:
+            floor *= 2
+        return "sparse" if trials * n >= floor else "dense"
+    return "dense"
+
+
+@dataclass(frozen=True)
+class NodeSetKernel:
+    """A resolved backend bundle: one factory per state kind.
+
+    Not every backend specialises every state kind — the mapping is:
+
+    =========== ============= ============= ==============
+    backend     membership    knowledge     frontiers
+    =========== ============= ============= ==============
+    ``dense``   dense mask    dense tensor  dense arrays
+    ``bitset``  packed words  packed words  dense arrays
+    ``sparse``  dense mask    packed words  index pools
+    =========== ============= ============= ==============
+
+    (Sparse membership/knowledge would not help: membership is consumed as
+    dense masks by transmit rules and the collision listener filter, and
+    gossip knowledge saturates — the packed tensor is the compact choice.)
+    """
+
+    backend: str
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("dense", "bitset", "sparse"):
+            raise ValueError(
+                f"backend must be 'dense', 'bitset' or 'sparse', "
+                f"got {self.backend!r} (resolve 'auto' via resolve_kernel)"
+            )
+
+    def node_set(self, trials: int, n: int) -> NodeSetState:
+        """A membership set (e.g. a broadcast's informed set)."""
+        if self.backend == "bitset":
+            return BitsetNodeSet(trials, n)
+        return DenseNodeSet(trials, n)
+
+    def knowledge(self, trials: int, n: int) -> KnowledgeState:
+        """A gossip rumour-knowledge tensor."""
+        if self.backend == "dense":
+            return DenseKnowledge(trials, n)
+        return BitsetKnowledge(trials, n)
+
+    def quota_frontier(self, trials: int, n: int) -> QuotaFrontier:
+        """A per-phase quota frontier (Decay)."""
+        if self.backend == "sparse":
+            return SparseQuotaFrontier(trials, n)
+        return DenseQuotaFrontier(trials, n)
+
+    def budget_frontier(self, trials: int, n: int) -> BudgetFrontier:
+        """A per-node transmission-budget frontier (deterministic flooding)."""
+        if self.backend == "sparse":
+            return SparseBudgetFrontier(trials, n)
+        return DenseBudgetFrontier(trials, n)
+
+
+def resolve_kernel(
+    state_backend: str,
+    trials: int,
+    n: int,
+    *,
+    profile: str = "plain",
+    density: Optional[float] = None,
+) -> NodeSetKernel:
+    """Resolve a ``state_backend`` knob value into a concrete kernel."""
+    if state_backend not in STATE_BACKENDS:
+        known = ", ".join(STATE_BACKENDS)
+        raise ValueError(
+            f"unknown state backend {state_backend!r}; known: {known}"
+        )
+    if state_backend == "auto":
+        state_backend = select_backend(trials, n, profile=profile, density=density)
+    return NodeSetKernel(backend=state_backend)
