@@ -11,6 +11,10 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# Benchmarks must measure the engine, not a warm result store: the bench
+# conftest clears the ambient store per run (REPRO_BENCH_CACHE=<dir> opts
+# back in), and any inherited cache dir is dropped here for good measure.
+unset REPRO_CACHE_DIR
 
 echo "== tier-1 tests =="
 python -m pytest -x -q --ignore=benchmarks
@@ -19,6 +23,7 @@ echo "== engine micro-benchmarks =="
 python -m pytest -q \
     benchmarks/test_bench_engine_micro.py \
     benchmarks/test_bench_batch_engine.py \
+    benchmarks/test_bench_store.py \
     --benchmark-json="$RAW"
 
 python benchmarks/summarize_engine_bench.py "$RAW" "$OUT"

@@ -22,6 +22,10 @@ The package is organised as:
 * :mod:`repro.analysis` — statistics, scaling fits and concentration checks;
 * :mod:`repro.experiments` — one module per reproduced theorem/figure
   (E1–E14), a declarative job runner, and result containers;
+* :mod:`repro.store` — the content-addressed result store behind resumable
+  sweeps (canonical digests, append-only JSONL shards);
+* :mod:`repro.jobs` — the job queue the execution plan dispatches through
+  (in-process / process-pool backends with retry-on-worker-death);
 * :mod:`repro.cli` — the ``repro`` command-line interface.
 
 Quickstart

@@ -13,8 +13,18 @@ Subcommands
 ``repro chart E6``
     Run an experiment and render its series as ASCII charts.
 
-Execution flags (``run`` / ``chart`` / ``report``)
---------------------------------------------------
+``repro sweep E1 [--scale full] [--processes 4]``
+    Run an experiment through the sweep service: the content-addressed
+    result store is on by default (``.repro_cache`` or ``$REPRO_CACHE_DIR``)
+    and the randomness policy defaults to ``exact``, so an interrupted sweep
+    resumes bit-identically and a warm re-run executes zero engine rounds.
+
+``repro cache stats|clear|prune [--cache-dir DIR]``
+    Inspect or empty the result store (``prune`` drops records written under
+    older engine versions).
+
+Execution flags (``run`` / ``chart`` / ``report`` / ``sweep``)
+--------------------------------------------------------------
 
 Repetition sweeps ride the batched execution pipeline by default (all seeds
 of a sweep advance together through the vectorised
@@ -25,11 +35,17 @@ of a sweep advance together through the vectorised
 and ``--state-backend {auto,dense,bitset,sparse}`` pins the node-set state
 representation (:mod:`repro.radio.nodesets`) instead of the per-workload
 heuristic.
+
+Caching flags: ``--resume`` turns the result store on for ``run`` / ``chart``
+/ ``report`` (they default to uncached), ``--cache-dir DIR`` picks the store
+location (and implies ``--resume``), ``--no-cache`` forces caching off
+(including for ``sweep``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -37,12 +53,21 @@ from typing import List, Optional
 from repro.experiments.figures import ascii_chart
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.experiments.runner import configure_execution
+from repro.store import ResultStore
 
 __all__ = ["main", "build_parser"]
 
+#: Default result-store location when caching is enabled without an explicit
+#: ``--cache-dir`` (overridable via the ``REPRO_CACHE_DIR`` environment
+#: variable).  The directory is .gitignore'd.
+DEFAULT_CACHE_DIR = ".repro_cache"
 
-def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
-    """Flags controlling the batched execution pipeline (shared by run/chart/report)."""
+
+def _add_execution_flags(
+    parser: argparse.ArgumentParser, *, batch_mode_default: str = "fast"
+) -> None:
+    """Flags controlling the batched execution pipeline (shared by
+    run/chart/report/sweep)."""
     parser.add_argument(
         "--no-batch",
         action="store_true",
@@ -52,9 +77,10 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch-mode",
         choices=["fast", "exact"],
-        default="fast",
+        default=batch_mode_default,
         help="randomness policy of the batched pipeline: 'fast' (vectorised, "
-        "statistically identical to serial) or 'exact' (bit-identical)",
+        "statistically identical to serial) or 'exact' (bit-identical) "
+        f"[default: {batch_mode_default}]",
     )
     parser.add_argument(
         "--state-backend",
@@ -65,6 +91,50 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "(8x smaller gossip knowledge), 'sparse' frontier index pools "
         "(decay/flooding at large n); results are identical either way",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="location of the content-addressed result store (enables "
+        "caching; default when enabled: $REPRO_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="consult the result store before executing and checkpoint "
+        "fresh trials into it (on by default for 'sweep')",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result store entirely (overrides --resume / "
+        "--cache-dir and the 'sweep' default)",
+    )
+
+
+def _default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    """Resolve the caching flags into a result store (or None = uncached).
+
+    ``run`` / ``chart`` / ``report`` cache only when asked (``--resume`` /
+    ``--cache-dir``); ``sweep`` caches by default; ``--no-cache`` wins over
+    everything.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    wants_cache = (
+        cache_dir is not None
+        or getattr(args, "resume", False)
+        or args.command == "sweep"
+    )
+    if not wants_cache:
+        return None
+    return ResultStore(cache_dir if cache_dir is not None else _default_cache_dir())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,6 +193,40 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--processes", type=int, default=None)
     _add_execution_flags(report_parser)
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run an experiment (or 'all') through the resumable sweep "
+        "service: result store on, exact randomness by default",
+    )
+    sweep_parser.add_argument("experiment", help="experiment id (e.g. E1) or 'all'")
+    sweep_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan repetitions out over this many worker processes",
+    )
+    sweep_parser.add_argument("--json", type=Path, default=None, help="write JSON result here")
+    _add_execution_flags(sweep_parser, batch_mode_default="exact")
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or empty the content-addressed result store"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=["stats", "clear", "prune"],
+        help="stats: entry/size counts; clear: delete everything; "
+        "prune: drop records from older engine versions",
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="store location (default: $REPRO_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+
     return parser
 
 
@@ -178,6 +282,55 @@ def _command_chart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace, store: Optional[ResultStore]) -> int:
+    targets = (
+        [m.EXPERIMENT_ID for m in all_experiments()]
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    for target in targets:
+        result = run_experiment(
+            target, scale=args.scale, seed=args.seed, processes=args.processes
+        )
+        print(result.render())
+        print()
+        if args.json is not None:
+            path = args.json
+            if len(targets) > 1:
+                path = path.with_name(f"{path.stem}_{result.experiment_id}{path.suffix}")
+            result.save(path)
+            print(f"[written] {path}")
+    if store is not None:
+        total = store.hits + store.misses
+        print(
+            f"[cache] {store.hits}/{total} trials served from "
+            f"{store.root} ({store.misses} computed and stored)"
+        )
+    else:
+        print("[cache] disabled (--no-cache)")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
+    store = ResultStore(cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store:          {stats['path']}")
+        print(f"engine version: {stats['engine_version']}")
+        print(f"entries:        {stats['entries']} ({stats['stale_entries']} stale)")
+        print(f"shard files:    {stats['shard_files']}")
+        print(f"bytes:          {stats['bytes']}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"[cache] removed {removed} entries from {store.root}")
+        return 0
+    removed = store.prune()
+    print(f"[cache] pruned {removed} stale entries from {store.root}")
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -198,11 +351,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    store: Optional[ResultStore] = None
     if hasattr(args, "no_batch"):
+        store = _store_from_args(args)
         configure_execution(
             batch=False if args.no_batch else True,
             batch_mode=args.batch_mode,
             state_backend=args.state_backend,
+            store=store,
         )
     if args.command == "list":
         return _command_list()
@@ -212,6 +368,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_chart(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "sweep":
+        return _command_sweep(args, store)
+    if args.command == "cache":
+        return _command_cache(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

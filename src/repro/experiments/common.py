@@ -15,7 +15,37 @@ __all__ = [
     "dense_p",
     "stat_mean",
     "log2n",
+    "execution_provenance",
 ]
+
+
+def execution_provenance() -> Dict[str, object]:
+    """Execution-layer facts worth stamping into reports and archives.
+
+    With the sweep service in place, numbers in a report depend on more than
+    the experiment parameters: the engine semantics version (which gates the
+    result-store keys), the batch axis, the randomness policy and whether a
+    result store served cached trials.  This is the one shared place the
+    report generator (and any experiment that wants to) reads them from, so
+    provenance lands in the output without threading flags through every
+    module.
+    """
+    # Imported here rather than at module top so the experiment modules
+    # (which all import this one) do not pull the runner in before their
+    # own imports are needed.
+    from repro.experiments.runner import _EXECUTION_DEFAULTS
+    from repro.store import ENGINE_VERSION
+
+    defaults = _EXECUTION_DEFAULTS
+    return {
+        "engine_version": ENGINE_VERSION,
+        "batch": defaults.batch,
+        "batch_mode": defaults.batch_mode,
+        "state_backend": defaults.state_backend,
+        "result_store": (
+            str(defaults.store.root) if defaults.store is not None else None
+        ),
+    }
 
 
 def pick(scale: str, *, quick, full):

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.experiments.common import execution_provenance
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.experiments.results import ExperimentResult
 
@@ -88,11 +89,21 @@ def generate_report(
     if experiment_ids is None:
         experiment_ids = [m.EXPERIMENT_ID for m in all_experiments()]
 
+    provenance = execution_provenance()
+    store_note = (
+        f", result store `{provenance['result_store']}`"
+        if provenance["result_store"]
+        else ", no result store"
+    )
     sections: List[str] = [
         f"# {title}",
         "",
         f"Scale: `{scale}`, seed: `{seed}`.  Regenerate with "
         f"`repro report --scale {scale} --seed {seed}`.",
+        "",
+        f"Engine `{provenance['engine_version']}`, batch mode "
+        f"`{provenance['batch_mode']}`, state backend "
+        f"`{provenance['state_backend']}`{store_note}.",
         "",
     ]
     json_files: List[Path] = []

@@ -23,14 +23,26 @@ treating them as alternatives:
 Per-trial seeds are spawned identically on every path, so the sampled
 topologies — and, in ``batch_mode="exact"``, the full traces bit for bit —
 are independent of how the sweep was scheduled.
+
+Sweeps are **resumable**: when a :class:`~repro.store.ResultStore` is
+attached (per call, or process-wide via :func:`configure_execution`, or the
+CLI's ``--resume`` / ``--cache-dir`` flags), every per-trial result is
+checkpointed under a canonical content digest as its shard completes, and
+:func:`repeat_job` / :func:`run_jobs` consult the store first — only the
+missing trials are enqueued.  In ``batch_mode="exact"`` a resumed sweep is
+bit-identical to an uninterrupted one, because each trial's bits are a pure
+function of its job spec and seed.  Work is dispatched through the
+:class:`~repro.jobs.JobQueue` abstraction (in-process or a process pool with
+retry-on-worker-death), so later backends can slot in without touching the
+planner.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +56,7 @@ from repro.experiments.protocols import (
     supports_batch,
 )
 from repro.graphs.builders import GraphSpec, build_network, spec_is_deterministic
+from repro.jobs import JobQueue
 from repro.radio.batch import BatchEngine
 from repro.radio.network import RadioNetwork
 from repro.radio.nodesets import STATE_BACKENDS
@@ -59,6 +72,7 @@ from repro.radio.collision import (
 )
 from repro.radio.engine import SimulationEngine
 from repro.radio.trace import RunResultTrace
+from repro.store import ResultStore, canonicalize, trial_digest
 
 __all__ = [
     "Job",
@@ -68,6 +82,7 @@ __all__ = [
     "run_jobs",
     "aggregate_runs",
     "repeat_job",
+    "job_store_key",
 ]
 
 _COLLISION_MODELS = {
@@ -155,10 +170,141 @@ def _worker_count(processes: Optional[int], task_count: int) -> int:
     return max(1, min(workers, task_count))
 
 
+# --------------------------------------------------------------------------- #
+# Result-store plumbing
+# --------------------------------------------------------------------------- #
+#: Per-completion callback used to checkpoint results: ``sink(index, trace)``.
+_ResultSink = Callable[[int, RunResultTrace], None]
+
+
+def job_store_key(job: Job, context: Dict[str, object]) -> str:
+    """The content digest a job's result is stored under.
+
+    ``context`` carries the execution facts that affect the result bits on
+    top of the job spec itself — the randomness policy (``batch_mode``), the
+    node-set ``state_backend`` knob and, in fast mode, the cohort entropy
+    (see :meth:`ExecutionPlan.cache_context`).  The job's ``label`` is
+    display metadata and deliberately excluded, so relabelled sweeps still
+    dedup.
+    """
+    payload = job.as_dict()
+    payload.pop("label", None)
+    return trial_digest({"job": payload, "context": dict(context)})
+
+
+def _trace_store_payload(trace: RunResultTrace) -> dict:
+    """What the store records for a trial: the full-fidelity payload minus
+    the requesting job's display metadata (re-attached on rehydration)."""
+    payload = trace.to_payload()
+    metadata = dict(payload.get("metadata", {}))
+    metadata.pop("job", None)
+    metadata.pop("label", None)
+    payload["metadata"] = metadata
+    return canonicalize(payload)
+
+
+def _rehydrate_trace(payload: dict, job: Job) -> RunResultTrace:
+    """Rebuild a cached trial and re-attach the requesting job's metadata."""
+    trace = RunResultTrace.from_payload(payload)
+    trace.metadata["job"] = job.as_dict()
+    if job.label:
+        trace.metadata["label"] = job.label
+    return trace
+
+
+def _store_sink(store: ResultStore, keys: Sequence[str]) -> _ResultSink:
+    """A sink writing each completed trace under its precomputed key."""
+
+    def sink(index: int, trace: RunResultTrace) -> None:
+        store.put(keys[index], _trace_store_payload(trace))
+
+    return sink
+
+
+def _consult_store(
+    store: ResultStore,
+    jobs: Sequence[Job],
+    keys: Sequence[str],
+    run_missing: Callable[[List[int], _ResultSink], List[RunResultTrace]],
+    *,
+    all_or_nothing: bool = False,
+) -> List[RunResultTrace]:
+    """The cache-consultation protocol shared by :func:`run_jobs` and
+    :meth:`ExecutionPlan.execute`: probe every key, rehydrate the hits,
+    execute the missing jobs with a sink that checkpoints each completion
+    under its key, and merge everything back in job order.
+
+    ``all_or_nothing`` discards a *partial* hit set (fast-mode sweeps, whose
+    draws are cohort-wide) — the discarded probes are reclassified as misses
+    so the store counters report what was actually served.
+    """
+    results: Dict[int, RunResultTrace] = {}
+    for index, key in enumerate(keys):
+        payload = store.get(key)
+        if payload is not None:
+            results[index] = _rehydrate_trace(payload, jobs[index])
+    if all_or_nothing and results and len(results) != len(jobs):
+        store.hits -= len(results)
+        store.misses += len(results)
+        results = {}
+    missing = [index for index in range(len(jobs)) if index not in results]
+    if missing:
+        fresh = run_missing(
+            missing, _store_sink(store, [keys[index] for index in missing])
+        )
+        for index, trace in zip(missing, fresh):
+            results[index] = trace
+    return [results[index] for index in range(len(jobs))]
+
+
+def _resolve_store(store) -> Optional[ResultStore]:
+    """Resolve a ``store`` argument: ``None`` means the process-wide default
+    (:func:`configure_execution`), ``False`` disables caching explicitly, a
+    path opens a :class:`~repro.store.ResultStore` there."""
+    if store is None:
+        return _EXECUTION_DEFAULTS.store
+    if store is False:
+        return None
+    if isinstance(store, (str, Path)):
+        return ResultStore(store)
+    return store
+
+
+def _run_jobs_queued(
+    jobs: Sequence[Job],
+    *,
+    processes: Optional[int] = None,
+    queue: Optional[JobQueue] = None,
+    sink: Optional[_ResultSink] = None,
+) -> List[RunResultTrace]:
+    """One engine run per job through the job queue (no store consultation)."""
+    jobs = list(jobs)
+    workers = _worker_count(processes, len(jobs))
+    if queue is None:
+        queue = JobQueue.for_workers(workers)
+    # A computed chunksize (instead of the default 1) amortises the per-item
+    # pickle/IPC round trip on large sweeps while still keeping ~4 chunks per
+    # worker for load balancing.
+    chunksize = max(1, len(jobs) // (4 * workers)) if workers > 1 else 1
+    return queue.run(execute_job, jobs, on_result=sink, chunksize=chunksize)
+
+
+#: Cache context of the serial per-run engine path.  Serial runs are keyed
+#: separately from batched ones (conservative: the exact-mode equivalence the
+#: tests pin covers the trace's headline fields, and keying by path costs
+#: only a recompute, never a wrong hit).
+_SERIAL_CONTEXT: Dict[str, object] = {
+    "batch_mode": "serial",
+    "state_backend": "auto",
+}
+
+
 def run_jobs(
     jobs: Sequence[Job],
     *,
     processes: Optional[int] = None,
+    store=None,
+    queue: Optional[JobQueue] = None,
 ) -> List[RunResultTrace]:
     """Execute ``jobs`` one engine run per job, serially or across workers.
 
@@ -166,17 +312,29 @@ def run_jobs(
     ``os.cpu_count()``) to fan out.  This is the heterogeneous-job path —
     repetition sweeps should go through :func:`repeat_job` /
     :class:`ExecutionPlan`, which batch the repetition axis as well.
+
+    ``store`` selects the content-addressed result store consulted before
+    executing anything (``None``: the process-wide default, ``False``:
+    disabled, or a :class:`~repro.store.ResultStore` / path): cached jobs
+    are returned without touching the engine and fresh results are
+    checkpointed as they complete.  ``queue`` overrides the
+    :class:`~repro.jobs.JobQueue` work is dispatched through.
     """
     jobs = list(jobs)
-    workers = _worker_count(processes, len(jobs))
-    if workers <= 1 or len(jobs) <= 1:
-        return [execute_job(job) for job in jobs]
-    # A computed chunksize (instead of the default 1) amortises the per-item
-    # pickle/IPC round trip on large sweeps while still keeping ~4 chunks per
-    # worker for load balancing.
-    chunksize = max(1, len(jobs) // (4 * workers))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute_job, jobs, chunksize=chunksize))
+    resolved = _resolve_store(store)
+    if resolved is None:
+        return _run_jobs_queued(jobs, processes=processes, queue=queue)
+
+    def run_missing(missing: List[int], sink: _ResultSink) -> List[RunResultTrace]:
+        return _run_jobs_queued(
+            [jobs[index] for index in missing],
+            processes=processes,
+            queue=queue,
+            sink=sink,
+        )
+
+    keys = [job_store_key(job, _SERIAL_CONTEXT) for job in jobs]
+    return _consult_store(resolved, jobs, keys, run_missing)
 
 
 @dataclass(frozen=True)
@@ -186,9 +344,13 @@ class _ExecutionDefaults:
     batch: Union[bool, str] = True
     batch_mode: str = "fast"
     state_backend: str = "auto"
+    store: Optional[ResultStore] = None
 
 
 _EXECUTION_DEFAULTS = _ExecutionDefaults()
+
+#: Sentinel distinguishing "leave unchanged" from "set to None (disable)".
+_UNSET = object()
 
 
 def configure_execution(
@@ -196,24 +358,34 @@ def configure_execution(
     batch: Union[bool, str, None] = None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    store=_UNSET,
 ) -> None:
     """Set process-wide execution defaults (the CLI's ``--no-batch`` /
-    ``--batch-mode`` / ``--state-backend`` flags land here).
+    ``--batch-mode`` / ``--state-backend`` / cache flags land here).
 
     ``repeat_job`` / :class:`ExecutionPlan` use these whenever the caller
     does not pass ``batch`` / ``batch_mode`` / ``state_backend`` explicitly,
     so the whole experiment suite can be switched to serial, exact-mode or a
     forced node-set state backend without threading flags through every
     experiment module.
+
+    ``store`` installs the process-wide content-addressed result store the
+    sweeps consult (a :class:`~repro.store.ResultStore`, a cache-dir path,
+    or ``None`` to disable caching); omit the argument to leave the current
+    store unchanged.
     """
     global _EXECUTION_DEFAULTS
-    updates = {}
+    updates: Dict[str, object] = {}
     if batch is not None:
         updates["batch"] = batch
     if batch_mode is not None:
         updates["batch_mode"] = batch_mode
     if state_backend is not None:
         updates["state_backend"] = state_backend
+    if store is not _UNSET:
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        updates["store"] = store
     _EXECUTION_DEFAULTS = replace(_EXECUTION_DEFAULTS, **updates)
 
 
@@ -326,6 +498,21 @@ class ExecutionPlan:
     topology **once** and hands every shard a shared view instead of
     rebuilding it per job; random families keep their per-trial samples.
 
+    ``store`` attaches a content-addressed result store: cached trials are
+    returned without touching the engine, missing trials are executed and
+    checkpointed shard by shard as they complete (so an interrupted sweep
+    resumes where it died).  In exact mode each trial's bits are a pure
+    function of its job spec + seed, making resumption bit-identical to an
+    uninterrupted run; in fast mode the rng streams are cohort-wide, so the
+    cache is all-or-nothing (a partial hit recomputes the whole sweep rather
+    than silently changing the draws).
+
+    ``queue`` overrides the :class:`~repro.jobs.JobQueue` shards are
+    dispatched through (default: in-process for one worker, a process pool
+    with retry-on-worker-death otherwise), and ``shard_count`` decouples the
+    number of shards from the worker count — more shards mean finer resume
+    checkpoints and better load balancing at a small per-shard overhead.
+
     The jobs must be a homogeneous sweep: same specs and engine options,
     differing only in seed/label (what :func:`repeat_job` builds).
     """
@@ -336,6 +523,9 @@ class ExecutionPlan:
     batch_mode: str = "fast"
     fast_seed: Optional[np.random.SeedSequence] = None
     state_backend: str = "auto"
+    store: Optional[ResultStore] = None
+    queue: Optional[JobQueue] = None
+    shard_count: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -353,6 +543,10 @@ class ExecutionPlan:
             raise ValueError(
                 f"state_backend must be one of {known}, "
                 f"got {self.state_backend!r}"
+            )
+        if self.shard_count is not None and self.shard_count < 1:
+            raise ValueError(
+                f"shard_count must be >= 1, got {self.shard_count}"
             )
 
     # ------------------------------------------------------------------ #
@@ -385,27 +579,36 @@ class ExecutionPlan:
             return None
         return build_network(template.graph)
 
+    def _fast_seed_or_derived(self) -> np.random.SeedSequence:
+        """The fast-mode root seed (derived from the job seeds if unset)."""
+        if self.fast_seed is not None:
+            return self.fast_seed
+        # A plan built without a fast seed still has to be reproducible:
+        # derive one from the (deterministic) job seeds.
+        return np.random.SeedSequence([job.seed for job in self.jobs])
+
+    def _shard_total(self) -> int:
+        """How many batch shards the plan splits into."""
+        workers = _worker_count(self.processes, len(self.jobs))
+        count = self.shard_count if self.shard_count is not None else workers
+        return max(1, min(count, len(self.jobs)))
+
     def shards(self) -> List[_BatchShard]:
-        """The per-worker batch shards this plan would execute."""
+        """The batch shards this plan would execute (one per worker unless
+        ``shard_count`` says otherwise)."""
         jobs = self.jobs
-        workers = _worker_count(self.processes, len(jobs))
-        bounds = np.linspace(0, len(jobs), workers + 1).astype(int)
+        count = self._shard_total()
+        bounds = np.linspace(0, len(jobs), count + 1).astype(int)
         shared_network = self.shared_topology()
         if self.batch_mode == "exact":
-            fast_seeds: List[Optional[np.random.SeedSequence]] = [None] * workers
+            fast_seeds: List[Optional[np.random.SeedSequence]] = [None] * count
         else:
-            # A plan built without a fast seed still has to be reproducible:
-            # derive one from the (deterministic) job seeds.
-            fast_seed = self.fast_seed
-            if fast_seed is None:
-                fast_seed = np.random.SeedSequence(
-                    [job.seed for job in jobs]
-                )
-            if workers == 1:
+            fast_seed = self._fast_seed_or_derived()
+            if count == 1:
                 # Unsharded fast mode keeps the historical single-generator seed.
                 fast_seeds = [fast_seed]
             else:
-                fast_seeds = list(fast_seed.spawn(workers))
+                fast_seeds = list(fast_seed.spawn(count))
         return [
             _BatchShard(
                 jobs=jobs[bounds[k] : bounds[k + 1]],
@@ -414,12 +617,85 @@ class ExecutionPlan:
                 state_backend=self.state_backend,
                 shared_network=shared_network,
             )
-            for k in range(workers)
+            for k in range(count)
             if bounds[k] < bounds[k + 1]
         ]
 
+    # ------------------------------------------------------------------ #
+    # Result-store integration
+    # ------------------------------------------------------------------ #
+    def cache_context(self) -> Dict[str, object]:
+        """The execution facts baked into this sweep's store keys.
+
+        Exact-mode (and serial) trials are pure functions of their job spec,
+        so their context is just the mode and state-backend knobs.  Fast
+        mode draws from cohort-wide streams — one shared generator per shard
+        — so its context additionally pins the cohort (fast-seed entropy,
+        shard layout): a fast key can only hit when the *whole sweep* is
+        identical, never bit-mixing draws across differently shaped runs.
+        """
+        batchable = bool(self.batch) and self.unbatchable_reason() is None
+        if not batchable:
+            return dict(_SERIAL_CONTEXT)
+        context: Dict[str, object] = {
+            "batch_mode": self.batch_mode,
+            "state_backend": self.state_backend,
+        }
+        if self.batch_mode == "fast":
+            fast_seed = self._fast_seed_or_derived()
+            context["fast_cohort"] = {
+                "entropy": fast_seed.entropy,
+                "spawn_key": list(fast_seed.spawn_key),
+                "shards": self._shard_total(),
+            }
+        return context
+
+    def job_keys(self) -> List[str]:
+        """One store digest per job, in job order."""
+        context = self.cache_context()
+        return [job_store_key(job, context) for job in self.jobs]
+
     def execute(self) -> List[RunResultTrace]:
-        """Run the sweep; returns one trace per job, in job order."""
+        """Run the sweep; returns one trace per job, in job order.
+
+        With a ``store`` attached, cached trials are served from it and only
+        the missing ones are executed (checkpointed back shard by shard); in
+        fast mode the cache is all-or-nothing (see :meth:`cache_context`).
+        """
+        if self.batch == "require":
+            reason = self.unbatchable_reason()
+            if reason is not None:
+                # Raise even when the store could serve the sweep: 'require'
+                # is a contract about how results are produced, and a silent
+                # serial-keyed cache hit would mask the mismatch.
+                raise ValueError(
+                    f"batch='require' but the sweep is not batchable: {reason}"
+                )
+        store = self.store
+        if store is None:
+            return self._run(None)
+        context = self.cache_context()
+        keys = self.job_keys()
+
+        def run_missing(missing: List[int], sink: _ResultSink) -> List[RunResultTrace]:
+            sub = replace(
+                self, jobs=tuple(self.jobs[i] for i in missing), store=None
+            )
+            return sub._run(sink)
+
+        return _consult_store(
+            store,
+            self.jobs,
+            keys,
+            run_missing,
+            # Fast-mode draws are cohort-wide; a partial hit cannot be
+            # extended bit-faithfully, so recompute the whole sweep.
+            all_or_nothing=context["batch_mode"] == "fast",
+        )
+
+    def _run(self, sink: Optional[_ResultSink]) -> List[RunResultTrace]:
+        """Execute every job of the plan (no store consultation), feeding
+        completed traces to ``sink`` as their shard/chunk finishes."""
         if self.batch:
             reason = self.unbatchable_reason()
             if reason is not None:
@@ -428,14 +704,32 @@ class ExecutionPlan:
                         f"batch='require' but the sweep is not batchable: "
                         f"{reason}"
                     )
-                return run_jobs(self.jobs, processes=self.processes)
+                return _run_jobs_queued(
+                    self.jobs,
+                    processes=self.processes,
+                    queue=self.queue,
+                    sink=sink,
+                )
             shards = self.shards()
-            if len(shards) == 1:
-                return _execute_batch_shard(shards[0])
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-                parts = list(pool.map(_execute_batch_shard, shards))
+            queue = self.queue
+            if queue is None:
+                workers = _worker_count(self.processes, len(self.jobs))
+                queue = JobQueue.for_workers(min(workers, len(shards)))
+            starts = np.concatenate(
+                [[0], np.cumsum([len(shard.jobs) for shard in shards])]
+            )
+
+            def on_shard(shard_index: int, shard_results) -> None:
+                if sink is not None:
+                    base = int(starts[shard_index])
+                    for offset, trace in enumerate(shard_results):
+                        sink(base + offset, trace)
+
+            parts = queue.run(_execute_batch_shard, shards, on_result=on_shard)
             return [result for part in parts for result in part]
-        return run_jobs(self.jobs, processes=self.processes)
+        return _run_jobs_queued(
+            self.jobs, processes=self.processes, queue=self.queue, sink=sink
+        )
 
 
 def repeat_job(
@@ -448,6 +742,9 @@ def repeat_job(
     batch: Union[bool, str, None] = None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    store=None,
+    queue: Optional[JobQueue] = None,
+    shards: Optional[int] = None,
     **job_options,
 ) -> List[RunResultTrace]:
     """Run the same (graph, protocol) pair under ``repetitions`` different seeds.
@@ -473,6 +770,16 @@ def repeat_job(
       as the serial engine would — results are bit-identical to
       ``batch=False`` runs of the same seed (the equivalence tests rely on
       this), regardless of sharding.
+
+    ``store`` selects the content-addressed result store (``None``: the
+    process-wide default installed by :func:`configure_execution`,
+    ``False``: disabled, or an explicit :class:`~repro.store.ResultStore` /
+    cache-dir path).  With a store attached the sweep is *incremental*:
+    trials already recorded — from an earlier run, an interrupted run, or a
+    smaller ``repetitions`` at the same seed (seed spawning is
+    prefix-stable) — are served from the store and only the missing ones
+    execute.  ``queue`` / ``shards`` override the dispatch queue and the
+    shard granularity (see :class:`ExecutionPlan`).
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
@@ -497,6 +804,9 @@ def repeat_job(
         batch_mode=batch_mode,
         fast_seed=children[-1],
         state_backend=state_backend,
+        store=_resolve_store(store),
+        queue=queue,
+        shard_count=shards,
     )
     return plan.execute()
 

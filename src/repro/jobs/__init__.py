@@ -1,0 +1,24 @@
+"""Job-queue layer of the sweep orchestration service.
+
+:class:`JobQueue` gives the experiment runner one submission API over
+pluggable worker backends — in-process (:class:`InProcessBackend`) or a
+process pool with retry-on-worker-death (:class:`ProcessPoolBackend`) — and
+streams per-task completions back to the caller so results can be
+checkpointed into the :mod:`repro.store` result store as they arrive.
+"""
+
+from repro.jobs.queue import (
+    InProcessBackend,
+    JobQueue,
+    ProcessPoolBackend,
+    QueueStats,
+    WorkerBackend,
+)
+
+__all__ = [
+    "InProcessBackend",
+    "JobQueue",
+    "ProcessPoolBackend",
+    "QueueStats",
+    "WorkerBackend",
+]

@@ -1,0 +1,236 @@
+"""Job queue with pluggable worker backends and retry-on-worker-death.
+
+The execution plan in :mod:`repro.experiments.runner` used to drive a
+:class:`~concurrent.futures.ProcessPoolExecutor` directly; this module puts a
+queue abstraction in between so that
+
+* in-process and multi-process execution share one API (and future backends
+  — a distributed pool, an async gateway — can slot in without touching the
+  planner);
+* a worker process dying (OOM kill, segfault, machine pressure) retries the
+  affected tasks on a fresh pool instead of aborting the whole sweep, and
+  falls back to in-process execution once retries are exhausted — a sweep
+  always makes progress;
+* completed tasks are surfaced *as they finish* via ``on_result``, which is
+  what lets the runner checkpoint shard results into the result store
+  incrementally — the crash-resume guarantee needs results persisted before
+  the sweep ends, not after.
+
+Retrying is sound because every task in this repository is deterministic:
+batch shards carry their per-trial seeds (exact mode) or their own spawned
+fast seed (fast mode), so a re-executed task reproduces the same bits the
+dead worker would have produced.
+
+Tasks and the mapped function must be picklable for the process backend
+(module-level functions over dataclass payloads — exactly what the runner
+submits).
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "JobQueue",
+    "QueueStats",
+    "WorkerBackend",
+    "InProcessBackend",
+    "ProcessPoolBackend",
+]
+
+#: Callback invoked as each task completes: ``on_result(task_index, result)``.
+ResultCallback = Callable[[int, object], None]
+
+
+@dataclass
+class QueueStats:
+    """Counters describing what a queue did (read by tests and the CLI).
+
+    Counts are in *dispatch units*: individual tasks normally, whole chunks
+    when :meth:`JobQueue.run` groups tasks with ``chunksize > 1`` (the
+    backend never sees inside a chunk).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    worker_deaths: int = 0
+    retried_tasks: int = 0
+    in_process_fallbacks: int = 0
+
+
+class WorkerBackend(abc.ABC):
+    """Executes an ordered list of tasks; results come back in task order."""
+
+    def __init__(self) -> None:
+        self.stats = QueueStats()
+
+    @abc.abstractmethod
+    def run(
+        self,
+        fn: Callable[[object], object],
+        tasks: Sequence[object],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[object]:
+        """Apply ``fn`` to every task; ``on_result`` fires per completion."""
+
+
+class InProcessBackend(WorkerBackend):
+    """Run every task in the calling process, in order."""
+
+    def run(
+        self,
+        fn: Callable[[object], object],
+        tasks: Sequence[object],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[object]:
+        tasks = list(tasks)
+        self.stats.submitted += len(tasks)
+        results: List[object] = []
+        for index, task in enumerate(tasks):
+            result = fn(task)
+            results.append(result)
+            self.stats.completed += 1
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class ProcessPoolBackend(WorkerBackend):
+    """Fan tasks out over worker processes, surviving worker death.
+
+    A :class:`BrokenProcessPool` (a worker was killed, not a Python exception
+    in the task — those propagate unchanged) marks every not-yet-completed
+    task for retry on a freshly built pool.  After ``max_retries`` pool
+    deaths the remaining tasks run in-process, so a pathological environment
+    degrades to serial execution instead of failing the sweep.
+    """
+
+    def __init__(self, max_workers: int, *, max_retries: int = 2) -> None:
+        super().__init__()
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_workers = int(max_workers)
+        self.max_retries = int(max_retries)
+
+    def run(
+        self,
+        fn: Callable[[object], object],
+        tasks: Sequence[object],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[object]:
+        tasks = list(tasks)
+        self.stats.submitted += len(tasks)
+        results: List[object] = [None] * len(tasks)
+        done = [False] * len(tasks)
+        pending = list(range(len(tasks)))
+        deaths = 0
+        while pending:
+            if deaths > self.max_retries:
+                self.stats.in_process_fallbacks += len(pending)
+                for index in pending:
+                    results[index] = fn(tasks[index])
+                    done[index] = True
+                    self.stats.completed += 1
+                    if on_result is not None:
+                        on_result(index, results[index])
+                pending = []
+                break
+            broke = False
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.max_workers, len(pending))
+                ) as pool:
+                    futures = {
+                        pool.submit(fn, tasks[index]): index for index in pending
+                    }
+                    remaining = set(futures)
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            index = futures[future]
+                            result = future.result()
+                            results[index] = result
+                            done[index] = True
+                            self.stats.completed += 1
+                            if on_result is not None:
+                                on_result(index, result)
+            except BrokenProcessPool:
+                broke = True
+            if broke:
+                deaths += 1
+                self.stats.worker_deaths += 1
+                pending = [index for index in pending if not done[index]]
+                self.stats.retried_tasks += len(pending)
+            else:
+                pending = []
+        return results
+
+
+def _call_chunk(payload):
+    """Module-level chunk runner (picklable for the process backend)."""
+    fn, items = payload
+    return [fn(item) for item in items]
+
+
+class JobQueue:
+    """Ordered task execution behind one API, whatever the backend.
+
+    ``chunksize`` groups small tasks into fewer submissions to amortise
+    pickling/IPC (the heterogeneous-job path submits hundreds of small jobs;
+    batch shards are few and large, so they use ``chunksize=1``).
+    ``on_result`` still fires once per *task*, in completion order within a
+    chunk.
+    """
+
+    def __init__(self, backend: Optional[WorkerBackend] = None) -> None:
+        self.backend = backend if backend is not None else InProcessBackend()
+
+    @classmethod
+    def for_workers(cls, workers: int) -> "JobQueue":
+        """An in-process queue for one worker, a process pool otherwise."""
+        if workers <= 1:
+            return cls(InProcessBackend())
+        return cls(ProcessPoolBackend(workers))
+
+    @property
+    def stats(self) -> QueueStats:
+        """The backend's execution counters."""
+        return self.backend.stats
+
+    def run(
+        self,
+        fn: Callable[[object], object],
+        tasks: Sequence[object],
+        *,
+        on_result: Optional[ResultCallback] = None,
+        chunksize: int = 1,
+    ) -> List[object]:
+        """Apply ``fn`` to every task; returns results in task order."""
+        tasks = list(tasks)
+        if chunksize <= 1 or len(tasks) <= 1:
+            return self.backend.run(fn, tasks, on_result)
+        bounds = list(range(0, len(tasks), chunksize)) + [len(tasks)]
+        chunks = [
+            (fn, tasks[bounds[i] : bounds[i + 1]])
+            for i in range(len(bounds) - 1)
+        ]
+
+        def on_chunk(chunk_index: int, chunk_results) -> None:
+            if on_result is not None:
+                base = bounds[chunk_index]
+                for offset, result in enumerate(chunk_results):
+                    on_result(base + offset, result)
+
+        parts = self.backend.run(_call_chunk, chunks, on_chunk)
+        return [result for part in parts for result in part]
+
+    def __repr__(self) -> str:
+        return f"JobQueue(backend={type(self.backend).__name__})"

@@ -48,6 +48,19 @@ class EnergyReport:
             "n": self.n,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "EnergyReport":
+        """Inverse of :meth:`as_dict` (exact: ints stay ints, floats floats)."""
+        return cls(
+            total_transmissions=int(payload["total_transmissions"]),
+            max_per_node=int(payload["max_per_node"]),
+            mean_per_node=float(payload["mean_per_node"]),
+            median_per_node=float(payload["median_per_node"]),
+            p95_per_node=float(payload["p95_per_node"]),
+            transmitting_nodes=int(payload["transmitting_nodes"]),
+            n=int(payload["n"]),
+        )
+
 
 class EnergyAccountant:
     """Accumulates per-node transmission counts round by round."""

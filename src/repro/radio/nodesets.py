@@ -129,15 +129,6 @@ else:  # pragma: no cover - exercised only on NumPy < 2.0
         return per_byte.sum(axis=-1, dtype=np.int64)
 
 
-def _full_row_template(n: int) -> np.ndarray:
-    """The packed word pattern of an all-``True`` ``n``-bit row."""
-    template = np.full(words_for(n), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
-    tail = n % _WORD_BITS
-    if tail:
-        template[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
-    return template
-
-
 # --------------------------------------------------------------------------- #
 # Membership sets (one node set per trial)
 # --------------------------------------------------------------------------- #
@@ -337,18 +328,27 @@ class DenseKnowledge(KnowledgeState):
 class BitsetKnowledge(KnowledgeState):
     """Knowledge packed into ``(R, n, words_for(n))`` uint64 words.
 
-    8x smaller than the dense tensor and 8x less memory traffic on the
-    per-round completion scan; rumour counts come from a popcount.
+    8x smaller than the dense tensor; rumour counts and completion are
+    maintained *incrementally* from merge deltas: each merge popcounts only
+    the receiver rows it touched, so reading :meth:`per_node_counts` is a
+    copy and :meth:`complete` is an ``O(R)`` comparison — the per-round
+    full-tensor completion scan the dense backend pays is gone entirely.
+    Rows only ever grow (the join model), which is what makes the delta
+    bookkeeping exact.
     """
 
-    __slots__ = ("_words", "_full_row")
+    __slots__ = ("_words", "_node_counts", "_full_rows")
 
     def __init__(self, trials: int, n: int):
         super().__init__(trials, n)
         self._words = np.zeros((self.trials, n, words_for(n)), dtype=np.uint64)
         idx = np.arange(n)
         self._words[:, idx, idx >> 6] = np.uint64(1) << (idx & 63).astype(np.uint64)
-        self._full_row = _full_row_template(n)
+        # Every node starts knowing exactly its own rumour.
+        self._node_counts = np.ones((self.trials, n), dtype=np.int64)
+        # A row is "full" when it holds all n rumours; with n == 1 every row
+        # (and therefore every trial) is complete from the start.
+        self._full_rows = np.full(self.trials, n if n == 1 else 0, dtype=np.int64)
 
     def merge_flat(self, sender_flat: np.ndarray, receiver_flat: np.ndarray) -> None:
         if receiver_flat.size == 0:
@@ -356,12 +356,24 @@ class BitsetKnowledge(KnowledgeState):
         flat = self._words.reshape(self.trials * self.n, -1)
         payloads = flat[sender_flat]
         flat[receiver_flat] |= payloads
+        # Incremental completion tracking: re-popcount only the rows this
+        # merge touched (receivers are unique by the merge contract).
+        new_counts = popcount(flat[receiver_flat]).sum(axis=-1, dtype=np.int64)
+        counts_flat = self._node_counts.reshape(-1)
+        newly_full = receiver_flat[
+            (new_counts == self.n) & (counts_flat[receiver_flat] != self.n)
+        ]
+        counts_flat[receiver_flat] = new_counts
+        if newly_full.size:
+            self._full_rows += np.bincount(
+                newly_full // self.n, minlength=self.trials
+            )
 
     def per_node_counts(self) -> np.ndarray:
-        return popcount(self._words).sum(axis=2, dtype=np.int64)
+        return self._node_counts.copy()
 
     def complete(self) -> np.ndarray:
-        return (self._words == self._full_row).all(axis=(1, 2))
+        return self._full_rows == self.n
 
     def column(self, rumour: int) -> np.ndarray:
         rumour = int(rumour)

@@ -121,6 +121,68 @@ class RunResultTrace:
             out["rounds"] = [r.as_dict() for r in self.rounds]
         return out
 
+    # ------------------------------------------------------------------ #
+    # Full-fidelity serialisation (the result store's record format)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """Lossless JSON-ready form: :meth:`from_payload` restores a trace
+        whose every field the experiments consume compares equal.
+
+        Unlike :meth:`as_dict` (a human-facing summary), this keeps the
+        optional per-node arrays and always carries the round records, so a
+        cached trial is indistinguishable from a freshly computed one.
+        """
+        payload = self.as_dict()
+        payload["rounds"] = [r.as_dict() for r in self.rounds]
+        if self.per_node_transmissions is not None:
+            payload["per_node_transmissions"] = (
+                np.asarray(self.per_node_transmissions).tolist()
+            )
+        if self.informed_round is not None:
+            payload["informed_round"] = np.asarray(self.informed_round).tolist()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RunResultTrace":
+        """Inverse of :meth:`to_payload`."""
+        per_node = payload.get("per_node_transmissions")
+        informed_round = payload.get("informed_round")
+        return cls(
+            protocol_name=str(payload["protocol_name"]),
+            network_name=str(payload["network_name"]),
+            n=int(payload["n"]),
+            completed=bool(payload["completed"]),
+            completion_round=int(payload["completion_round"]),
+            rounds_executed=int(payload["rounds_executed"]),
+            energy=EnergyReport.from_dict(payload["energy"]),
+            informed_count=(
+                None
+                if payload.get("informed_count") is None
+                else int(payload["informed_count"])
+            ),
+            per_node_transmissions=(
+                None
+                if per_node is None
+                else np.asarray(per_node, dtype=np.int64)
+            ),
+            informed_round=(
+                None
+                if informed_round is None
+                else np.asarray(informed_round, dtype=np.int64)
+            ),
+            rounds=[
+                RoundRecord(
+                    round_index=int(r["round_index"]),
+                    transmitters=int(r["transmitters"]),
+                    deliveries=int(r["deliveries"]),
+                    newly_informed=int(r["newly_informed"]),
+                    informed_after=int(r["informed_after"]),
+                )
+                for r in payload.get("rounds", [])
+            ],
+            metadata=dict(payload.get("metadata", {})),
+        )
+
     def __repr__(self) -> str:
         status = "completed" if self.completed else "timed-out"
         return (

@@ -1,0 +1,226 @@
+"""Content-addressed result store: append-only JSONL shards under a cache dir.
+
+The store maps a trial digest (:func:`repro.store.keys.trial_digest`) to the
+serialised :class:`~repro.radio.trace.RunResultTrace` payload of that trial.
+Records live in 256 append-only shard files (``results-XX.jsonl``, sharded by
+the first digest byte) so that
+
+* writes are a single appended line — a sweep killed mid-write corrupts at
+  most the final line of one shard, which the loader skips, leaving every
+  previously completed trial intact (this is what makes interrupted sweeps
+  resumable);
+* reads only parse the shards actually touched (an in-memory index per shard
+  is built lazily on first access);
+* the whole store remains greppable/debuggable with standard tools.
+
+Only the parent process of a sweep writes (workers hand results back over the
+queue), so single-writer append semantics hold in normal operation; each
+record is emitted as one ``write(2)`` call on an ``O_APPEND`` descriptor, so
+concurrent CLI invocations appending to the same shard do not interleave
+mid-line.
+
+Every record carries the :data:`~repro.store.keys.ENGINE_VERSION` it was
+computed under.  Version-bumped records can never be *hit* (the version is
+part of the digest), so they are dead weight — :meth:`ResultStore.prune`
+rewrites the shards without them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.store.keys import ENGINE_VERSION
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """A content-addressed store of per-trial simulation results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard files (created on first use).
+
+    Attributes
+    ----------
+    hits / misses:
+        Running counters of :meth:`get` outcomes since construction (or the
+        last :meth:`reset_counters`) — the CLI's cache summary and the
+        warm-sweep assertions read these.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._shards: Dict[str, Dict[str, dict]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or ``None`` (counts hit/miss)."""
+        payload = self._index_for(key).get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index_for(key)
+
+    def put(self, key: str, payload: dict) -> bool:
+        """Store ``payload`` under ``key``; returns False if already present.
+
+        The store is content-addressed: a key collision means the same bits,
+        so re-puts are dropped rather than appended twice.
+        """
+        index = self._index_for(key)
+        if key in index:
+            return False
+        record = {
+            "key": key,
+            "engine_version": ENGINE_VERSION,
+            "payload": payload,
+        }
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        # One os.write on an O_APPEND fd: records larger than the stdio
+        # buffer would otherwise be flushed in several write(2) calls, which
+        # concurrent CLI invocations could interleave mid-line.
+        fd = os.open(
+            self._shard_path(key), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        index[key] = payload
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Entry/file/byte counts over the whole store (loads every shard)."""
+        entries = 0
+        stale = 0
+        total_bytes = 0
+        files = 0
+        for path, records in self._iter_shard_files():
+            files += 1
+            total_bytes += path.stat().st_size
+            for record in records:
+                entries += 1
+                if record.get("engine_version") != ENGINE_VERSION:
+                    stale += 1
+        return {
+            "path": str(self.root),
+            "entries": entries,
+            "stale_entries": stale,
+            "shard_files": files,
+            "bytes": total_bytes,
+            "engine_version": ENGINE_VERSION,
+        }
+
+    def clear(self) -> int:
+        """Delete every stored result; returns the number of entries removed."""
+        removed = 0
+        for path, records in self._iter_shard_files():
+            removed += sum(1 for _ in records)
+            path.unlink()
+        self._shards.clear()
+        return removed
+
+    def prune(self) -> int:
+        """Drop records from other engine versions; returns how many.
+
+        Version-bumped records are unreachable (the version is part of the
+        digest) — pruning rewrites each shard keeping only current-version
+        records, first-write-wins per key.
+        """
+        removed = 0
+        for path, records in self._iter_shard_files():
+            keep = []
+            seen = set()
+            for record in records:
+                key = record.get("key")
+                if record.get("engine_version") != ENGINE_VERSION or key in seen:
+                    removed += 1
+                    continue
+                seen.add(key)
+                keep.append(record)
+            if not keep:
+                path.unlink()
+                continue
+            tmp = path.with_suffix(".jsonl.tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in keep:
+                    handle.write(
+                        json.dumps(record, separators=(",", ":"), sort_keys=True)
+                        + "\n"
+                    )
+            os.replace(tmp, path)
+        self._shards.clear()
+        return removed
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _prefix(key: str) -> str:
+        return key[:2]
+
+    def _shard_path(self, key: str) -> Path:
+        return self.root / f"results-{self._prefix(key)}.jsonl"
+
+    def _index_for(self, key: str) -> Dict[str, dict]:
+        prefix = self._prefix(key)
+        index = self._shards.get(prefix)
+        if index is None:
+            index = {}
+            path = self.root / f"results-{prefix}.jsonl"
+            for record in self._read_records(path):
+                record_key = record.get("key")
+                # First write wins: same key means same content, and a
+                # version-mismatched record can never be asked for (its key
+                # embeds the version it was written under).
+                if record_key and record_key not in index:
+                    index[record_key] = record.get("payload")
+            self._shards[prefix] = index
+        return index
+
+    @staticmethod
+    def _read_records(path: Path) -> Iterator[dict]:
+        if not path.exists():
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A process killed mid-append leaves at most one torn
+                    # final line; everything before it is still good.
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def _iter_shard_files(self) -> Iterator[Tuple[Path, list]]:
+        for path in sorted(self.root.glob("results-??.jsonl")):
+            yield path, list(self._read_records(path))
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

@@ -140,6 +140,26 @@ class TestKnowledgeBackends:
         assert dense.complete()[0] and packed.complete()[0]
         assert np.array_equal(dense.min_counts(), packed.min_counts())
 
+    def test_incremental_counts_match_full_rescan(self):
+        # The bitset backend maintains counts/completion from merge deltas;
+        # pin them against a from-scratch popcount of the packed words.
+        trials, n = 3, 130  # three words per row, ragged tail
+        rng = np.random.default_rng(23)
+        packed = BitsetKnowledge(trials, n)
+        for _ in range(40):
+            k = int(rng.integers(1, 12))
+            receivers = rng.choice(trials * n, size=k, replace=False)
+            senders = (receivers // n) * n + rng.integers(0, n, size=k)
+            packed.merge_flat(senders, receivers)
+            rescan = popcount(packed._words).sum(axis=2, dtype=np.int64)
+            assert np.array_equal(packed.per_node_counts(), rescan)
+            assert np.array_equal(packed.complete(), (rescan == n).all(axis=1))
+
+    def test_single_node_trials_start_complete(self):
+        packed = BitsetKnowledge(4, 1)
+        assert packed.complete().all()
+        assert np.array_equal(packed.min_counts(), np.ones(4, dtype=np.int64))
+
 
 class TestFrontierBackends:
     def test_quota_frontiers_agree(self):
