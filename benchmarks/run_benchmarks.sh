@@ -24,6 +24,7 @@ python -m pytest -q \
     benchmarks/test_bench_engine_micro.py \
     benchmarks/test_bench_batch_engine.py \
     benchmarks/test_bench_store.py \
+    benchmarks/test_bench_aggregation.py \
     --benchmark-json="$RAW"
 
 python benchmarks/summarize_engine_bench.py "$RAW" "$OUT"

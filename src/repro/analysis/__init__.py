@@ -8,6 +8,9 @@
   the *shape* of each bound.
 * :mod:`repro.analysis.concentration` — empirical verification of the
   phase-growth lemmas of Section 2 (Lemmas 2.3–2.5).
+* :mod:`repro.analysis.streaming` — single-pass bounded-memory aggregation
+  (exact running moments, min/max, quantile sketch) consumed by the
+  scenario sweeps so 10⁵⁺-trial studies never materialise their traces.
 * :mod:`repro.analysis.tables` — fixed-width text tables shared by the
   experiment harness, the CLI and EXPERIMENTS.md.
 """
@@ -19,12 +22,20 @@ from repro.analysis.statistics import (
     success_probability,
     summarize,
 )
+from repro.analysis.streaming import (
+    AccumulatorSet,
+    MetricAccumulator,
+    QuantileSketch,
+)
 from repro.analysis.tables import format_table
 
 __all__ = [
     "SummaryStatistics",
     "summarize",
     "success_probability",
+    "MetricAccumulator",
+    "AccumulatorSet",
+    "QuantileSketch",
     "ScalingFit",
     "fit_model",
     "fit_scaling",

@@ -19,9 +19,21 @@ Subcommands
     and the randomness policy defaults to ``exact``, so an interrupted sweep
     resumes bit-identically and a warm re-run executes zero engine rounds.
 
+``repro sweep --grid grid.json``
+    Run a serialised scenario/sweep grid (a ``ScenarioSpec.as_dict()`` or
+    bare ``SweepGrid.as_dict()`` JSON file) through the streaming
+    aggregation pipeline: per-trial results are reduced into running
+    accumulators as shards complete — no trace list is ever materialised —
+    and the generic per-cell statistics table is printed.
+
+``repro report --accumulators``
+    Render the streaming-aggregation checkpoints persisted in the result
+    store (running per-cell statistics of current or interrupted sweeps)
+    without loading any traces or re-running anything.
+
 ``repro cache stats|clear|prune [--cache-dir DIR]``
     Inspect or empty the result store (``prune`` drops records written under
-    older engine versions).
+    older engine versions; ``clear`` also drops aggregation checkpoints).
 
 Execution flags (``run`` / ``chart`` / ``report`` / ``sweep``)
 --------------------------------------------------------------
@@ -191,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--processes", type=int, default=None)
+    report_parser.add_argument(
+        "--accumulators",
+        action="store_true",
+        help="render the streaming-aggregation checkpoints persisted in the "
+        "result store instead of running experiments",
+    )
     _add_execution_flags(report_parser)
 
     sweep_parser = sub.add_parser(
@@ -198,7 +216,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an experiment (or 'all') through the resumable sweep "
         "service: result store on, exact randomness by default",
     )
-    sweep_parser.add_argument("experiment", help="experiment id (e.g. E1) or 'all'")
+    sweep_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id (e.g. E1) or 'all' (omit when using --grid)",
+    )
+    sweep_parser.add_argument(
+        "--grid",
+        type=Path,
+        default=None,
+        help="run a serialised scenario / sweep grid JSON file through the "
+        "streaming aggregation pipeline instead of a registered experiment",
+    )
+    sweep_parser.add_argument(
+        "--metrics",
+        nargs="*",
+        default=None,
+        help="metric names to accumulate when --grid points at a bare "
+        "SweepGrid file (a ScenarioSpec file carries its own)",
+    )
     sweep_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument(
@@ -282,7 +319,64 @@ def _command_chart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep_grid(args: argparse.Namespace, store: Optional[ResultStore]) -> int:
+    """Run a serialised scenario / grid file through the streaming pipeline."""
+    import json
+
+    from repro.analysis.tables import format_table
+    from repro.scenarios import ScenarioSpec, SweepGrid, run_grid, run_scenario
+    from repro.scenarios.runtime import results_table
+
+    # Grid files may reference experiment-registered probes/metrics
+    # ("e7.relay_transmissions", ...); registry discovery is lazy, so import
+    # the experiment modules here to populate those registries.
+    all_experiments()
+
+    payload = json.loads(Path(args.grid).read_text())
+    if "scenario_id" in payload:
+        spec = ScenarioSpec.from_dict(payload)
+        print(f"[grid] scenario {spec.scenario_id} ({spec.digest()[:12]}…), "
+              f"{len(spec.grid)} cells / {spec.grid.total_trials} trials")
+        results = run_scenario(spec, processes=args.processes, store=store)
+    else:
+        grid = SweepGrid.from_dict(payload)
+        print(f"[grid] {len(grid)} cells / {grid.total_trials} trials "
+              f"({grid.digest()[:12]}…)")
+        metrics = tuple(getattr(args, "metrics", None) or ())
+        if not metrics and any(cell.metrics is None for cell in grid):
+            raise SystemExit(
+                "a bare grid file carries no metric set; wrap it in a "
+                "ScenarioSpec (with 'metrics'), give every cell its own, "
+                "or pass --metrics"
+            )
+        results = run_grid(
+            grid, seed=args.seed, metrics=metrics,
+            processes=args.processes, store=store,
+        )
+    columns, rows = results_table(results)
+    print(format_table(columns, rows))
+    served = sum(r.counts.get("served", 0) for r in results)
+    skipped = sum(r.counts.get("skipped", 0) for r in results)
+    executed = sum(r.counts.get("executed", 0) for r in results)
+    print(
+        f"[aggregation] {executed} trials executed, {served} served from the "
+        f"store, {skipped} already aggregated (skipped without re-reading)"
+    )
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace, store: Optional[ResultStore]) -> int:
+    if args.grid is not None:
+        code = _command_sweep_grid(args, store)
+        if store is not None:
+            total = store.hits + store.misses
+            print(
+                f"[cache] {store.hits}/{total} trials served from "
+                f"{store.root} ({store.misses} computed and stored)"
+            )
+        return code
+    if args.experiment is None:
+        raise SystemExit("repro sweep needs an experiment id or --grid FILE")
     targets = (
         [m.EXPERIMENT_ID for m in all_experiments()]
         if args.experiment.lower() == "all"
@@ -321,6 +415,7 @@ def _command_cache(args: argparse.Namespace) -> int:
         print(f"entries:        {stats['entries']} ({stats['stale_entries']} stale)")
         print(f"shard files:    {stats['shard_files']}")
         print(f"bytes:          {stats['bytes']}")
+        print(f"aggregations:   {stats['aggregate_checkpoints']} checkpoint(s)")
         return 0
     if args.action == "clear":
         removed = store.clear()
@@ -331,8 +426,14 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_report(args: argparse.Namespace) -> int:
-    from repro.experiments.report import generate_report
+def _command_report(args: argparse.Namespace, store: Optional[ResultStore]) -> int:
+    from repro.experiments.report import accumulators_report, generate_report
+
+    if args.accumulators:
+        if store is None:
+            store = ResultStore(_default_cache_dir())
+        print(accumulators_report(store))
+        return 0
 
     paths = generate_report(
         args.output,
@@ -367,7 +468,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "chart":
         return _command_chart(args)
     if args.command == "report":
-        return _command_report(args)
+        return _command_report(args, store)
     if args.command == "sweep":
         return _command_sweep(args, store)
     if args.command == "cache":

@@ -8,6 +8,10 @@ For each ``(n, regime)`` we report the success rate, the completion round
 divided by ``log₂ n`` (should stay bounded / roughly flat), the maximum
 per-node transmission count over all runs (must be exactly ≤ 1), and the
 total transmissions divided by ``log₂ n / p`` (should stay bounded).
+
+The sweep itself is declarative — :func:`scenario` builds the
+(regime × n) grid — and :func:`run` keeps only the claim-specific derived
+columns over the streamed aggregates.
 """
 
 from __future__ import annotations
@@ -17,11 +21,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.analysis.scaling import fit_model
-from repro.experiments.common import dense_p, log2n, pick, sparse_p, stat_mean, threshold_p
+from repro.experiments.common import dense_p, log2n, pick, sparse_p, threshold_p
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
 
 EXPERIMENT_ID = "E1"
 TITLE = "Algorithm 1: O(log n) broadcast with at most one transmission per node"
@@ -37,13 +41,54 @@ _REGIMES = {
     "dense (n^-0.35)": dense_p,
 }
 
+METRICS = (
+    "success",
+    "completion_round",
+    "total_tx",
+    "max_tx_per_node",
+    "mean_tx_per_node",
+)
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E1 sweep as a declarative grid: regime × n."""
+    sizes = pick(scale, quick=[512, 1024, 2048], full=[256, 512, 1024, 2048, 4096, 8192])
+    repetitions = pick(scale, quick=5, full=25)
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        n = coords["n"]
+        p = _REGIMES[coords["regime"]](n)
+        return SweepCell(
+            coords={**coords, "p": p},
+            graph=GraphSpec("gnp", {"n": n, "p": p}),
+            protocol=ProtocolSpec("algorithm1", {"p": p}),
+            repetitions=repetitions,
+            job_options={"run_to_quiescence": True},
+        )
+
+    grid = SweepGrid.from_axes({"regime": list(_REGIMES), "n": sizes}, bind)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Run the E1 sweep and return its result table."""
-    sizes = pick(scale, quick=[512, 1024, 2048], full=[256, 512, 1024, 2048, 4096, 8192])
-    repetitions = pick(scale, quick=5, full=25)
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n",
@@ -57,48 +102,41 @@ def run(
         "total tx / (log2 n / p)",
     ]
     rows: List[List[object]] = []
-    per_regime_series: Dict[str, Series] = {}
-
-    for regime_name, p_of in _REGIMES.items():
-        xs: List[float] = []
-        ys: List[float] = []
-        for n in sizes:
-            p = p_of(n)
-            runs = repeat_job(
-                GraphSpec("gnp", {"n": n, "p": p}),
-                ProtocolSpec("algorithm1", {"p": p}),
-                repetitions=repetitions,
-                seed=seed,
-                processes=processes,
-                run_to_quiescence=True,
-            )
-            agg = aggregate_runs(runs)
-            rounds_mean = stat_mean(agg.get("completion_rounds"))
-            worst_max_tx = max(r.energy.max_per_node for r in runs)
-            total_tx_mean = stat_mean(agg["total_transmissions"])
-            rows.append(
-                [
-                    n,
-                    regime_name,
-                    p,
-                    agg["success_rate"],
-                    rounds_mean,
-                    (rounds_mean / log2n(n)) if rounds_mean is not None else None,
-                    worst_max_tx,
-                    total_tx_mean,
-                    total_tx_mean / (log2n(n) / p),
-                ]
-            )
-            if rounds_mean is not None:
-                xs.append(float(n))
-                ys.append(float(rounds_mean))
-        per_regime_series[regime_name] = Series(
-            name=f"completion rounds [{regime_name}]",
-            x=xs,
-            y=ys,
+    per_regime_series: Dict[str, Series] = {
+        regime: Series(
+            name=f"completion rounds [{regime}]",
+            x=[],
+            y=[],
             x_label="n",
             y_label="rounds",
         )
+        for regime in _REGIMES
+    }
+
+    for cell in cells:
+        n = cell.coords["n"]
+        regime_name = cell.coords["regime"]
+        p = cell.coords["p"]
+        rounds_mean = cell.mean("completion_round")
+        worst_max_tx = int(cell.maximum("max_tx_per_node"))
+        total_tx_mean = cell.mean("total_tx")
+        rows.append(
+            [
+                n,
+                regime_name,
+                p,
+                cell.success_rate,
+                rounds_mean,
+                (rounds_mean / log2n(n)) if rounds_mean is not None else None,
+                worst_max_tx,
+                total_tx_mean,
+                total_tx_mean / (log2n(n) / p),
+            ]
+        )
+        if rounds_mean is not None:
+            series = per_regime_series[regime_name]
+            series.x.append(float(n))
+            series.y.append(float(rounds_mean))
 
     notes = []
     # Shape check: completion rounds vs log n in the threshold regime.
@@ -124,5 +162,5 @@ def run(
         rows=rows,
         series=list(per_regime_series.values()),
         notes=notes,
-        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

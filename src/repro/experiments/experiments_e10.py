@@ -9,13 +9,14 @@ Experiment: same machinery as E8 but on the Theorem-4.4 network built with a
 diameter proportional to ``n``; for each per-round probability ``q`` we
 check whether the run finishes within the ``c·n`` budget and what the
 per-node energy of the star leaves is; the cheapest successful ``q`` is
-compared against ``log² n``.
+compared against ``log² n``.  Like E8, the leaf-energy measurement needs the
+construction's node indices, so each swept ``q`` is a probe cell.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.experiments.common import pick
 from repro.experiments.results import ExperimentResult
 from repro.graphs.lowerbound import theorem44_network
 from repro.radio.engine import SimulationEngine
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, register_probe, run_scenario
 
 EXPERIMENT_ID = "E10"
 TITLE = "Corollary 4.5: Omega(log^2 n) transmissions when the time budget is c*n"
@@ -34,11 +36,45 @@ CLAIM = (
     "needs an expected Omega(log^2 n) transmissions."
 )
 
+# The budget is c * (number of nodes); c must leave the path (length ~ D)
+# traversable at the energy-optimal q ~ 1/log n, i.e. c >= a few, while
+# still being a linear-time budget.
+_TIME_BUDGET_CONSTANT = 8.0
 
-def run(
-    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
-) -> ExperimentResult:
-    """Check the energy floor under a linear time budget."""
+METRICS = ("success", "rounds", "leaf_tx")
+
+
+def _network_parameters(n_param: int):
+    log_n = max(1.0, math.log2(n_param))
+    diameter = 2 * int(math.floor(log_n)) + n_param  # D = Θ(n): long path
+    return log_n, diameter
+
+
+@register_probe("e10.linear_budget")
+def _linear_budget_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Fixed-q time-invariant broadcast under the c*n round budget."""
+    n_param = params["n"]
+    q = params["q"]
+    _, diameter = _network_parameters(n_param)
+    network, structure = theorem44_network(n_param, diameter, return_structure=True)
+    budget = int(math.ceil(_TIME_BUDGET_CONSTANT * network.n))
+    leaves = np.concatenate(structure.star_leaves)
+    generators = spawn_generators(seed + int(q * 10_000), repetitions)
+    for rep in range(repetitions):
+        protocol = TimeInvariantBroadcast(q, source=structure.source)
+        engine = SimulationEngine(keep_arrays=True)
+        result = engine.run(network, protocol, rng=generators[rep], max_rounds=budget)
+        sample: Dict[str, object] = {"success": float(result.completed)}
+        if result.completed:
+            sample["rounds"] = float(result.completion_round)
+            sample["leaf_tx"] = float(
+                result.per_node_transmissions[leaves].mean()
+            )
+        yield sample
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E10 probe grid: a q axis under the linear time budget."""
     n_param = pick(scale, quick=64, full=128)
     repetitions = pick(scale, quick=5, full=15)
     q_values = pick(
@@ -46,16 +82,48 @@ def run(
         quick=[0.3, 0.15, 0.1, 0.05, 0.02],
         full=[0.5, 0.3, 0.2, 0.15, 0.1, 0.075, 0.05, 0.02, 0.01],
     )
-    # The budget is c * (number of nodes); c must leave the path (length ~ D)
-    # traversable at the energy-optimal q ~ 1/log n, i.e. c >= a few, while
-    # still being a linear-time budget.
-    time_budget_constant = 8.0
 
+    cells = [
+        SweepCell(
+            coords={"q": q},
+            kind="probe",
+            probe="e10.linear_budget",
+            params={"n": n_param, "q": q},
+            repetitions=repetitions,
+        )
+        for q in q_values
+    ]
+    _, diameter = _network_parameters(n_param)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "n": n_param,
+            "diameter": diameter,
+            "q_values": q_values,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Check the energy floor under a linear time budget."""
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
+
+    n_param = spec.parameters["n"]
+    diameter = spec.parameters["diameter"]
     log_n = max(1.0, math.log2(n_param))
-    diameter = 2 * int(math.floor(log_n)) + n_param  # D = Θ(n): long path
-    network, structure = theorem44_network(n_param, diameter, return_structure=True)
-    budget = int(math.ceil(time_budget_constant * network.n))
-    leaves = np.concatenate(structure.star_leaves)
+    network, _ = theorem44_network(n_param, diameter, return_structure=True)
+    budget = int(math.ceil(_TIME_BUDGET_CONSTANT * network.n))
 
     columns = [
         "q",
@@ -67,37 +135,27 @@ def run(
     rows: List[List[object]] = []
     cheapest_successful: Optional[float] = None
 
-    for q in q_values:
-        generators = spawn_generators(seed + int(q * 10_000), repetitions)
-        times, energies, successes = [], [], 0
-        for rep in range(repetitions):
-            protocol = TimeInvariantBroadcast(q, source=structure.source)
-            engine = SimulationEngine(keep_arrays=True)
-            result = engine.run(
-                network, protocol, rng=generators[rep], max_rounds=budget
-            )
-            if result.completed:
-                successes += 1
-                times.append(result.completion_round)
-                energies.append(float(result.per_node_transmissions[leaves].mean()))
-        success_rate = successes / repetitions
-        mean_energy = float(np.mean(energies)) if energies else float("nan")
+    for cell in cells:
+        q = cell.coords["q"]
+        success_rate = cell.success_rate
+        completed = cell.count("leaf_tx") > 0
+        mean_energy = cell.mean("leaf_tx")
         rows.append(
             [
                 q,
                 success_rate,
-                float(np.mean(times)) if times else None,
-                mean_energy if energies else None,
-                mean_energy / (log_n**2) if energies else None,
+                cell.mean("rounds"),
+                mean_energy,
+                mean_energy / (log_n**2) if completed else None,
             ]
         )
-        if success_rate >= 0.8 and energies:
+        if success_rate >= 0.8 and completed:
             if cheapest_successful is None or mean_energy < cheapest_successful:
                 cheapest_successful = mean_energy
 
     notes = [
         f"network: Theorem 4.4 construction with n={n_param}, D={diameter} "
-        f"({network.n} nodes); time budget = {budget} rounds (c = {time_budget_constant}).",
+        f"({network.n} nodes); time budget = {budget} rounds (c = {_TIME_BUDGET_CONSTANT}).",
     ]
     if cheapest_successful is not None:
         notes.append(
@@ -112,6 +170,8 @@ def run(
             "is trivially respected for this sweep."
         )
 
+    parameters = dict(spec.parameters)
+    parameters["time_budget"] = budget
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -119,13 +179,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={
-            "scale": scale,
-            "n": n_param,
-            "diameter": diameter,
-            "q_values": q_values,
-            "repetitions": repetitions,
-            "time_budget": budget,
-            "seed": seed,
-        },
+        parameters=parameters,
     )

@@ -14,13 +14,13 @@ on/off in both regimes:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.common import pick, stat_mean, threshold_p
+from repro.experiments.common import pick, threshold_p
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
 
 EXPERIMENT_ID = "E11"
 TITLE = "Ablation: Phase 2 of Algorithm 1 (needed iff p <= n^-2/5)"
@@ -30,13 +30,63 @@ CLAIM = (
     "the dense regime it is unnecessary."
 )
 
+METRICS = ("success", "completion_round", "informed_fraction")
+
+
+def _regimes(n: int) -> Dict[str, float]:
+    return {
+        "sparse (4 log n / n)": threshold_p(n),
+        "dense (n^-0.3)": n ** (-0.3),
+    }
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E11 ablation grid: n × regime × phase2 toggle."""
+    sizes = pick(scale, quick=[1024], full=[1024, 2048, 4096])
+    repetitions = pick(scale, quick=8, full=25)
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        n = coords["n"]
+        p = _regimes(n)[coords["regime"]]
+        return SweepCell(
+            coords={**coords, "p": p},
+            graph=GraphSpec("gnp", {"n": n, "p": p}),
+            protocol=ProtocolSpec(
+                "algorithm1", {"p": p, "enable_phase2": coords["phase2"]}
+            ),
+            repetitions=repetitions,
+        )
+
+    grid = SweepGrid.from_axes(
+        {
+            "n": sizes,
+            "regime": ["sparse (4 log n / n)", "dense (n^-0.3)"],
+            "phase2": [True, False],
+        },
+        bind,
+    )
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Toggle Phase 2 on/off in sparse and dense regimes."""
-    sizes = pick(scale, quick=[1024], full=[1024, 2048, 4096])
-    repetitions = pick(scale, quick=8, full=25)
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n",
@@ -47,39 +97,18 @@ def run(
         "rounds (mean)",
         "informed fraction (mean over all runs)",
     ]
-    rows: List[List[object]] = []
-
-    for n in sizes:
-        regimes = {
-            "sparse (4 log n / n)": threshold_p(n),
-            "dense (n^-0.3)": n ** (-0.3),
-        }
-        for regime_name, p in regimes.items():
-            for enable_phase2 in (True, False):
-                runs = repeat_job(
-                    GraphSpec("gnp", {"n": n, "p": p}),
-                    ProtocolSpec(
-                        "algorithm1", {"p": p, "enable_phase2": enable_phase2}
-                    ),
-                    repetitions=repetitions,
-                    seed=seed,
-                    processes=processes,
-                )
-                agg = aggregate_runs(runs)
-                informed_fraction = sum(
-                    (r.informed_count or 0) / r.n for r in runs
-                ) / len(runs)
-                rows.append(
-                    [
-                        n,
-                        regime_name,
-                        p,
-                        enable_phase2,
-                        agg["success_rate"],
-                        stat_mean(agg.get("completion_rounds")),
-                        informed_fraction,
-                    ]
-                )
+    rows: List[List[object]] = [
+        [
+            cell.coords["n"],
+            cell.coords["regime"],
+            cell.coords["p"],
+            cell.coords["phase2"],
+            cell.success_rate,
+            cell.mean("completion_round"),
+            cell.mean("informed_fraction"),
+        ]
+        for cell in cells
+    ]
 
     notes = [
         "Expected shape: in the sparse regime disabling Phase 2 lowers the "
@@ -94,5 +123,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

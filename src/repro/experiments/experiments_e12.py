@@ -9,14 +9,14 @@ defaults used elsewhere in the repository.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.common import pick, stat_mean, threshold_p
+from repro.experiments.common import pick, threshold_p
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec, build_network
 from repro.graphs.properties import source_eccentricity
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
 
 EXPERIMENT_ID = "E12"
 TITLE = "Ablation: the beta constants of Algorithms 1 and 3"
@@ -26,13 +26,71 @@ CLAIM = (
     "Success should saturate beyond a small beta while energy keeps growing."
 )
 
+METRICS = (
+    "success",
+    "completion_round",
+    "mean_tx_per_node",
+    "total_tx",
+)
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E12 ablation grid: algorithm × beta."""
+    betas = pick(scale, quick=[1.0, 2.0, 4.0, 8.0], full=[0.5, 1.0, 2.0, 4.0, 8.0, 16.0])
+    repetitions = pick(scale, quick=6, full=20)
+
+    # Algorithm 1 on a sparse G(n, p).
+    n = pick(scale, quick=1024, full=2048)
+    p = threshold_p(n)
+    gnp_spec = GraphSpec("gnp", {"n": n, "p": p})
+
+    # Algorithm 3 on a path of cliques (deterministic: measure D once).
+    clique_spec = GraphSpec("path_of_cliques", {"num_cliques": 10, "clique_size": 10})
+    diameter = source_eccentricity(build_network(clique_spec, rng=seed), 0)
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        beta = coords["beta"]
+        if coords["algorithm"] == "algorithm1":
+            graph = gnp_spec
+            protocol = ProtocolSpec("algorithm1", {"p": p, "beta": beta})
+        else:
+            graph = clique_spec
+            protocol = ProtocolSpec(
+                "algorithm3", {"diameter": diameter, "beta": beta}
+            )
+        return SweepCell(
+            coords=dict(coords),
+            graph=graph,
+            protocol=protocol,
+            repetitions=repetitions,
+            job_options={"run_to_quiescence": True},
+        )
+
+    grid = SweepGrid.from_axes(
+        {"algorithm": ["algorithm1", "algorithm3"], "beta": betas}, bind
+    )
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "betas": betas,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Sweep β for both algorithms."""
-    betas = pick(scale, quick=[1.0, 2.0, 4.0, 8.0], full=[0.5, 1.0, 2.0, 4.0, 8.0, 16.0])
-    repetitions = pick(scale, quick=6, full=20)
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "algorithm",
@@ -43,68 +101,32 @@ def run(
         "total tx (mean)",
     ]
     rows: List[List[object]] = []
-    series: List[Series] = []
-
-    # --- Algorithm 1 on a sparse G(n, p). ---
-    n = pick(scale, quick=1024, full=2048)
-    p = threshold_p(n)
-    alg1_success = Series(
-        name="algorithm1 success vs beta", x=[], y=[], x_label="beta", y_label="success rate"
-    )
-    for beta in betas:
-        runs = repeat_job(
-            GraphSpec("gnp", {"n": n, "p": p}),
-            ProtocolSpec("algorithm1", {"p": p, "beta": beta}),
-            repetitions=repetitions,
-            seed=seed,
-            processes=processes,
-            run_to_quiescence=True,
+    success_series: Dict[str, Series] = {
+        algorithm: Series(
+            name=f"{algorithm} success vs beta",
+            x=[],
+            y=[],
+            x_label="beta",
+            y_label="success rate",
         )
-        agg = aggregate_runs(runs)
+        for algorithm in ("algorithm1", "algorithm3")
+    }
+
+    for cell in cells:
+        algorithm = cell.coords["algorithm"]
+        beta = cell.coords["beta"]
         rows.append(
             [
-                "algorithm1",
+                algorithm,
                 beta,
-                agg["success_rate"],
-                stat_mean(agg.get("completion_rounds")),
-                stat_mean(agg["mean_tx_per_node"]),
-                stat_mean(agg["total_transmissions"]),
+                cell.success_rate,
+                cell.mean("completion_round"),
+                cell.mean("mean_tx_per_node"),
+                cell.mean("total_tx"),
             ]
         )
-        alg1_success.x.append(beta)
-        alg1_success.y.append(agg["success_rate"])
-    series.append(alg1_success)
-
-    # --- Algorithm 3 on a path of cliques. ---
-    spec = GraphSpec("path_of_cliques", {"num_cliques": 10, "clique_size": 10})
-    network = build_network(spec, rng=seed)
-    diameter = source_eccentricity(network, 0)
-    alg3_success = Series(
-        name="algorithm3 success vs beta", x=[], y=[], x_label="beta", y_label="success rate"
-    )
-    for beta in betas:
-        runs = repeat_job(
-            spec,
-            ProtocolSpec("algorithm3", {"diameter": diameter, "beta": beta}),
-            repetitions=repetitions,
-            seed=seed,
-            processes=processes,
-            run_to_quiescence=True,
-        )
-        agg = aggregate_runs(runs)
-        rows.append(
-            [
-                "algorithm3",
-                beta,
-                agg["success_rate"],
-                stat_mean(agg.get("completion_rounds")),
-                stat_mean(agg["mean_tx_per_node"]),
-                stat_mean(agg["total_transmissions"]),
-            ]
-        )
-        alg3_success.x.append(beta)
-        alg3_success.y.append(agg["success_rate"])
-    series.append(alg3_success)
+        success_series[algorithm].x.append(beta)
+        success_series[algorithm].y.append(cell.success_rate)
 
     notes = [
         "Success saturates at 1.0 once beta passes a small constant; the energy "
@@ -118,7 +140,7 @@ def run(
         claim=CLAIM,
         columns=columns,
         rows=rows,
-        series=series,
+        series=list(success_series.values()),
         notes=notes,
-        parameters={"scale": scale, "betas": betas, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

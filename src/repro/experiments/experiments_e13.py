@@ -11,11 +11,17 @@ compares them with the Decay baseline:
   assumptions of its analysis, so this measures robustness, not a theorem;
 * Algorithm 3 is given the measured diameter (its only global requirement);
 * Decay needs neither.
+
+Every protocol must see the *same* sampled networks (with disconnected
+samples discarded), and Algorithm 1/3 need per-sample measured quantities
+(``p_eff``, diameter) — coupling no independent job sweep can express — so
+each ``(n, radius-factor, topology)`` coordinate runs as one probe cell
+emitting per-protocol metrics.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro._util.rng import spawn_generators
 from repro.baselines.decay import DecayBroadcast
@@ -30,6 +36,7 @@ from repro.graphs.geometric import (
 )
 from repro.graphs.properties import diameter_estimate, is_strongly_connected
 from repro.radio.engine import SimulationEngine
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, register_probe, run_scenario
 
 EXPERIMENT_ID = "E13"
 TITLE = "Extension: broadcasting on random geometric (sensor-field) networks"
@@ -39,14 +46,114 @@ CLAIM = (
     "with the Decay baseline (no theorem is claimed by the paper)."
 )
 
+_PROTOCOL_LABELS = ("algorithm1 (p_eff)", "algorithm3", "decay")
+
+METRICS = tuple(
+    f"{label}/{metric}"
+    for label in _PROTOCOL_LABELS
+    for metric in ("success", "rounds", "mean_tx", "max_tx")
+)
+
+
+@register_probe("e13.geometric_comparison")
+def _geometric_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Run all three protocols on shared geometric samples (skip disconnected)."""
+    n = params["n"]
+    factor = params["factor"]
+    topology = params["topology"]
+    radius = factor * connectivity_radius(n)
+    if topology == "geometric":
+        def build(g):
+            return geometric_digraph(n, radius, rng=g)
+    else:
+        def build(g):
+            return heterogeneous_geometric_digraph(
+                n, 0.7 * radius, 1.3 * radius, rng=g
+            )
+    sub_seed = (
+        seed * 1_000_003
+        + n * 131
+        + int(factor * 100) * 7
+        + (1 if topology == "geometric" else 2)
+    )
+    generators = spawn_generators(sub_seed, 3 * repetitions)
+    for rep in range(repetitions):
+        graph_rng = generators[3 * rep]
+        network = build(graph_rng)
+        if not is_strongly_connected(network):
+            # Broadcast is impossible on a disconnected sample: the trial is
+            # discarded entirely (no metrics observed for any protocol).
+            continue
+        diameter = diameter_estimate(network, rng=generators[3 * rep + 1])
+        p_eff = max(network.out_degrees().mean() / n, 1.0 / n)
+        protocols = {
+            "algorithm1 (p_eff)": EnergyEfficientBroadcast(p_eff),
+            "algorithm3": KnownDiameterBroadcast(max(1, diameter)),
+            "decay": DecayBroadcast(),
+        }
+        sample: Dict[str, object] = {}
+        for name, protocol in protocols.items():
+            engine = SimulationEngine(run_to_quiescence=True)
+            result = engine.run(network, protocol, rng=generators[3 * rep + 2])
+            sample[f"{name}/success"] = float(result.completed)
+            sample[f"{name}/rounds"] = (
+                float(result.completion_round) if result.completed else None
+            )
+            sample[f"{name}/mean_tx"] = float(result.energy.mean_per_node)
+            sample[f"{name}/max_tx"] = float(result.energy.max_per_node)
+        yield sample
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E13 probe grid: n × radius factor × topology."""
+    sizes = pick(scale, quick=[256], full=[256, 512, 1024])
+    repetitions = pick(scale, quick=4, full=12)
+    radius_factors = pick(scale, quick=[1.5, 2.5], full=[1.25, 1.5, 2.0, 3.0])
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        return SweepCell(
+            coords=dict(coords),
+            kind="probe",
+            probe="e13.geometric_comparison",
+            params={
+                "n": coords["n"],
+                "factor": coords["factor"],
+                "topology": coords["topology"],
+            },
+            repetitions=repetitions,
+        )
+
+    grid = SweepGrid.from_axes(
+        {
+            "n": sizes,
+            "factor": radius_factors,
+            "topology": ["geometric", "geometric-asymmetric"],
+        },
+        bind,
+    )
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "radius_factors": radius_factors,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Compare protocols on symmetric and asymmetric geometric networks."""
-    sizes = pick(scale, quick=[256], full=[256, 512, 1024])
-    repetitions = pick(scale, quick=4, full=12)
-    radius_factors = pick(scale, quick=[1.5, 2.5], full=[1.25, 1.5, 2.0, 3.0])
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "topology",
@@ -59,72 +166,24 @@ def run(
         "max tx/node",
     ]
     rows: List[List[object]] = []
-
-    for n in sizes:
-        for factor in radius_factors:
-            radius = factor * connectivity_radius(n)
-            for topology, build in (
-                ("geometric", lambda g: geometric_digraph(n, radius, rng=g)),
-                (
-                    "geometric-asymmetric",
-                    lambda g: heterogeneous_geometric_digraph(
-                        n, 0.7 * radius, 1.3 * radius, rng=g
-                    ),
-                ),
-            ):
-                sub_seed = (
-                    seed * 1_000_003
-                    + n * 131
-                    + int(factor * 100) * 7
-                    + (1 if topology == "geometric" else 2)
-                )
-                generators = spawn_generators(sub_seed, 3 * repetitions)
-                stats = {}
-                for rep in range(repetitions):
-                    graph_rng = generators[3 * rep]
-                    network = build(graph_rng)
-                    if not is_strongly_connected(network):
-                        continue
-                    diameter = diameter_estimate(network, rng=generators[3 * rep + 1])
-                    p_eff = max(network.out_degrees().mean() / n, 1.0 / n)
-                    protocols = {
-                        "algorithm1 (p_eff)": EnergyEfficientBroadcast(p_eff),
-                        "algorithm3": KnownDiameterBroadcast(max(1, diameter)),
-                        "decay": DecayBroadcast(),
-                    }
-                    for name, protocol in protocols.items():
-                        engine = SimulationEngine(run_to_quiescence=True)
-                        result = engine.run(
-                            network, protocol, rng=generators[3 * rep + 2]
-                        )
-                        bucket = stats.setdefault(
-                            name,
-                            {"success": 0, "rounds": [], "mean_tx": [], "max_tx": [], "runs": 0},
-                        )
-                        bucket["runs"] += 1
-                        bucket["success"] += int(result.completed)
-                        if result.completed:
-                            bucket["rounds"].append(result.completion_round)
-                        bucket["mean_tx"].append(result.energy.mean_per_node)
-                        bucket["max_tx"].append(result.energy.max_per_node)
-                for name, bucket in stats.items():
-                    runs_count = bucket["runs"]
-                    if runs_count == 0:
-                        continue
-                    rows.append(
-                        [
-                            topology,
-                            n,
-                            factor,
-                            name,
-                            bucket["success"] / runs_count,
-                            (sum(bucket["rounds"]) / len(bucket["rounds"]))
-                            if bucket["rounds"]
-                            else None,
-                            sum(bucket["mean_tx"]) / runs_count,
-                            max(bucket["max_tx"]),
-                        ]
-                    )
+    for cell in cells:
+        for name in _PROTOCOL_LABELS:
+            runs_count = cell.count(f"{name}/success")
+            if runs_count == 0:
+                continue
+            rounds_mean = cell.mean(f"{name}/rounds")
+            rows.append(
+                [
+                    cell.coords["topology"],
+                    cell.coords["n"],
+                    cell.coords["factor"],
+                    name,
+                    cell.mean(f"{name}/success"),
+                    rounds_mean,
+                    cell.mean(f"{name}/mean_tx"),
+                    int(cell.maximum(f"{name}/max_tx")),
+                ]
+            )
 
     notes = [
         "Runs on disconnected samples are discarded (broadcast is impossible "
@@ -142,11 +201,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={
-            "scale": scale,
-            "sizes": sizes,
-            "radius_factors": radius_factors,
-            "repetitions": repetitions,
-            "seed": seed,
-        },
+        parameters=dict(spec.parameters),
     )

@@ -6,24 +6,28 @@ measured version of that matrix: every broadcast protocol in the repository
 runs on (a) a connected random network and (b) a bounded-diameter
 path-of-cliques, and reports completion time, total transmissions, and
 mean/max transmissions per node; the random phone-call push broadcast is
-included as the collision-free reference.
+included as the collision-free reference (a probe cell — its model has no
+radio jobs to compile).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Iterator, List, Optional
 
 from repro._util.rng import spawn_generators
 from repro.baselines.phone_call import run_push_broadcast
-from repro.experiments.common import pick, stat_mean, threshold_p
+from repro.experiments.common import pick, threshold_p
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec, build_network
 from repro.graphs.properties import source_eccentricity
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepCell,
+    SweepGrid,
+    register_probe,
+    run_scenario,
+)
 
 EXPERIMENT_ID = "E14"
 TITLE = "Protocol comparison: time and energy across all implemented protocols"
@@ -33,6 +37,15 @@ CLAIM = (
     "matches the optimal Czumaj-Rytter time with a log(n/D) factor fewer "
     "transmissions; Decay and flooding pay more energy or more time."
 )
+
+METRICS = (
+    "success",
+    "completion_round",
+    "total_tx",
+    "mean_tx_per_node",
+    "max_tx_per_node",
+)
+_PC_METRICS = ("pc_rounds", "pc_total_tx", "pc_max_tx")
 
 
 def _random_network_protocols(p: float) -> Dict[str, ProtocolSpec]:
@@ -55,13 +68,102 @@ def _general_network_protocols(diameter: int) -> Dict[str, ProtocolSpec]:
     }
 
 
+@register_probe("e14.phone_call_push_broadcast")
+def _phone_call_broadcast_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Collision-free push-broadcast reference on fresh G(n, p) samples."""
+    spec = GraphSpec("gnp", {"n": params["n"], "p": params["p"]})
+    generators = spawn_generators(seed + 99, repetitions)
+    for rep in range(repetitions):
+        graph_rng, run_rng = spawn_generators(
+            int(generators[rep].integers(0, 2**62)), 2
+        )
+        network = build_network(spec, rng=graph_rng)
+        outcome = run_push_broadcast(network, rng=run_rng)
+        yield {
+            "pc_rounds": float(outcome.completion_round),
+            "pc_total_tx": float(outcome.total_transmissions),
+            "pc_max_tx": float(outcome.max_per_node),
+        }
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E14 matrix as a grid: two workloads × their protocol families."""
+    repetitions = pick(scale, quick=3, full=10)
+    n_random = pick(scale, quick=512, full=2048)
+    cliques = pick(scale, quick=(12, 12), full=(16, 16))
+
+    cells: List[SweepCell] = []
+
+    # ---------------- Random network workload ---------------- #
+    p = threshold_p(n_random)
+    gnp_spec = GraphSpec("gnp", {"n": n_random, "p": p})
+    workload_label = f"gnp(n={n_random}, p=4log n/n)"
+    for name, proto in _random_network_protocols(p).items():
+        cells.append(
+            SweepCell(
+                coords={"workload": workload_label, "protocol": name},
+                graph=gnp_spec,
+                protocol=proto,
+                repetitions=repetitions,
+                job_options={"run_to_quiescence": True},
+            )
+        )
+    cells.append(
+        SweepCell(
+            coords={
+                "workload": workload_label,
+                "protocol": "random phone call (no collisions)",
+                "n": n_random,
+            },
+            kind="probe",
+            probe="e14.phone_call_push_broadcast",
+            params={"n": n_random, "p": p},
+            repetitions=repetitions,
+            metrics=_PC_METRICS,
+        )
+    )
+
+    # ---------------- Bounded-diameter workload ---------------- #
+    clique_spec = GraphSpec(
+        "path_of_cliques", {"num_cliques": cliques[0], "clique_size": cliques[1]}
+    )
+    network = build_network(clique_spec, rng=seed)
+    diameter = source_eccentricity(network, 0)
+    workload_label = f"path_of_cliques({cliques[0]}x{cliques[1]}), D={diameter}"
+    for name, proto in _general_network_protocols(diameter).items():
+        cells.append(
+            SweepCell(
+                coords={"workload": workload_label, "protocol": name},
+                graph=clique_spec,
+                protocol=proto,
+                repetitions=repetitions,
+                job_options={"run_to_quiescence": True},
+            )
+        )
+
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "repetitions": repetitions,
+            "n_random": n_random,
+            "cliques": list(cliques),
+            "seed": seed,
+        },
+    )
+
+
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Produce the protocol-comparison matrix."""
-    repetitions = pick(scale, quick=3, full=10)
-    n_random = pick(scale, quick=512, full=2048)
-    cliques = pick(scale, quick=(12, 12), full=(16, 16))
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "workload",
@@ -73,80 +175,33 @@ def run(
         "max tx/node (worst run)",
     ]
     rows: List[List[object]] = []
-
-    # ---------------- Random network workload ---------------- #
-    p = threshold_p(n_random)
-    gnp_spec = GraphSpec("gnp", {"n": n_random, "p": p})
-    workload_label = f"gnp(n={n_random}, p=4log n/n)"
-    for name, proto in _random_network_protocols(p).items():
-        runs = repeat_job(
-            gnp_spec,
-            proto,
-            repetitions=repetitions,
-            seed=seed,
-            processes=processes,
-            run_to_quiescence=True,
-        )
-        agg = aggregate_runs(runs)
+    for cell in cells:
+        workload_label = cell.coords["workload"]
+        name = cell.coords["protocol"]
+        if cell.cell.kind == "probe":
+            n_random = cell.coords["n"]
+            total_mean = cell.mean("pc_total_tx")
+            rows.append(
+                [
+                    workload_label,
+                    name,
+                    1.0,
+                    cell.mean("pc_rounds"),
+                    total_mean,
+                    total_mean / n_random,
+                    int(cell.maximum("pc_max_tx")),
+                ]
+            )
+            continue
         rows.append(
             [
                 workload_label,
                 name,
-                agg["success_rate"],
-                stat_mean(agg.get("completion_rounds")),
-                stat_mean(agg["total_transmissions"]),
-                stat_mean(agg["mean_tx_per_node"]),
-                max(r.energy.max_per_node for r in runs),
-            ]
-        )
-    # Phone-call reference (different communication model, no collisions).
-    generators = spawn_generators(seed + 99, repetitions)
-    pc_rounds, pc_total, pc_max = [], [], []
-    for rep in range(repetitions):
-        graph_rng, run_rng = spawn_generators(int(generators[rep].integers(0, 2**62)), 2)
-        network = build_network(gnp_spec, rng=graph_rng)
-        outcome = run_push_broadcast(network, rng=run_rng)
-        pc_rounds.append(outcome.completion_round)
-        pc_total.append(outcome.total_transmissions)
-        pc_max.append(outcome.max_per_node)
-    rows.append(
-        [
-            workload_label,
-            "random phone call (no collisions)",
-            1.0,
-            float(np.mean(pc_rounds)),
-            float(np.mean(pc_total)),
-            float(np.mean(pc_total)) / n_random,
-            int(max(pc_max)),
-        ]
-    )
-
-    # ---------------- Bounded-diameter workload ---------------- #
-    clique_spec = GraphSpec(
-        "path_of_cliques", {"num_cliques": cliques[0], "clique_size": cliques[1]}
-    )
-    network = build_network(clique_spec, rng=seed)
-    diameter = source_eccentricity(network, 0)
-    workload_label = f"path_of_cliques({cliques[0]}x{cliques[1]}), D={diameter}"
-    for name, proto in _general_network_protocols(diameter).items():
-        runs = repeat_job(
-            clique_spec,
-            proto,
-            repetitions=repetitions,
-            seed=seed,
-            processes=processes,
-            run_to_quiescence=True,
-        )
-        agg = aggregate_runs(runs)
-        rows.append(
-            [
-                workload_label,
-                name,
-                agg["success_rate"],
-                stat_mean(agg.get("completion_rounds")),
-                stat_mean(agg["total_transmissions"]),
-                stat_mean(agg["mean_tx_per_node"]),
-                max(r.energy.max_per_node for r in runs),
+                cell.success_rate,
+                cell.mean("completion_round"),
+                cell.mean("total_tx"),
+                cell.mean("mean_tx_per_node"),
+                int(cell.maximum("max_tx_per_node")),
             ]
         )
 
@@ -168,11 +223,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={
-            "scale": scale,
-            "repetitions": repetitions,
-            "n_random": n_random,
-            "cliques": list(cliques),
-            "seed": seed,
-        },
+        parameters=dict(spec.parameters),
     )

@@ -20,14 +20,14 @@ trade-off the paper does not discuss but that a deployment would care about.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import pick, stat_mean, threshold_p
+from repro.experiments.common import pick, threshold_p
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec, build_network
 from repro.graphs.properties import source_eccentricity
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
 
 EXPERIMENT_ID = "E15"
 TITLE = "Ablation: erasure (fading) robustness of the broadcast protocols"
@@ -37,16 +37,17 @@ CLAIM = (
     "protocols (Algorithm 3, Decay) trade energy for robustness."
 )
 
+METRICS = (
+    "success",
+    "completion_round",
+    "mean_tx_per_node",
+    "max_tx_per_node",
+)
 
-def run(
-    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
-) -> ExperimentResult:
-    """Sweep the erasure probability for Algorithm 1, Algorithm 3 and Decay."""
-    erasure_rates = pick(
-        scale, quick=[0.0, 0.1, 0.3], full=[0.0, 0.05, 0.1, 0.2, 0.3, 0.5]
-    )
-    repetitions = pick(scale, quick=5, full=15)
 
+def _workloads(
+    scale: str, seed: int
+) -> List[Tuple[str, GraphSpec, Dict[str, ProtocolSpec]]]:
     n_random = pick(scale, quick=512, full=2048)
     p = threshold_p(n_random)
     gnp_spec = GraphSpec("gnp", {"n": n_random, "p": p})
@@ -55,7 +56,7 @@ def run(
     clique_net = build_network(clique_spec, rng=seed)
     clique_diameter = source_eccentricity(clique_net, 0)
 
-    workloads = [
+    return [
         (
             f"gnp(n={n_random})",
             gnp_spec,
@@ -74,6 +75,58 @@ def run(
         ),
     ]
 
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E15 grid: workload × protocol × erasure rate."""
+    erasure_rates = pick(
+        scale, quick=[0.0, 0.1, 0.3], full=[0.0, 0.05, 0.1, 0.2, 0.3, 0.5]
+    )
+    repetitions = pick(scale, quick=5, full=15)
+
+    cells: List[SweepCell] = []
+    for workload_label, graph_spec, protocols in _workloads(scale, seed):
+        for proto_label, proto_spec in protocols.items():
+            for erasure in erasure_rates:
+                cells.append(
+                    SweepCell(
+                        coords={
+                            "workload": workload_label,
+                            "protocol": proto_label,
+                            "erasure": erasure,
+                        },
+                        graph=graph_spec,
+                        protocol=proto_spec,
+                        repetitions=repetitions,
+                        job_options={
+                            "run_to_quiescence": True,
+                            "erasure_probability": float(erasure),
+                        },
+                    )
+                )
+
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "erasure_rates": list(erasure_rates),
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Sweep the erasure probability for Algorithm 1, Algorithm 3 and Decay."""
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
+
     columns = [
         "workload",
         "protocol",
@@ -84,42 +137,35 @@ def run(
         "max tx/node (worst run)",
     ]
     rows: List[List[object]] = []
-    series: List[Series] = []
+    curves: Dict[Tuple[str, str], Series] = {}
 
-    for workload_label, graph_spec, protocols in workloads:
-        for proto_label, proto_spec in protocols.items():
-            curve = Series(
+    for cell in cells:
+        workload_label = cell.coords["workload"]
+        proto_label = cell.coords["protocol"]
+        erasure = cell.coords["erasure"]
+        rows.append(
+            [
+                workload_label,
+                proto_label,
+                erasure,
+                cell.success_rate,
+                cell.mean("completion_round"),
+                cell.mean("mean_tx_per_node"),
+                int(cell.maximum("max_tx_per_node")),
+            ]
+        )
+        curve = curves.setdefault(
+            (workload_label, proto_label),
+            Series(
                 name=f"success vs erasure [{proto_label} on {workload_label}]",
                 x=[],
                 y=[],
                 x_label="erasure probability",
                 y_label="success rate",
-            )
-            for erasure in erasure_rates:
-                runs = repeat_job(
-                    graph_spec,
-                    proto_spec,
-                    repetitions=repetitions,
-                    seed=seed,
-                    processes=processes,
-                    run_to_quiescence=True,
-                    erasure_probability=float(erasure),
-                )
-                agg = aggregate_runs(runs)
-                rows.append(
-                    [
-                        workload_label,
-                        proto_label,
-                        erasure,
-                        agg["success_rate"],
-                        stat_mean(agg.get("completion_rounds")),
-                        stat_mean(agg["mean_tx_per_node"]),
-                        max(r.energy.max_per_node for r in runs),
-                    ]
-                )
-                curve.x.append(float(erasure))
-                curve.y.append(float(agg["success_rate"]))
-            series.append(curve)
+            ),
+        )
+        curve.x.append(float(erasure))
+        curve.y.append(float(cell.success_rate))
 
     notes = [
         "Expected shape: Algorithm 1's success rate falls sharply once the "
@@ -134,12 +180,7 @@ def run(
         claim=CLAIM,
         columns=columns,
         rows=rows,
-        series=series,
+        series=list(curves.values()),
         notes=notes,
-        parameters={
-            "scale": scale,
-            "erasure_rates": list(erasure_rates),
-            "repetitions": repetitions,
-            "seed": seed,
-        },
+        parameters=dict(spec.parameters),
     )

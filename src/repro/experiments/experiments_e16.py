@@ -13,23 +13,29 @@ This experiment measures that gap on the same sampled networks:
   time (the trivial composition baseline);
 * **random phone-call push gossip** — a different (collision-free) model,
   shown as the energy/time floor any radio protocol is fighting collisions to
-  approach.
+  approach.  It runs as a :mod:`~repro.scenarios.probes` probe cell (its
+  model has no radio jobs to compile).
 """
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from repro._util.rng import spawn_generators
 from repro.baselines.phone_call import run_push_gossip
-from repro.experiments.common import log2n, pick, stat_mean, threshold_p
+from repro.experiments.common import log2n, pick, threshold_p
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec, build_network
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepCell,
+    SweepGrid,
+    register_probe,
+    run_scenario,
+)
 
 EXPERIMENT_ID = "E16"
 TITLE = "Gossip on random networks: Algorithm 2 vs composition-style baselines"
@@ -41,13 +47,85 @@ CLAIM = (
     "the same networks."
 )
 
+_PROTOCOLS = {
+    "algorithm2": lambda p: ProtocolSpec("algorithm2", {"p": p}),
+    "uniform_scale_gossip": lambda p: ProtocolSpec("uniform_gossip", {}),
+    "sequential_broadcast_gossip": lambda p: ProtocolSpec("sequential_gossip", {}),
+}
+
+METRICS = ("success", "completion_round", "max_tx_per_node", "mean_tx_per_node")
+_PC_METRICS = ("pc_rounds", "pc_max_tx", "pc_mean_tx")
+
+
+@register_probe("e16.phone_call_push_gossip")
+def _phone_call_gossip_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Collision-free push-gossip reference on fresh G(n, p) samples."""
+    n = params["n"]
+    p = params["p"]
+    spec = GraphSpec("gnp", {"n": n, "p": p})
+    generators = spawn_generators(seed + n, 2 * repetitions)
+    for rep in range(repetitions):
+        network = build_network(spec, rng=generators[2 * rep])
+        outcome = run_push_gossip(network, rng=generators[2 * rep + 1])
+        yield {
+            "pc_rounds": float(outcome.completion_round),
+            "pc_max_tx": float(outcome.max_per_node),
+            "pc_mean_tx": float(outcome.mean_per_node),
+        }
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E16 grid: n × (three gossip protocols + the phone-call probe)."""
+    sizes = pick(scale, quick=[96, 160], full=[128, 192, 256, 384])
+    repetitions = pick(scale, quick=3, full=8)
+
+    cells: List[SweepCell] = []
+    for n in sizes:
+        p = threshold_p(n)
+        d = n * p
+        graph_spec = GraphSpec("gnp", {"n": n, "p": p})
+        for label, proto_of in _PROTOCOLS.items():
+            cells.append(
+                SweepCell(
+                    coords={"n": n, "d": d, "protocol": label},
+                    graph=graph_spec,
+                    protocol=proto_of(p),
+                    repetitions=repetitions,
+                )
+            )
+        cells.append(
+            SweepCell(
+                coords={"n": n, "d": d, "protocol": "push gossip (no collisions)"},
+                kind="probe",
+                probe="e16.phone_call_push_gossip",
+                params={"n": n, "p": p},
+                repetitions=repetitions,
+                metrics=_PC_METRICS,
+            )
+        )
+
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Compare the gossip protocols on a shared G(n, p) workload."""
-    sizes = pick(scale, quick=[96, 160], full=[128, 192, 256, 384])
-    repetitions = pick(scale, quick=3, full=8)
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n",
@@ -61,57 +139,36 @@ def run(
     ]
     rows: List[List[object]] = []
 
-    for n in sizes:
-        p = threshold_p(n)
-        d = n * p
-        spec = GraphSpec("gnp", {"n": n, "p": p})
-        protocols = {
-            "algorithm2": ProtocolSpec("algorithm2", {"p": p}),
-            "uniform_scale_gossip": ProtocolSpec("uniform_gossip", {}),
-            "sequential_broadcast_gossip": ProtocolSpec("sequential_gossip", {}),
-        }
-        for label, proto in protocols.items():
-            runs = repeat_job(
-                spec,
-                proto,
-                repetitions=repetitions,
-                seed=seed,
-                processes=processes,
-            )
-            agg = aggregate_runs(runs)
-            rounds_mean = stat_mean(agg.get("completion_rounds"))
+    for cell in cells:
+        n = cell.coords["n"]
+        d = cell.coords["d"]
+        label = cell.coords["protocol"]
+        if cell.cell.kind == "probe":
+            pc_rounds = cell.mean("pc_rounds")
             rows.append(
                 [
                     n,
                     d,
                     label,
-                    agg["success_rate"],
-                    rounds_mean,
-                    rounds_mean / (d * log2n(n)) if rounds_mean is not None else None,
-                    stat_mean(agg["max_tx_per_node"]),
-                    stat_mean(agg["mean_tx_per_node"]),
+                    1.0,
+                    pc_rounds,
+                    pc_rounds / (d * log2n(n)),
+                    cell.mean("pc_max_tx"),
+                    cell.mean("pc_mean_tx"),
                 ]
             )
-
-        # Phone-call push gossip (different model, no collisions).
-        generators = spawn_generators(seed + n, 2 * repetitions)
-        pc_rounds, pc_max, pc_mean = [], [], []
-        for rep in range(repetitions):
-            network = build_network(spec, rng=generators[2 * rep])
-            outcome = run_push_gossip(network, rng=generators[2 * rep + 1])
-            pc_rounds.append(outcome.completion_round)
-            pc_max.append(outcome.max_per_node)
-            pc_mean.append(outcome.mean_per_node)
+            continue
+        rounds_mean = cell.mean("completion_round")
         rows.append(
             [
                 n,
                 d,
-                "push gossip (no collisions)",
-                1.0,
-                float(np.mean(pc_rounds)),
-                float(np.mean(pc_rounds)) / (d * log2n(n)),
-                float(np.mean(pc_max)),
-                float(np.mean(pc_mean)),
+                label,
+                cell.success_rate,
+                rounds_mean,
+                rounds_mean / (d * log2n(n)) if rounds_mean is not None else None,
+                cell.mean("max_tx_per_node"),
+                cell.mean("mean_tx_per_node"),
             ]
         )
 
@@ -146,5 +203,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

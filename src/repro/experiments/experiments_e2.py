@@ -8,22 +8,28 @@ Claims checked:
   ``|U_{T+1}| / d^T``;
 * after Phase 2 (sparse regime) a constant fraction of all nodes is informed
   (Lemma 2.5) — we report the informed fraction right after Phase 2.
+
+The measurement needs Algorithm 1's *internal* phase history (the
+``active_history`` the protocol object records), which no declarative job
+can expose — so the sweep runs as a probe cell per ``(regime, n)``
+coordinate, streaming one sample of growth/ratio metrics per repetition.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro._util.rng import spawn_generators
 from repro.analysis.concentration import check_phase1_growth
 from repro.core.broadcast_random import EnergyEfficientBroadcast
-from repro.experiments.common import pick, threshold_p, sparse_p
+from repro.experiments.common import pick, sparse_p, threshold_p
 from repro.experiments.results import ExperimentResult
 from repro.graphs.random_digraph import random_digraph
 from repro.radio.engine import SimulationEngine
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, register_probe, run_scenario
 
 EXPERIMENT_ID = "E2"
 TITLE = "Algorithm 1 phase growth (Lemmas 2.3-2.5)"
@@ -33,16 +39,90 @@ CLAIM = (
     "Lemma 2.5: after Phase 2 a constant fraction of the n nodes is informed."
 )
 
+_REGIMES = {"threshold (4 log n / n)": threshold_p, "sparse (n^-0.6)": sparse_p}
+
+METRICS = ("success", "log_growth", "phase1_ratio", "phase2_fraction", "T")
+
+
+@register_probe("e2.phase_growth")
+def _phase_growth_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Run Algorithm 1 with per-round tracing; yield phase metrics per trial."""
+    n = params["n"]
+    p = params["p"]
+    generators = spawn_generators(seed, 2 * repetitions)
+    for rep in range(repetitions):
+        graph_rng = generators[2 * rep]
+        protocol_rng = generators[2 * rep + 1]
+        network = random_digraph(n, p, rng=graph_rng)
+        protocol = EnergyEfficientBroadcast(p)
+        engine = SimulationEngine(record_rounds=True)
+        result = engine.run(network, protocol, rng=protocol_rng)
+        history = protocol.active_history
+        check = check_phase1_growth(history, protocol.T, protocol.d)
+        sample: Dict[str, object] = {
+            "success": float(result.completed),
+            "log_growth": [
+                math.log(g) for g in check.normalized_growth.tolist() if g > 0
+            ],
+            "phase1_ratio": float(check.phase1_ratio),
+            "T": float(protocol.T),
+        }
+        # Informed fraction right after Phase 2 (or after Phase 1 when
+        # Phase 2 is skipped): use the per-round informed curve.
+        curve = result.informed_curve()
+        boundary = (
+            protocol.phase2_round + 1
+            if protocol.phase2_round is not None
+            else protocol.T
+        )
+        boundary = min(boundary, curve.size) - 1
+        sample["phase2_fraction"] = (
+            float(curve[boundary]) / n if boundary >= 0 else None
+        )
+        yield sample
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E2 probe grid: regime × n."""
+    # n = 8192 is the smallest size where T = 2 Phase-1 rounds are exercised
+    # robustly (d^T well below n); below that the threshold regime has T = 1.
+    sizes = pick(scale, quick=[1024, 8192], full=[1024, 4096, 8192, 16384])
+    repetitions = pick(scale, quick=5, full=20)
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        n = coords["n"]
+        p = _REGIMES[coords["regime"]](n)
+        return SweepCell(
+            coords={**coords, "p": p, "d": n * p},
+            kind="probe",
+            probe="e2.phase_growth",
+            params={"n": n, "p": p},
+            repetitions=repetitions,
+        )
+
+    grid = SweepGrid.from_axes({"regime": list(_REGIMES), "n": sizes}, bind)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Run Algorithm 1 with per-round tracing and summarise the phase growth."""
-    # n = 8192 is the smallest size where T = 2 Phase-1 rounds are exercised
-    # robustly (d^T well below n); below that the threshold regime has T = 1.
-    sizes = pick(scale, quick=[1024, 8192], full=[1024, 4096, 8192, 16384])
-    repetitions = pick(scale, quick=5, full=20)
-    regimes = {"threshold (4 log n / n)": threshold_p, "sparse (n^-0.6)": sparse_p}
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n",
@@ -55,67 +135,32 @@ def run(
         "success_rate",
     ]
     rows: List[List[object]] = []
-    notes: List[str] = []
+    for cell in cells:
+        log_growth_mean = cell.mean("log_growth")
+        geo_mean_growth = (
+            float(np.exp(log_growth_mean))
+            if log_growth_mean is not None
+            else float("nan")
+        )
+        t_mean = cell.mean("T")
+        rows.append(
+            [
+                cell.coords["n"],
+                cell.coords["regime"],
+                cell.coords["d"],
+                int(t_mean) if t_mean is not None else None,
+                geo_mean_growth,
+                cell.mean("phase1_ratio"),
+                cell.mean("phase2_fraction"),
+                cell.success_rate,
+            ]
+        )
 
-    for regime_name, p_of in regimes.items():
-        for n in sizes:
-            p = p_of(n)
-            growth_ratios: List[float] = []
-            phase1_ratios: List[float] = []
-            phase2_fractions: List[float] = []
-            successes = 0
-            generators = spawn_generators(seed, 2 * repetitions)
-            protocol_T = None
-            d = n * p
-            for rep in range(repetitions):
-                graph_rng = generators[2 * rep]
-                protocol_rng = generators[2 * rep + 1]
-                network = random_digraph(n, p, rng=graph_rng)
-                protocol = EnergyEfficientBroadcast(p)
-                engine = SimulationEngine(record_rounds=True)
-                result = engine.run(network, protocol, rng=protocol_rng)
-                successes += int(result.completed)
-                protocol_T = protocol.T
-                history = protocol.active_history
-                check = check_phase1_growth(history, protocol.T, protocol.d)
-                growth_ratios.extend(check.normalized_growth.tolist())
-                phase1_ratios.append(check.phase1_ratio)
-                # Informed fraction right after Phase 2 (or after Phase 1 when
-                # Phase 2 is skipped): use the per-round informed curve.
-                curve = result.informed_curve()
-                boundary = (
-                    protocol.phase2_round + 1
-                    if protocol.phase2_round is not None
-                    else protocol.T
-                )
-                boundary = min(boundary, curve.size) - 1
-                if boundary >= 0:
-                    phase2_fractions.append(float(curve[boundary]) / n)
-
-            positive_growth = [g for g in growth_ratios if g > 0]
-            geo_mean_growth = (
-                float(np.exp(np.mean(np.log(positive_growth))))
-                if positive_growth
-                else float("nan")
-            )
-            rows.append(
-                [
-                    n,
-                    regime_name,
-                    d,
-                    protocol_T,
-                    geo_mean_growth,
-                    float(np.mean(phase1_ratios)),
-                    float(np.mean(phase2_fractions)) if phase2_fractions else None,
-                    successes / repetitions,
-                ]
-            )
-
-    notes.append(
+    notes = [
         "Growth factor / d should be a constant in (1/16, 2) per Lemma 2.3; "
         "|U_{T+1}|/d^T should be a constant (Lemma 2.4); the post-Phase-2 informed "
         "fraction should be a constant fraction of n (Lemma 2.5)."
-    )
+    ]
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -123,5 +168,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

@@ -5,20 +5,22 @@ Claim: for ``p > δ log n / n`` the diameter is ``⌈log n / log d⌉`` w.h.p.
 from a fixed node (for these sizes the graph is vertex-transitive in
 distribution, so eccentricity from one node equals the diameter w.h.p.), and
 compare with the predicted value.
+
+No protocol runs here — the sweep is a pure graph-property measurement, so
+it rides the scenario layer as a probe cell per ``(regime, n)``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-import numpy as np
+from typing import Dict, Iterator, List, Optional
 
 from repro._util.logmath import ceil_log_ratio
 from repro._util.rng import spawn_generators
-from repro.experiments.common import pick, threshold_p, sparse_p, dense_p
+from repro.experiments.common import dense_p, pick, sparse_p, threshold_p
 from repro.experiments.results import ExperimentResult
 from repro.graphs.properties import source_eccentricity
 from repro.graphs.random_digraph import random_digraph
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, register_probe, run_scenario
 
 EXPERIMENT_ID = "E3"
 TITLE = "Diameter of directed G(n, p) (Lemma 3.1)"
@@ -27,18 +29,73 @@ CLAIM = (
     "the diameter of G(n, p) equals ceil(log n / log d) w.h.p."
 )
 
+_REGIMES = {
+    "threshold (4 log n / n)": threshold_p,
+    "sparse (n^-0.6)": sparse_p,
+    "dense (n^-0.35)": dense_p,
+}
+
+METRICS = ("eccentricity", "ecc_match", "ecc_within1")
+
+
+@register_probe("e3.eccentricity")
+def _eccentricity_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Sample G(n, p) graphs and measure the source eccentricity."""
+    n = params["n"]
+    p = params["p"]
+    predicted = params["predicted"]
+    generators = spawn_generators(seed, repetitions)
+    for rep in range(repetitions):
+        network = random_digraph(n, p, rng=generators[rep])
+        measured = source_eccentricity(network, 0)
+        yield {
+            "eccentricity": float(measured),
+            "ecc_match": float(measured == predicted),
+            "ecc_within1": float(measured <= predicted + 1),
+        }
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E3 probe grid: regime × n."""
+    sizes = pick(scale, quick=[256, 512, 1024], full=[256, 512, 1024, 2048, 4096])
+    repetitions = pick(scale, quick=5, full=20)
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        n = coords["n"]
+        p = _REGIMES[coords["regime"]](n)
+        d = n * p
+        predicted = ceil_log_ratio(n, d)
+        return SweepCell(
+            coords={**coords, "d": d, "predicted": predicted},
+            kind="probe",
+            probe="e3.eccentricity",
+            params={"n": n, "p": p, "predicted": predicted},
+            repetitions=repetitions,
+        )
+
+    grid = SweepGrid.from_axes({"regime": list(_REGIMES), "n": sizes}, bind)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Measure eccentricities of sampled G(n, p) graphs against the prediction."""
-    sizes = pick(scale, quick=[256, 512, 1024], full=[256, 512, 1024, 2048, 4096])
-    repetitions = pick(scale, quick=5, full=20)
-    regimes = {
-        "threshold (4 log n / n)": threshold_p,
-        "sparse (n^-0.6)": sparse_p,
-        "dense (n^-0.35)": dense_p,
-    }
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n",
@@ -50,31 +107,20 @@ def run(
         "fraction == prediction",
         "fraction <= prediction + 1",
     ]
-    rows: List[List[object]] = []
-
-    for regime_name, p_of in regimes.items():
-        for n in sizes:
-            p = p_of(n)
-            d = n * p
-            predicted = ceil_log_ratio(n, d)
-            measured: List[int] = []
-            generators = spawn_generators(seed, repetitions)
-            for rep in range(repetitions):
-                network = random_digraph(n, p, rng=generators[rep])
-                measured.append(source_eccentricity(network, 0))
-            measured_arr = np.asarray(measured)
-            rows.append(
-                [
-                    n,
-                    regime_name,
-                    d,
-                    predicted,
-                    float(measured_arr.mean()),
-                    f"{measured_arr.min()}..{measured_arr.max()}",
-                    float((measured_arr == predicted).mean()),
-                    float((measured_arr <= predicted + 1).mean()),
-                ]
-            )
+    rows: List[List[object]] = [
+        [
+            cell.coords["n"],
+            cell.coords["regime"],
+            cell.coords["d"],
+            cell.coords["predicted"],
+            cell.mean("eccentricity"),
+            f"{int(cell.minimum('eccentricity'))}.."
+            f"{int(cell.maximum('eccentricity'))}",
+            cell.mean("ecc_match"),
+            cell.mean("ecc_within1"),
+        ]
+        for cell in cells
+    ]
 
     notes = [
         "The measured value is the eccentricity from a fixed source (a lower "
@@ -92,5 +138,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

@@ -12,13 +12,13 @@ roughly flat.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.common import log2n, pick, stat_mean
+from repro.experiments.common import log2n, pick
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
 
 EXPERIMENT_ID = "E4"
 TITLE = "Algorithm 2: gossiping in O(d log n) rounds with O(log n) messages per node"
@@ -28,14 +28,55 @@ CLAIM = (
     "transmissions."
 )
 
+_DEGREE_FACTORS = {"d = 4 log n": 4.0, "d = 8 log n": 8.0}
+
+METRICS = (
+    "success",
+    "completion_round",
+    "max_tx_per_node",
+    "mean_tx_per_node",
+)
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E4 gossip sweep as a declarative grid: degree regime × n."""
+    sizes = pick(scale, quick=[96, 128, 192], full=[128, 192, 256, 384, 512])
+    repetitions = pick(scale, quick=3, full=10)
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        n = coords["n"]
+        factor = _DEGREE_FACTORS[coords["regime"]]
+        p = min(1.0, factor * log2n(n) / n)
+        return SweepCell(
+            coords={**coords, "p": p, "d": n * p},
+            graph=GraphSpec("gnp", {"n": n, "p": p}),
+            protocol=ProtocolSpec("algorithm2", {"p": p}),
+            repetitions=repetitions,
+        )
+
+    grid = SweepGrid.from_axes({"regime": list(_DEGREE_FACTORS), "n": sizes}, bind)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Run the gossip sweep."""
-    sizes = pick(scale, quick=[96, 128, 192], full=[128, 192, 256, 384, 512])
-    repetitions = pick(scale, quick=3, full=10)
-    degree_factors = {"d = 4 log n": 4.0, "d = 8 log n": 8.0}
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n",
@@ -49,49 +90,40 @@ def run(
         "mean tx/node (mean)",
     ]
     rows: List[List[object]] = []
-    series: List[Series] = []
-
-    for regime_name, factor in degree_factors.items():
-        xs: List[float] = []
-        ys: List[float] = []
-        for n in sizes:
-            p = min(1.0, factor * log2n(n) / n)
-            d = n * p
-            runs = repeat_job(
-                GraphSpec("gnp", {"n": n, "p": p}),
-                ProtocolSpec("algorithm2", {"p": p}),
-                repetitions=repetitions,
-                seed=seed,
-                processes=processes,
-            )
-            agg = aggregate_runs(runs)
-            rounds_mean = stat_mean(agg.get("completion_rounds"))
-            max_tx_mean = stat_mean(agg["max_tx_per_node"])
-            rows.append(
-                [
-                    n,
-                    regime_name,
-                    d,
-                    agg["success_rate"],
-                    rounds_mean,
-                    rounds_mean / (d * log2n(n)) if rounds_mean is not None else None,
-                    max_tx_mean,
-                    max_tx_mean / log2n(n),
-                    stat_mean(agg["mean_tx_per_node"]),
-                ]
-            )
-            if rounds_mean is not None:
-                xs.append(float(n))
-                ys.append(rounds_mean / (d * log2n(n)))
-        series.append(
-            Series(
-                name=f"rounds / (d log n) [{regime_name}]",
-                x=xs,
-                y=ys,
-                x_label="n",
-                y_label="normalised gossip time",
-            )
+    per_regime_series: Dict[str, Series] = {
+        regime: Series(
+            name=f"rounds / (d log n) [{regime}]",
+            x=[],
+            y=[],
+            x_label="n",
+            y_label="normalised gossip time",
         )
+        for regime in _DEGREE_FACTORS
+    }
+
+    for cell in cells:
+        n = cell.coords["n"]
+        regime_name = cell.coords["regime"]
+        d = cell.coords["d"]
+        rounds_mean = cell.mean("completion_round")
+        max_tx_mean = cell.mean("max_tx_per_node")
+        rows.append(
+            [
+                n,
+                regime_name,
+                d,
+                cell.success_rate,
+                rounds_mean,
+                rounds_mean / (d * log2n(n)) if rounds_mean is not None else None,
+                max_tx_mean,
+                max_tx_mean / log2n(n),
+                cell.mean("mean_tx_per_node"),
+            ]
+        )
+        if rounds_mean is not None:
+            series = per_regime_series[regime_name]
+            series.x.append(float(n))
+            series.y.append(rounds_mean / (d * log2n(n)))
 
     notes = [
         "Both normalised columns (rounds / (d log n) and max tx per node / log n) "
@@ -106,7 +138,7 @@ def run(
         claim=CLAIM,
         columns=columns,
         rows=rows,
-        series=series,
+        series=list(per_regime_series.values()),
         notes=notes,
-        parameters={"scale": scale, "sizes": sizes, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

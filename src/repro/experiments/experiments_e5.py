@@ -18,14 +18,14 @@ the model).
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.common import log2n, pick, stat_mean
+from repro.experiments.common import log2n, pick
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec, build_network
 from repro.graphs.properties import source_eccentricity
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
 
 EXPERIMENT_ID = "E5"
 TITLE = "Algorithm 3 vs Czumaj-Rytter: same time, log(n/D)x fewer transmissions"
@@ -36,9 +36,16 @@ CLAIM = (
     "Theta(log^2 n) transmissions per node."
 )
 
+_PROTOCOLS = {
+    "algorithm3": "algorithm3",
+    "czumaj_rytter": "czumaj_rytter_known_d",
+}
+
+METRICS = ("success", "completion_round", "mean_tx_per_node")
+
 
 def _workloads(scale: str):
-    """(label, GraphSpec, diameter_hint) triples for the sweep."""
+    """(label, GraphSpec) pairs for the sweep."""
     if scale == "quick":
         return [
             ("path_of_cliques(12x12)", GraphSpec("path_of_cliques", {"num_cliques": 12, "clique_size": 12})),
@@ -53,15 +60,51 @@ def _workloads(scale: str):
     ]
 
 
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E5 grid: known-diameter workload × protocol."""
+    repetitions = pick(scale, quick=3, full=10)
+
+    cells: List[SweepCell] = []
+    for label, graph_spec in _workloads(scale):
+        # Deterministic topologies: build once to measure n and D.
+        network = build_network(graph_spec, rng=seed)
+        n = network.n
+        diameter = source_eccentricity(network, 0)
+        lam = max(1.0, math.log2(n / diameter))
+        for proto_label, proto_name in _PROTOCOLS.items():
+            cells.append(
+                SweepCell(
+                    coords={
+                        "workload": label,
+                        "n": n,
+                        "D": diameter,
+                        "lambda": lam,
+                        "protocol": proto_label,
+                    },
+                    graph=graph_spec,
+                    protocol=ProtocolSpec(proto_name, {"diameter": diameter}),
+                    repetitions=repetitions,
+                    job_options={"run_to_quiescence": True},
+                )
+            )
+
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={"scale": scale, "repetitions": repetitions, "seed": seed},
+    )
+
+
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Compare Algorithm 3 and the CR baseline on known-diameter workloads."""
-    repetitions = pick(scale, quick=3, full=10)
-    protocols = {
-        "algorithm3": "algorithm3",
-        "czumaj_rytter": "czumaj_rytter_known_d",
-    }
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "workload",
@@ -76,46 +119,40 @@ def run(
         "mean tx/node * lambda / log^2 n",
     ]
     rows: List[List[object]] = []
-    ratio_notes: List[str] = []
+    energies: Dict[str, Dict[str, float]] = {}
+    workload_info: Dict[str, Dict[str, float]] = {}
 
-    for label, spec in _workloads(scale):
-        # Deterministic topologies: build once to measure n and D.
-        network = build_network(spec, rng=seed)
-        n = network.n
-        diameter = source_eccentricity(network, 0)
-        lam = max(1.0, math.log2(n / diameter))
+    for cell in cells:
+        label = cell.coords["workload"]
+        n = cell.coords["n"]
+        diameter = cell.coords["D"]
+        lam = cell.coords["lambda"]
+        proto_label = cell.coords["protocol"]
         time_bound = diameter * lam + log2n(n) ** 2
+        rounds_mean = cell.mean("completion_round")
+        mean_tx = cell.mean("mean_tx_per_node")
+        energies.setdefault(label, {})[proto_label] = mean_tx
+        workload_info[label] = {"lam": lam}
+        rows.append(
+            [
+                label,
+                n,
+                diameter,
+                lam,
+                proto_label,
+                cell.success_rate,
+                rounds_mean,
+                (rounds_mean / time_bound) if rounds_mean is not None else None,
+                mean_tx,
+                mean_tx * lam / (log2n(n) ** 2),
+            ]
+        )
 
-        energies = {}
-        for proto_label, proto_name in protocols.items():
-            runs = repeat_job(
-                spec,
-                ProtocolSpec(proto_name, {"diameter": diameter}),
-                repetitions=repetitions,
-                seed=seed,
-                processes=processes,
-                run_to_quiescence=True,
-            )
-            agg = aggregate_runs(runs)
-            rounds_mean = stat_mean(agg.get("completion_rounds"))
-            mean_tx = stat_mean(agg["mean_tx_per_node"])
-            energies[proto_label] = mean_tx
-            rows.append(
-                [
-                    label,
-                    n,
-                    diameter,
-                    lam,
-                    proto_label,
-                    agg["success_rate"],
-                    rounds_mean,
-                    (rounds_mean / time_bound) if rounds_mean is not None else None,
-                    mean_tx,
-                    mean_tx * lam / (log2n(n) ** 2),
-                ]
-            )
-        if energies.get("algorithm3"):
-            ratio = energies["czumaj_rytter"] / energies["algorithm3"]
+    ratio_notes: List[str] = []
+    for label, per_protocol in energies.items():
+        if per_protocol.get("algorithm3"):
+            ratio = per_protocol["czumaj_rytter"] / per_protocol["algorithm3"]
+            lam = workload_info[label]["lam"]
             ratio_notes.append(
                 f"{label}: CR / Algorithm-3 energy ratio = {ratio:.2f} "
                 f"(paper predicts ≈ log(n/D) = {lam:.2f})"
@@ -133,5 +170,5 @@ def run(
         columns=columns,
         rows=rows,
         notes=notes,
-        parameters={"scale": scale, "repetitions": repetitions, "seed": seed},
+        parameters=dict(spec.parameters),
     )

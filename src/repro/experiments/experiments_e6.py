@@ -9,18 +9,17 @@ a frontier along which measured time grows (roughly linearly in λ once the
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core.tradeoff import admissible_lambda_range
-from repro.experiments.common import log2n, pick, stat_mean
+from repro.experiments.common import log2n
 from repro.experiments.protocols import ProtocolSpec
 from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import aggregate_runs, repeat_job
 from repro.graphs.builders import GraphSpec, build_network
 from repro.graphs.properties import source_eccentricity
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
 
 EXPERIMENT_ID = "E6"
 TITLE = "Theorem 4.2 time/energy tradeoff (lambda sweep)"
@@ -30,25 +29,60 @@ CLAIM = (
     "node — increasing lambda trades time for energy."
 )
 
+METRICS = ("success", "completion_round", "mean_tx_per_node")
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E6 grid: a λ axis on a fixed path-of-cliques workload."""
+    if scale == "quick":
+        graph_spec = GraphSpec("path_of_cliques", {"num_cliques": 12, "clique_size": 12})
+        num_lambdas = 4
+        repetitions = 3
+    else:
+        graph_spec = GraphSpec("path_of_cliques", {"num_cliques": 20, "clique_size": 16})
+        num_lambdas = 7
+        repetitions = 10
+
+    network = build_network(graph_spec, rng=seed)
+    n = network.n
+    diameter = source_eccentricity(network, 0)
+    lam_low, lam_high = admissible_lambda_range(n, diameter)
+    lambdas = np.linspace(lam_low, lam_high, num_lambdas)
+
+    def bind(coords):
+        lam = coords["lambda"]
+        return SweepCell(
+            coords={"lambda": lam, "n": n, "D": diameter},
+            graph=graph_spec,
+            protocol=ProtocolSpec("tradeoff", {"diameter": diameter, "lam": lam}),
+            repetitions=repetitions,
+            job_options={"run_to_quiescence": True},
+        )
+
+    grid = SweepGrid.from_axes({"lambda": [float(lam) for lam in lambdas]}, bind)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "workload": graph_spec.as_dict(),
+            "repetitions": repetitions,
+            "seed": seed,
+            "lambda_range": [float(lam_low), float(lam_high)],
+        },
+    )
+
 
 def run(
     scale: str = "quick", seed: int = 0, processes: Optional[int] = None
 ) -> ExperimentResult:
     """Sweep λ on a fixed path-of-cliques network."""
-    if scale == "quick":
-        spec = GraphSpec("path_of_cliques", {"num_cliques": 12, "clique_size": 12})
-        num_lambdas = 4
-        repetitions = 3
-    else:
-        spec = GraphSpec("path_of_cliques", {"num_cliques": 20, "clique_size": 16})
-        num_lambdas = 7
-        repetitions = 10
-
-    network = build_network(spec, rng=seed)
-    n = network.n
-    diameter = source_eccentricity(network, 0)
-    lam_low, lam_high = admissible_lambda_range(n, diameter)
-    lambdas = np.linspace(lam_low, lam_high, num_lambdas)
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "lambda",
@@ -66,23 +100,17 @@ def run(
         name="mean tx/node vs lambda", x=[], y=[], x_label="lambda", y_label="tx per node"
     )
 
-    for lam in lambdas:
-        runs = repeat_job(
-            spec,
-            ProtocolSpec("tradeoff", {"diameter": diameter, "lam": float(lam)}),
-            repetitions=repetitions,
-            seed=seed,
-            processes=processes,
-            run_to_quiescence=True,
-        )
-        agg = aggregate_runs(runs)
-        rounds_mean = stat_mean(agg.get("completion_rounds"))
-        mean_tx = stat_mean(agg["mean_tx_per_node"])
+    for cell in cells:
+        lam = cell.coords["lambda"]
+        n = cell.coords["n"]
+        diameter = cell.coords["D"]
+        rounds_mean = cell.mean("completion_round")
+        mean_tx = cell.mean("mean_tx_per_node")
         bound = diameter * lam + log2n(n) ** 2
         rows.append(
             [
                 float(lam),
-                agg["success_rate"],
+                cell.success_rate,
                 rounds_mean,
                 (rounds_mean / bound) if rounds_mean is not None else None,
                 mean_tx,
@@ -95,8 +123,12 @@ def run(
         energy_series.x.append(float(lam))
         energy_series.y.append(mean_tx)
 
+    first_cell = cells[0]
+    lam_low, lam_high = spec.parameters["lambda_range"]
+    lambdas = [cell.coords["lambda"] for cell in cells]
     notes = [
-        f"workload: {spec.describe()} with n={n}, D={diameter}, admissible "
+        f"workload: {first_cell.cell.graph.describe()} with "
+        f"n={first_cell.coords['n']}, D={first_cell.coords['D']}, admissible "
         f"lambda range [{lam_low:.2f}, {lam_high:.2f}]",
         "Expected shape: the energy column decreases roughly like 1/lambda "
         "while the time column grows once D*lambda dominates log^2 n.",
@@ -108,6 +140,11 @@ def run(
             f"(lambda grew by {lambdas[-1] / lambdas[0]:.2f}x)"
         )
 
+    parameters = {
+        key: value
+        for key, value in spec.parameters.items()
+        if key != "lambda_range"
+    }
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -116,10 +153,5 @@ def run(
         rows=rows,
         series=[time_series, energy_series],
         notes=notes,
-        parameters={
-            "scale": scale,
-            "workload": spec.as_dict(),
-            "repetitions": repetitions,
-            "seed": seed,
-        },
+        parameters=parameters,
     )

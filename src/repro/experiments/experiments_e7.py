@@ -12,14 +12,16 @@ measure how many relay transmissions have happened by the time the last
 destination is informed.  The lower bound predicts that this count is at
 least ``≈ n log n / 2`` **regardless of q** — picking a "better" q cannot
 beat it, it only moves time around.
+
+The relay-transmission count needs the per-node transmission array sliced by
+the construction's relay indices, so the sweep runs as a probe cell per
+``(n, q)`` coordinate.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
-
-import numpy as np
+from typing import Dict, Iterator, List, Optional
 
 from repro._util.rng import spawn_generators
 from repro.core.oblivious import TimeInvariantBroadcast
@@ -27,6 +29,7 @@ from repro.experiments.common import pick
 from repro.experiments.results import ExperimentResult, Series
 from repro.graphs.lowerbound import observation43_network
 from repro.radio.engine import SimulationEngine
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, register_probe, run_scenario
 
 EXPERIMENT_ID = "E7"
 TITLE = "Observation 4.3: total-transmission lower bound on the relay network"
@@ -37,11 +40,35 @@ CLAIM = (
     "it uses."
 )
 
+METRICS = ("success", "rounds", "relay_tx")
 
-def run(
-    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
-) -> ExperimentResult:
-    """Sweep the per-round probability q and measure relay transmissions at completion."""
+
+@register_probe("e7.relay_transmissions")
+def _relay_tx_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Time-invariant broadcast on the relay gadget; count relay transmissions."""
+    n = params["n"]
+    q = params["q"]
+    network, structure = observation43_network(n, return_structure=True)
+    log_n = max(1.0, math.log2(n))
+    # Generous horizon: informing a destination takes ~1/(2q(1-q))
+    # rounds, so scale the budget accordingly.
+    horizon = int(math.ceil(40.0 * log_n / max(2 * q * (1 - q), 1e-6))) + 10
+    generators = spawn_generators(seed + n, repetitions)
+    for rep in range(repetitions):
+        protocol = TimeInvariantBroadcast(q, source=structure.source)
+        engine = SimulationEngine(keep_arrays=True)
+        result = engine.run(network, protocol, rng=generators[rep], max_rounds=horizon)
+        sample: Dict[str, object] = {"success": float(result.completed)}
+        if result.completed:
+            sample["rounds"] = float(result.completion_round)
+            sample["relay_tx"] = float(
+                result.per_node_transmissions[structure.relays].sum()
+            )
+        yield sample
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E7 probe grid: n × q."""
     sizes = pick(scale, quick=[32, 64], full=[32, 64, 128, 256])
     repetitions = pick(scale, quick=5, full=20)
     q_values = pick(
@@ -49,6 +76,40 @@ def run(
         quick=[0.5, 0.25, 0.1, 0.02],
         full=[0.5, 0.35, 0.25, 0.15, 0.1, 0.05, 0.02, 0.01],
     )
+
+    def bind(coords: Dict[str, object]) -> SweepCell:
+        return SweepCell(
+            coords=dict(coords),
+            kind="probe",
+            probe="e7.relay_transmissions",
+            params={"n": coords["n"], "q": coords["q"]},
+            repetitions=repetitions,
+        )
+
+    grid = SweepGrid.from_axes({"n": sizes, "q": q_values}, bind)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=grid,
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "sizes": sizes,
+            "q_values": q_values,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Sweep the per-round probability q and measure relay transmissions at completion."""
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n (destinations)",
@@ -60,62 +121,42 @@ def run(
         "tx per relay / (log2 n / 4)",
     ]
     rows: List[List[object]] = []
-    series: List[Series] = []
+    per_size_series: Dict[int, Series] = {}
 
-    for n in sizes:
-        network, structure = observation43_network(n, return_structure=True)
+    for cell in cells:
+        n = cell.coords["n"]
+        q = cell.coords["q"]
         log_n = max(1.0, math.log2(n))
         lower_bound_total = n * log_n / 2.0
-        xs: List[float] = []
-        ys: List[float] = []
-        for q in q_values:
-            generators = spawn_generators(seed + n, repetitions)
-            relay_tx: List[float] = []
-            round_counts: List[int] = []
-            successes = 0
-            # Generous horizon: informing a destination takes ~1/(2q(1-q))
-            # rounds, so scale the budget accordingly.
-            horizon = int(math.ceil(40.0 * log_n / max(2 * q * (1 - q), 1e-6))) + 10
-            for rep in range(repetitions):
-                protocol = TimeInvariantBroadcast(q, source=structure.source)
-                engine = SimulationEngine(keep_arrays=True)
-                result = engine.run(
-                    network, protocol, rng=generators[rep], max_rounds=horizon
-                )
-                successes += int(result.completed)
-                if result.completed:
-                    round_counts.append(result.completion_round)
-                    per_node = result.per_node_transmissions
-                    relay_tx.append(float(per_node[structure.relays].sum()))
-            if relay_tx:
-                mean_relay_tx = float(np.mean(relay_tx))
-                mean_rounds = float(np.mean(round_counts))
-            else:
-                mean_relay_tx = float("nan")
-                mean_rounds = float("nan")
-            rows.append(
-                [
-                    n,
-                    q,
-                    successes / repetitions,
-                    mean_rounds,
-                    mean_relay_tx,
-                    mean_relay_tx / lower_bound_total,
-                    (mean_relay_tx / (2 * n)) / (log_n / 4.0),
-                ]
-            )
-            if relay_tx:
-                xs.append(float(q))
-                ys.append(mean_relay_tx / lower_bound_total)
-        series.append(
+        mean_relay_tx = cell.mean("relay_tx")
+        mean_rounds = cell.mean("rounds")
+        if mean_relay_tx is None:
+            mean_relay_tx = float("nan")
+            mean_rounds = float("nan")
+        rows.append(
+            [
+                n,
+                q,
+                cell.success_rate,
+                mean_rounds,
+                mean_relay_tx,
+                mean_relay_tx / lower_bound_total,
+                (mean_relay_tx / (2 * n)) / (log_n / 4.0),
+            ]
+        )
+        series = per_size_series.setdefault(
+            n,
             Series(
                 name=f"relay tx / lower bound (n={n})",
-                x=xs,
-                y=ys,
+                x=[],
+                y=[],
                 x_label="q",
                 y_label="total relay tx / (n log n / 2)",
-            )
+            ),
         )
+        if cell.count("relay_tx"):
+            series.x.append(float(q))
+            series.y.append(mean_relay_tx / lower_bound_total)
 
     notes = [
         "The normalised columns should stay >= Θ(1) for every q: no choice of "
@@ -130,13 +171,7 @@ def run(
         claim=CLAIM,
         columns=columns,
         rows=rows,
-        series=series,
+        series=list(per_size_series.values()),
         notes=notes,
-        parameters={
-            "scale": scale,
-            "sizes": sizes,
-            "q_values": q_values,
-            "repetitions": repetitions,
-            "seed": seed,
-        },
+        parameters=dict(spec.parameters),
     )

@@ -14,12 +14,15 @@ network and record, for each q, the completion time and the per-node
 transmissions of the star-leaf nodes.  The resulting (time, energy) frontier
 shows the forced tradeoff; the Algorithm-3 point (which is *not*
 time-invariant and exploits knowledge of D) is added for reference.
+
+Both measurements need the star-leaf node indices of the construction, so
+they run as probe cells (one per swept ``q``, one for the reference point).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -30,6 +33,7 @@ from repro.experiments.common import pick
 from repro.experiments.results import ExperimentResult, Series
 from repro.graphs.lowerbound import theorem44_network
 from repro.radio.engine import SimulationEngine
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, register_probe, run_scenario
 
 EXPERIMENT_ID = "E8"
 TITLE = "Theorem 4.4: time vs per-node energy frontier on the Fig. 2 network"
@@ -39,28 +43,61 @@ CLAIM = (
     "an expected log^2 n / (max{4c,8} log(n/D)) transmissions per node."
 )
 
+METRICS = ("success", "rounds", "leaf_tx")
 
-def _run_fixed_q(network, structure, q, repetitions, seed, horizon):
-    generators = spawn_generators(seed, repetitions)
-    times: List[float] = []
-    leaf_energy: List[float] = []
-    successes = 0
+
+def _network_parameters(n_param: int):
+    log_n = max(1.0, math.log2(n_param))
+    diameter = int(math.ceil(4 * log_n)) + 2 * int(math.floor(log_n)) + 2
+    return log_n, diameter
+
+
+@register_probe("e8.time_invariant_frontier")
+def _frontier_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Fixed-q time-invariant broadcast on the Fig. 2 gadget."""
+    n_param = params["n"]
+    q = params["q"]
+    log_n, diameter = _network_parameters(n_param)
+    network, structure = theorem44_network(n_param, diameter, return_structure=True)
     leaves = np.concatenate(structure.star_leaves)
+    horizon = int(math.ceil(80.0 * log_n / max(q, 1e-6))) + 8 * diameter
+    generators = spawn_generators(seed, repetitions)
     for rep in range(repetitions):
         protocol = TimeInvariantBroadcast(q, source=structure.source)
         engine = SimulationEngine(keep_arrays=True)
         result = engine.run(network, protocol, rng=generators[rep], max_rounds=horizon)
-        successes += int(result.completed)
+        sample: Dict[str, object] = {"success": float(result.completed)}
         if result.completed:
-            times.append(result.completion_round)
-            leaf_energy.append(float(result.per_node_transmissions[leaves].mean()))
-    return successes, times, leaf_energy
+            sample["rounds"] = float(result.completion_round)
+            sample["leaf_tx"] = float(
+                result.per_node_transmissions[leaves].mean()
+            )
+        yield sample
 
 
-def run(
-    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
-) -> ExperimentResult:
-    """Trace the (time, per-node energy) frontier of time-invariant protocols."""
+@register_probe("e8.algorithm3_reference")
+def _reference_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Algorithm 3 (knows D, not time-invariant) on the same gadget."""
+    n_param = params["n"]
+    _, diameter = _network_parameters(n_param)
+    network, structure = theorem44_network(n_param, diameter, return_structure=True)
+    leaves = np.concatenate(structure.star_leaves)
+    generators = spawn_generators(seed + 1, repetitions)
+    for rep in range(repetitions):
+        protocol = KnownDiameterBroadcast(diameter, source=structure.source)
+        engine = SimulationEngine(keep_arrays=True, run_to_quiescence=True)
+        result = engine.run(network, protocol, rng=generators[rep])
+        sample: Dict[str, object] = {"success": float(result.completed)}
+        if result.completed:
+            sample["rounds"] = float(result.completion_round)
+            sample["leaf_tx"] = float(
+                result.per_node_transmissions[leaves].mean()
+            )
+        yield sample
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E8 grid: a q axis of frontier probes plus the reference point."""
     n_param = pick(scale, quick=64, full=256)
     repetitions = pick(scale, quick=5, full=15)
     q_values = pick(
@@ -68,9 +105,56 @@ def run(
         quick=[0.5, 0.25, 0.1, 0.05],
         full=[0.5, 0.35, 0.25, 0.15, 0.1, 0.05, 0.025, 0.0125],
     )
+
+    cells: List[SweepCell] = [
+        SweepCell(
+            coords={"protocol": "time-invariant", "q": q},
+            kind="probe",
+            probe="e8.time_invariant_frontier",
+            params={"n": n_param, "q": q},
+            repetitions=repetitions,
+        )
+        for q in q_values
+    ]
+    cells.append(
+        SweepCell(
+            coords={"protocol": "algorithm3 (reference)", "q": None},
+            kind="probe",
+            probe="e8.algorithm3_reference",
+            params={"n": n_param},
+            repetitions=repetitions,
+        )
+    )
+
+    _, diameter = _network_parameters(n_param)
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "n": n_param,
+            "diameter": diameter,
+            "q_values": q_values,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Trace the (time, per-node energy) frontier of time-invariant protocols."""
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
+
+    n_param = spec.parameters["n"]
+    diameter = spec.parameters["diameter"]
     log_n = max(1.0, math.log2(n_param))
-    diameter = int(math.ceil(4 * log_n)) + 2 * int(math.floor(log_n)) + 2
-    network, structure = theorem44_network(n_param, diameter, return_structure=True)
     lam = max(1.0, math.log2(n_param / diameter))
 
     columns = [
@@ -90,50 +174,36 @@ def run(
         y_label="leaf transmissions per node",
     )
 
-    for q in q_values:
-        horizon = int(math.ceil(80.0 * log_n / max(q, 1e-6))) + 8 * diameter
-        successes, times, leaf_energy = _run_fixed_q(
-            network, structure, q, repetitions, seed, horizon
-        )
-        mean_time = float(np.mean(times)) if times else float("nan")
-        mean_energy = float(np.mean(leaf_energy)) if leaf_energy else float("nan")
-        rows.append(
-            [
-                "time-invariant",
-                q,
-                successes / repetitions,
-                mean_time,
-                mean_energy,
-                (mean_time * q) / (log_n**2) if times else None,
-            ]
-        )
-        if times:
-            frontier.x.append(mean_time)
-            frontier.y.append(mean_energy)
+    for cell in cells:
+        protocol = cell.coords["protocol"]
+        q = cell.coords["q"]
+        completed = cell.count("rounds") > 0
+        mean_time = cell.mean("rounds")
+        mean_energy = cell.mean("leaf_tx")
+        if mean_time is None:
+            mean_time = float("nan")
+            mean_energy = float("nan")
+        if protocol == "time-invariant":
+            rows.append(
+                [
+                    protocol,
+                    q,
+                    cell.success_rate,
+                    mean_time,
+                    mean_energy,
+                    (mean_time * q) / (log_n**2) if completed else None,
+                ]
+            )
+            if completed:
+                frontier.x.append(mean_time)
+                frontier.y.append(mean_energy)
+        else:
+            rows.append(
+                [protocol, None, cell.success_rate, mean_time, mean_energy, None]
+            )
 
-    # Reference point: Algorithm 3 (not time-invariant; it knows D).
-    generators = spawn_generators(seed + 1, repetitions)
-    leaves = np.concatenate(structure.star_leaves)
-    alg3_times, alg3_energy, alg3_success = [], [], 0
-    for rep in range(repetitions):
-        protocol = KnownDiameterBroadcast(diameter, source=structure.source)
-        engine = SimulationEngine(keep_arrays=True, run_to_quiescence=True)
-        result = engine.run(network, protocol, rng=generators[rep])
-        alg3_success += int(result.completed)
-        if result.completed:
-            alg3_times.append(result.completion_round)
-            alg3_energy.append(float(result.per_node_transmissions[leaves].mean()))
-    rows.append(
-        [
-            "algorithm3 (reference)",
-            None,
-            alg3_success / repetitions,
-            float(np.mean(alg3_times)) if alg3_times else float("nan"),
-            float(np.mean(alg3_energy)) if alg3_energy else float("nan"),
-            None,
-        ]
-    )
-
+    # The probe builds the same construction; report its size for the notes.
+    network, _ = theorem44_network(n_param, diameter, return_structure=True)
     notes = [
         f"network: Theorem 4.4 construction with n={n_param}, D={diameter}, "
         f"log(n/D)={lam:.2f}, {network.n} nodes",
@@ -151,12 +221,5 @@ def run(
         rows=rows,
         series=[frontier],
         notes=notes,
-        parameters={
-            "scale": scale,
-            "n": n_param,
-            "diameter": diameter,
-            "q_values": q_values,
-            "repetitions": repetitions,
-            "seed": seed,
-        },
+        parameters=dict(spec.parameters),
     )

@@ -10,18 +10,24 @@ quantities the Section-4 proofs rely on —
   distributions spend ``Θ(1/λ)`` per active round);
 * the scale-wise domination ``min_k α_k / α′_k`` (the paper states
   ``α_k ≥ α′_k / 2``).
+
+It runs as a probe cell per ``(n, D)`` pair with a single repetition (there
+is no randomness to repeat over); the per-scale probability vectors behind
+the Fig. 1 series are recomputed in :func:`run` — they are figure payload,
+not aggregates.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from repro.core.distributions import AlphaDistribution, CzumajRytterDistribution
 from repro.experiments.common import pick
 from repro.experiments.results import ExperimentResult, Series
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, register_probe, run_scenario
 
 EXPERIMENT_ID = "E9"
 TITLE = "Fig. 1: the distribution alpha vs the Czumaj-Rytter alpha'"
@@ -32,16 +38,79 @@ CLAIM = (
     "large scales, and alpha_k >= alpha'_k / 2 scale-wise."
 )
 
+METRICS = (
+    "lambda",
+    "alpha_floor",
+    "alpha_mean_lam",
+    "alpha_ratio_min",
+    "alpha_ratio_last",
+    "alpha_prime_floor",
+    "alpha_prime_mean_lam",
+)
 
-def run(
-    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
-) -> ExperimentResult:
-    """Tabulate the structural properties of α and α′."""
+
+@register_probe("e9.distribution_structure")
+def _distribution_probe(params, seed, repetitions) -> Iterator[dict]:
+    """Tabulate the structural properties of α and α′ for one (n, D)."""
+    n = params["n"]
+    diameter = params["diameter"]
+    log_n = max(1.0, math.log2(n))
+    alpha = AlphaDistribution(n, diameter)
+    alpha_prime = CzumajRytterDistribution(n, diameter)
+
+    # Scale-wise ratio over the scales both distributions support (>= 1).
+    a = alpha.probabilities[1:]
+    ap = alpha_prime.probabilities[1:]
+    with np.errstate(divide="ignore"):
+        ratios = np.where(ap > 0, a / np.where(ap > 0, ap, 1.0), np.inf)
+    yield {
+        "lambda": float(alpha.lam),
+        "alpha_floor": alpha.min_scale_probability() * 2 * log_n,
+        "alpha_mean_lam": alpha.mean_transmission_probability() * alpha.lam,
+        "alpha_ratio_min": float(ratios.min()),
+        "alpha_ratio_last": float(a[-1] / ap[-1]),
+        "alpha_prime_floor": alpha_prime.min_scale_probability() * 2 * log_n,
+        "alpha_prime_mean_lam": (
+            alpha_prime.mean_transmission_probability() * alpha.lam
+        ),
+    }
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E9 probe grid: one deterministic cell per (n, D) pair."""
     pairs = pick(
         scale,
         quick=[(1024, 8), (1024, 64), (4096, 64)],
         full=[(1024, 8), (1024, 64), (4096, 16), (4096, 256), (65536, 256), (65536, 4096)],
     )
+
+    cells = [
+        SweepCell(
+            coords={"n": n, "D": diameter},
+            kind="probe",
+            probe="e9.distribution_structure",
+            params={"n": n, "diameter": diameter},
+            repetitions=1,
+        )
+        for n, diameter in pairs
+    ]
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={"scale": scale, "pairs": [list(p) for p in pairs]},
+    )
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Tabulate the structural properties of α and α′."""
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
 
     columns = [
         "n",
@@ -56,30 +125,39 @@ def run(
     rows: List[List[object]] = []
     series: List[Series] = []
 
-    for n, diameter in pairs:
-        log_n = max(1.0, math.log2(n))
+    for cell in cells:
+        n = cell.coords["n"]
+        diameter = cell.coords["D"]
+        lam = cell.mean("lambda")
+        rows.append(
+            [
+                n,
+                diameter,
+                lam,
+                "alpha",
+                cell.mean("alpha_floor"),
+                cell.mean("alpha_mean_lam"),
+                cell.mean("alpha_ratio_min"),
+                cell.mean("alpha_ratio_last"),
+            ]
+        )
+        rows.append(
+            [
+                n,
+                diameter,
+                lam,
+                "alpha_prime",
+                cell.mean("alpha_prime_floor"),
+                cell.mean("alpha_prime_mean_lam"),
+                None,
+                None,
+            ]
+        )
+        # The Fig. 1 series payload: per-scale probability vectors
+        # (deterministic, recomputed here rather than squeezed through the
+        # scalar accumulators).
         alpha = AlphaDistribution(n, diameter)
         alpha_prime = CzumajRytterDistribution(n, diameter)
-        lam = alpha.lam
-
-        # Scale-wise ratio over the scales both distributions support (>= 1).
-        a = alpha.probabilities[1:]
-        ap = alpha_prime.probabilities[1:]
-        with np.errstate(divide="ignore"):
-            ratios = np.where(ap > 0, a / np.where(ap > 0, ap, 1.0), np.inf)
-        for dist, label in ((alpha, "alpha"), (alpha_prime, "alpha_prime")):
-            rows.append(
-                [
-                    n,
-                    diameter,
-                    lam,
-                    label,
-                    dist.min_scale_probability() * 2 * log_n,
-                    dist.mean_transmission_probability() * lam,
-                    float(ratios.min()) if label == "alpha" else None,
-                    float(a[-1] / ap[-1]) if label == "alpha" else None,
-                ]
-            )
         series.append(
             Series(
                 name=f"alpha probabilities (n={n}, D={diameter})",
@@ -118,5 +196,5 @@ def run(
         rows=rows,
         series=series,
         notes=notes,
-        parameters={"scale": scale, "pairs": [list(p) for p in pairs]},
+        parameters=dict(spec.parameters),
     )

@@ -1,73 +1,81 @@
-"""Experiment registry: id -> module.
+"""Experiment registry: id -> module, discovered by scanning the package.
 
 The CLI, the benchmarks and EXPERIMENTS.md all address experiments by id
-(``"E1"`` … ``"E14"``); this module is the single source of truth for what
-exists.
+(``"E1"`` … ``"E16"``); this module is the single source of truth for what
+exists.  Instead of a hand-maintained import list, the registry scans
+:mod:`repro.experiments` for ``experiments_e<N>.py`` modules at import time:
+dropping a new experiment file into the package (with ``EXPERIMENT_ID``,
+``TITLE``, ``CLAIM`` and a ``run`` callable) registers it — and, because the
+scan imports every module, each experiment's scenario probes and metrics are
+registered as an automatic side effect.
 """
 
 from __future__ import annotations
 
+import importlib
+import pkgutil
+import re
 from types import ModuleType
 from typing import Dict, List, Optional
 
-from repro.experiments import (
-    experiments_e1,
-    experiments_e2,
-    experiments_e3,
-    experiments_e4,
-    experiments_e5,
-    experiments_e6,
-    experiments_e7,
-    experiments_e8,
-    experiments_e9,
-    experiments_e10,
-    experiments_e11,
-    experiments_e12,
-    experiments_e13,
-    experiments_e14,
-    experiments_e15,
-    experiments_e16,
-)
+import repro.experiments as _package
 from repro.experiments.results import ExperimentResult
 
 __all__ = ["all_experiments", "get_experiment", "run_experiment"]
 
-_MODULES: List[ModuleType] = [
-    experiments_e1,
-    experiments_e2,
-    experiments_e3,
-    experiments_e4,
-    experiments_e5,
-    experiments_e6,
-    experiments_e7,
-    experiments_e8,
-    experiments_e9,
-    experiments_e10,
-    experiments_e11,
-    experiments_e12,
-    experiments_e13,
-    experiments_e14,
-    experiments_e15,
-    experiments_e16,
-]
+#: Experiment modules follow this file-name convention.
+_MODULE_PATTERN = re.compile(r"experiments_e\d+$")
 
-_REGISTRY: Dict[str, ModuleType] = {
-    module.EXPERIMENT_ID.lower(): module for module in _MODULES
-}
+
+def _discover_modules() -> List[ModuleType]:
+    """Import every ``experiments_eN`` module of the package, in id order."""
+    names = sorted(
+        name
+        for _, name, is_pkg in pkgutil.iter_modules(_package.__path__)
+        if not is_pkg and _MODULE_PATTERN.fullmatch(name)
+    )
+    modules = [
+        importlib.import_module(f"{_package.__name__}.{name}") for name in names
+    ]
+    for module in modules:
+        for attribute in ("EXPERIMENT_ID", "TITLE", "CLAIM", "run"):
+            if not hasattr(module, attribute):
+                raise AttributeError(
+                    f"experiment module {module.__name__} is missing {attribute}"
+                )
+    return sorted(modules, key=lambda m: int(m.EXPERIMENT_ID[1:]))
+
+
+#: Discovery is deferred to first use: the experiment modules import the
+#: scenario layer, which imports the runner (this package) — scanning at
+#: import time would make ``import repro.scenarios`` circular.
+_MODULES: Optional[List[ModuleType]] = None
+_REGISTRY: Dict[str, ModuleType] = {}
+
+
+def _modules() -> List[ModuleType]:
+    global _MODULES
+    if _MODULES is None:
+        _MODULES = _discover_modules()
+        _REGISTRY.update(
+            {module.EXPERIMENT_ID.lower(): module for module in _MODULES}
+        )
+    return _MODULES
 
 
 def all_experiments() -> List[ModuleType]:
     """All experiment modules in id order."""
-    return list(_MODULES)
+    return list(_modules())
 
 
 def get_experiment(experiment_id: str) -> ModuleType:
     """Look up an experiment module by id (case-insensitive)."""
+    modules = _modules()
     key = experiment_id.strip().lower()
     try:
         return _REGISTRY[key]
     except KeyError:
-        known = ", ".join(m.EXPERIMENT_ID for m in _MODULES)
+        known = ", ".join(m.EXPERIMENT_ID for m in modules)
         raise ValueError(f"unknown experiment {experiment_id!r}; known: {known}")
 
 

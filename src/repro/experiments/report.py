@@ -17,7 +17,12 @@ from repro.experiments.common import execution_provenance
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.experiments.results import ExperimentResult
 
-__all__ = ["ReportPaths", "generate_report", "result_to_markdown"]
+__all__ = [
+    "ReportPaths",
+    "generate_report",
+    "result_to_markdown",
+    "accumulators_report",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,41 @@ def result_to_markdown(result: ExperimentResult) -> str:
         lines.append(f"_Parameters: {rendered}_")
     lines.append("")
     return "\n".join(lines)
+
+
+def accumulators_report(store) -> str:
+    """Render every streaming-aggregation checkpoint persisted in ``store``.
+
+    This is the ``repro report --accumulators`` view: the running reduction
+    of each sweep cell (trials consumed so far, per-metric statistics) read
+    straight from the checkpointed accumulator state — no traces are loaded
+    and nothing is re-run, so it works mid-sweep and after interrupts.
+    """
+    from repro.analysis.streaming import AccumulatorSet
+    from repro.analysis.tables import format_table
+    from repro.scenarios.runtime import METRIC_SUMMARY_COLUMNS, metric_summary_rows
+    from repro.scenarios.spec import SweepCell
+
+    entries = store.aggregates.entries()
+    if not entries:
+        return f"no aggregation checkpoints in {store.root}"
+    columns = ["cell", "trials", "of"] + METRIC_SUMMARY_COLUMNS
+    rows = []
+    for entry in entries:
+        cell = SweepCell.from_dict(entry.get("cell", {}))
+        accumulators = AccumulatorSet.from_state(entry.get("accumulators", {}))
+        rows.extend(
+            metric_summary_rows(
+                [cell.label(), accumulators.trials, entry.get("trials_total")],
+                accumulators,
+                sort=True,
+            )
+        )
+    header = (
+        f"{len(entries)} aggregation checkpoint(s) in {store.root} "
+        "(streamed state; no traces were read)"
+    )
+    return header + "\n\n" + format_table(columns, rows)
 
 
 def generate_report(

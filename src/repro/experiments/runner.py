@@ -77,6 +77,7 @@ from repro.store import ResultStore, canonicalize, trial_digest
 __all__ = [
     "Job",
     "ExecutionPlan",
+    "build_repetition_plan",
     "configure_execution",
     "execute_job",
     "run_jobs",
@@ -276,6 +277,7 @@ def _run_jobs_queued(
     processes: Optional[int] = None,
     queue: Optional[JobQueue] = None,
     sink: Optional[_ResultSink] = None,
+    collect: bool = True,
 ) -> List[RunResultTrace]:
     """One engine run per job through the job queue (no store consultation)."""
     jobs = list(jobs)
@@ -286,7 +288,9 @@ def _run_jobs_queued(
     # pickle/IPC round trip on large sweeps while still keeping ~4 chunks per
     # worker for load balancing.
     chunksize = max(1, len(jobs) // (4 * workers)) if workers > 1 else 1
-    return queue.run(execute_job, jobs, on_result=sink, chunksize=chunksize)
+    return queue.run(
+        execute_job, jobs, on_result=sink, chunksize=chunksize, collect=collect
+    )
 
 
 #: Cache context of the serial per-run engine path.  Serial runs are keyed
@@ -693,9 +697,108 @@ class ExecutionPlan:
             all_or_nothing=context["batch_mode"] == "fast",
         )
 
-    def _run(self, sink: Optional[_ResultSink]) -> List[RunResultTrace]:
+    def execute_streaming(
+        self,
+        consume: _ResultSink,
+        *,
+        skip_indices: Sequence[int] = (),
+    ) -> Dict[str, int]:
+        """Run the sweep feeding ``consume(index, trace)`` exactly once per
+        job, **without materialising the result list** — the memory-flat
+        path behind the streaming aggregation layer.
+
+        Trials already in the attached ``store`` are streamed from it
+        (payloads are loaded one at a time and dropped after consumption);
+        missing trials execute and are checkpointed + consumed as their
+        shard completes.  ``skip_indices`` names jobs the caller has already
+        reduced (a resumed aggregation): they are neither executed nor read
+        back — their traces are simply not needed any more.
+
+        In exact mode every trial is its own pure function, so any subset
+        can be served/skipped independently.  Fast-mode draws are
+        cohort-wide: the store can only serve the sweep all-or-nothing, and
+        a caller resuming a fast-mode aggregation must pass either a
+        complete ``skip_indices`` or none (partial fast-mode state cannot
+        be extended bit-faithfully; the scenario runtime discards it).
+
+        Returns counters: ``{"total", "skipped", "served", "executed"}``.
+        """
+        skip = set(skip_indices)
+        if self.batch == "require":
+            reason = self.unbatchable_reason()
+            if reason is not None:
+                raise ValueError(
+                    f"batch='require' but the sweep is not batchable: {reason}"
+                )
+        counts = {
+            "total": len(self.jobs),
+            "skipped": len(skip),
+            "served": 0,
+            "executed": 0,
+        }
+        candidates = [i for i in range(len(self.jobs)) if i not in skip]
+        store = self.store
+        context = self.cache_context()
+        if context["batch_mode"] == "fast" and skip and candidates:
+            # Checked store or no store: running the remaining jobs as a
+            # sub-plan would draw from a different cohort layout than the
+            # sweep the skipped trials came from.
+            raise ValueError(
+                "a fast-mode sweep cannot resume from a partial aggregation: "
+                "its rng streams are cohort-wide (skip all trials or none)"
+            )
+
+        def run_missing(missing: List[int]) -> None:
+            if not missing:
+                return
+            sub = replace(
+                self, jobs=tuple(self.jobs[i] for i in missing), store=None
+            )
+
+            def sink(sub_index: int, trace: RunResultTrace) -> None:
+                index = missing[sub_index]
+                if store is not None:
+                    store.put(keys[index], _trace_store_payload(trace))
+                consume(index, trace)
+
+            sub._run(sink, collect=False)
+            counts["executed"] = len(missing)
+
+        if store is None:
+            run_missing(candidates)
+            return counts
+
+        keys = self.job_keys()
+        if context["batch_mode"] == "fast" and not all(
+            keys[i] in store for i in candidates
+        ):
+            # All-or-nothing: a partial fast-mode hit set cannot be extended
+            # bit-faithfully, so everything recomputes (and the counters
+            # report misses, not discarded probes).
+            store.misses += len(candidates)
+            run_missing(candidates)
+            return counts
+        missing: List[int] = []
+        for index in candidates:
+            payload = store.get(keys[index])
+            if payload is None:
+                missing.append(index)
+                continue
+            consume(index, _rehydrate_trace(payload, self.jobs[index]))
+            counts["served"] += 1
+        run_missing(missing)
+        return counts
+
+    def _run(
+        self, sink: Optional[_ResultSink], *, collect: bool = True
+    ) -> List[RunResultTrace]:
         """Execute every job of the plan (no store consultation), feeding
-        completed traces to ``sink`` as their shard/chunk finishes."""
+        completed traces to ``sink`` as their shard/chunk finishes.
+
+        ``collect=False`` is the streaming mode: ``sink`` still sees every
+        trace, but nothing is retained and the return value is empty — a
+        10⁵-trial sweep's memory stays bounded by one shard, not by R.
+        """
         if self.batch:
             reason = self.unbatchable_reason()
             if reason is not None:
@@ -709,6 +812,7 @@ class ExecutionPlan:
                     processes=self.processes,
                     queue=self.queue,
                     sink=sink,
+                    collect=collect,
                 )
             shards = self.shards()
             queue = self.queue
@@ -725,11 +829,69 @@ class ExecutionPlan:
                     for offset, trace in enumerate(shard_results):
                         sink(base + offset, trace)
 
-            parts = queue.run(_execute_batch_shard, shards, on_result=on_shard)
+            parts = queue.run(
+                _execute_batch_shard, shards, on_result=on_shard, collect=collect
+            )
             return [result for part in parts for result in part]
         return _run_jobs_queued(
-            self.jobs, processes=self.processes, queue=self.queue, sink=sink
+            self.jobs,
+            processes=self.processes,
+            queue=self.queue,
+            sink=sink,
+            collect=collect,
         )
+
+
+def build_repetition_plan(
+    graph: GraphSpec,
+    protocol: ProtocolSpec,
+    *,
+    repetitions: int,
+    seed: int = 0,
+    processes: Optional[int] = None,
+    batch: Union[bool, str, None] = None,
+    batch_mode: Optional[str] = None,
+    state_backend: Optional[str] = None,
+    store=None,
+    queue: Optional[JobQueue] = None,
+    shards: Optional[int] = None,
+    **job_options,
+) -> ExecutionPlan:
+    """The :class:`ExecutionPlan` behind :func:`repeat_job`, unexecuted.
+
+    This is the single place per-trial seeds are spawned for a repetition
+    sweep — :func:`repeat_job` and the scenario compiler
+    (:mod:`repro.scenarios`) both build their plans here, so a scenario
+    cell's trials are bit-identical (exact mode) to a direct ``repeat_job``
+    call with the same parameters, whichever path executes them.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if batch is None:
+        batch = _EXECUTION_DEFAULTS.batch
+    if batch_mode is None:
+        batch_mode = _EXECUTION_DEFAULTS.batch_mode
+    if state_backend is None:
+        state_backend = _EXECUTION_DEFAULTS.state_backend
+    base = np.random.SeedSequence(seed)
+    # The extra child seeds the fast-mode batch generator; the first
+    # ``repetitions`` children are identical to what the serial path spawns.
+    children = base.spawn(repetitions + 1)
+    seeds = [int(s.generate_state(1)[0]) for s in children[:repetitions]]
+    jobs = tuple(
+        Job(graph=graph, protocol=protocol, seed=s, **job_options) for s in seeds
+    )
+    return ExecutionPlan(
+        jobs=jobs,
+        processes=processes,
+        batch=batch,
+        batch_mode=batch_mode,
+        fast_seed=children[-1],
+        state_backend=state_backend,
+        store=_resolve_store(store),
+        queue=queue,
+        shard_count=shards,
+    )
 
 
 def repeat_job(
@@ -781,32 +943,19 @@ def repeat_job(
     execute.  ``queue`` / ``shards`` override the dispatch queue and the
     shard granularity (see :class:`ExecutionPlan`).
     """
-    if repetitions < 1:
-        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    if batch is None:
-        batch = _EXECUTION_DEFAULTS.batch
-    if batch_mode is None:
-        batch_mode = _EXECUTION_DEFAULTS.batch_mode
-    if state_backend is None:
-        state_backend = _EXECUTION_DEFAULTS.state_backend
-    base = np.random.SeedSequence(seed)
-    # The extra child seeds the fast-mode batch generator; the first
-    # ``repetitions`` children are identical to what the serial path spawns.
-    children = base.spawn(repetitions + 1)
-    seeds = [int(s.generate_state(1)[0]) for s in children[:repetitions]]
-    jobs = tuple(
-        Job(graph=graph, protocol=protocol, seed=s, **job_options) for s in seeds
-    )
-    plan = ExecutionPlan(
-        jobs=jobs,
+    plan = build_repetition_plan(
+        graph,
+        protocol,
+        repetitions=repetitions,
+        seed=seed,
         processes=processes,
         batch=batch,
         batch_mode=batch_mode,
-        fast_seed=children[-1],
         state_backend=state_backend,
-        store=_resolve_store(store),
+        store=store,
         queue=queue,
-        shard_count=shards,
+        shards=shards,
+        **job_options,
     )
     return plan.execute()
 
@@ -816,6 +965,12 @@ def aggregate_runs(runs: Sequence[RunResultTrace]) -> Dict[str, object]:
 
     Returns a dict with success rate, completion-round statistics
     (successful runs only), and energy statistics (all runs).
+
+    This is the *materialising* reduction: it needs every trace in memory at
+    once.  The experiment suite itself now streams per-trial metrics through
+    :class:`repro.analysis.streaming.MetricAccumulator` as shards complete
+    (see :mod:`repro.scenarios`), which keeps 10⁵⁺-trial sweeps memory-flat;
+    this helper remains for callers that already hold a list of traces.
     """
     runs = list(runs)
     if not runs:

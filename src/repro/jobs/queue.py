@@ -63,7 +63,14 @@ class QueueStats:
 
 
 class WorkerBackend(abc.ABC):
-    """Executes an ordered list of tasks; results come back in task order."""
+    """Executes an ordered list of tasks; results come back in task order.
+
+    ``collect=False`` turns the call into a pure streaming pass: every
+    completion still fires ``on_result``, but the backend drops the result
+    afterwards and returns an empty list — the memory-flat mode the
+    streaming aggregation rides (holding every result of a 10⁵-task sweep
+    just to discard it would defeat the point).
+    """
 
     def __init__(self) -> None:
         self.stats = QueueStats()
@@ -74,6 +81,8 @@ class WorkerBackend(abc.ABC):
         fn: Callable[[object], object],
         tasks: Sequence[object],
         on_result: Optional[ResultCallback] = None,
+        *,
+        collect: bool = True,
     ) -> List[object]:
         """Apply ``fn`` to every task; ``on_result`` fires per completion."""
 
@@ -86,13 +95,16 @@ class InProcessBackend(WorkerBackend):
         fn: Callable[[object], object],
         tasks: Sequence[object],
         on_result: Optional[ResultCallback] = None,
+        *,
+        collect: bool = True,
     ) -> List[object]:
         tasks = list(tasks)
         self.stats.submitted += len(tasks)
         results: List[object] = []
         for index, task in enumerate(tasks):
             result = fn(task)
-            results.append(result)
+            if collect:
+                results.append(result)
             self.stats.completed += 1
             if on_result is not None:
                 on_result(index, result)
@@ -123,10 +135,12 @@ class ProcessPoolBackend(WorkerBackend):
         fn: Callable[[object], object],
         tasks: Sequence[object],
         on_result: Optional[ResultCallback] = None,
+        *,
+        collect: bool = True,
     ) -> List[object]:
         tasks = list(tasks)
         self.stats.submitted += len(tasks)
-        results: List[object] = [None] * len(tasks)
+        results: List[object] = [None] * len(tasks) if collect else []
         done = [False] * len(tasks)
         pending = list(range(len(tasks)))
         deaths = 0
@@ -134,11 +148,13 @@ class ProcessPoolBackend(WorkerBackend):
             if deaths > self.max_retries:
                 self.stats.in_process_fallbacks += len(pending)
                 for index in pending:
-                    results[index] = fn(tasks[index])
+                    result = fn(tasks[index])
+                    if collect:
+                        results[index] = result
                     done[index] = True
                     self.stats.completed += 1
                     if on_result is not None:
-                        on_result(index, results[index])
+                        on_result(index, result)
                 pending = []
                 break
             broke = False
@@ -157,7 +173,8 @@ class ProcessPoolBackend(WorkerBackend):
                         for future in finished:
                             index = futures[future]
                             result = future.result()
-                            results[index] = result
+                            if collect:
+                                results[index] = result
                             done[index] = True
                             self.stats.completed += 1
                             if on_result is not None:
@@ -212,11 +229,16 @@ class JobQueue:
         *,
         on_result: Optional[ResultCallback] = None,
         chunksize: int = 1,
+        collect: bool = True,
     ) -> List[object]:
-        """Apply ``fn`` to every task; returns results in task order."""
+        """Apply ``fn`` to every task; returns results in task order.
+
+        ``collect=False`` streams: ``on_result`` still fires once per task,
+        but nothing is retained and the return value is an empty list.
+        """
         tasks = list(tasks)
         if chunksize <= 1 or len(tasks) <= 1:
-            return self.backend.run(fn, tasks, on_result)
+            return self.backend.run(fn, tasks, on_result, collect=collect)
         bounds = list(range(0, len(tasks), chunksize)) + [len(tasks)]
         chunks = [
             (fn, tasks[bounds[i] : bounds[i + 1]])
@@ -229,7 +251,7 @@ class JobQueue:
                 for offset, result in enumerate(chunk_results):
                     on_result(base + offset, result)
 
-        parts = self.backend.run(_call_chunk, chunks, on_chunk)
+        parts = self.backend.run(_call_chunk, chunks, on_chunk, collect=collect)
         return [result for part in parts for result in part]
 
     def __repr__(self) -> str:

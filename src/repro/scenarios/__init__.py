@@ -1,0 +1,35 @@
+"""Declarative scenario layer: experiments as sweep grids, not loops.
+
+A scenario is data — a :class:`~repro.scenarios.spec.SweepGrid` of cells
+(graph family × protocol × size/regime axes × repetitions) plus a metric
+set and a seed, bundled in a :class:`~repro.scenarios.spec.ScenarioSpec`.
+The runtime compiles each cell onto the execution stack
+(:class:`~repro.experiments.runner.ExecutionPlan`, result store, job queue)
+and reduces per-trial results **streamingly** into
+:class:`~repro.analysis.streaming.MetricAccumulator`\\ s as shards complete,
+so a sweep's memory footprint is flat in its trial count.
+
+The sixteen experiment modules each expose their workload as a
+``scenario(scale, seed)`` spec and keep only their claim-specific derived
+columns; new workloads are new grids, not new code — serialise a spec with
+``ScenarioSpec.as_dict()`` and run it with ``repro sweep --grid``.
+"""
+
+from repro.scenarios.metrics import metric_names, register_metric
+from repro.scenarios.probes import probe_names, register_probe
+from repro.scenarios.runtime import CellResult, run_cell, run_grid, run_scenario
+from repro.scenarios.spec import ScenarioSpec, SweepCell, SweepGrid
+
+__all__ = [
+    "ScenarioSpec",
+    "SweepCell",
+    "SweepGrid",
+    "CellResult",
+    "run_cell",
+    "run_grid",
+    "run_scenario",
+    "register_metric",
+    "register_probe",
+    "metric_names",
+    "probe_names",
+]

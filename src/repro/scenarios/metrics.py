@@ -1,0 +1,116 @@
+"""Named per-trial metric extractors.
+
+A scenario's metric set is a tuple of *names*; this registry maps each name
+to a function ``(trace, cell) -> value`` evaluated once per completed trial
+as results stream out of the execution pipeline.  Keeping the mapping
+name-addressed is what keeps :class:`~repro.scenarios.spec.ScenarioSpec`
+serialisable — a grid file references metrics by name and resolves them
+here at run time.
+
+Extractor return values feed :class:`~repro.analysis.streaming
+.AccumulatorSet.observe`:
+
+* a float (or int) — one observation;
+* ``None`` — the metric is undefined for this trial (e.g. the completion
+  round of a run that never completed) and contributes nothing;
+* a list — several observations from one trial (e.g. per-round growth
+  factors).
+
+Experiment modules register claim-specific extractors (prefixed with their
+experiment id, ``"e7.relay_tx"``) at import time; the registry rejects
+collisions so two modules cannot silently fight over a name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.trace import RunResultTrace
+    from repro.scenarios.spec import SweepCell
+
+__all__ = [
+    "register_metric",
+    "metric_names",
+    "resolve_metrics",
+    "extract_sample",
+]
+
+MetricFn = Callable[["RunResultTrace", "SweepCell"], object]
+
+_METRICS: Dict[str, MetricFn] = {}
+
+
+def register_metric(name: str, fn: Optional[MetricFn] = None):
+    """Register a metric extractor under ``name`` (usable as a decorator)."""
+
+    def register(target: MetricFn) -> MetricFn:
+        existing = _METRICS.get(name)
+        if existing is not None and existing is not target:
+            raise ValueError(f"metric {name!r} is already registered")
+        _METRICS[name] = target
+        return target
+
+    return register(fn) if fn is not None else register
+
+
+def metric_names() -> List[str]:
+    """Every registered metric name, sorted."""
+    return sorted(_METRICS)
+
+
+def resolve_metrics(names) -> Dict[str, MetricFn]:
+    """The extractors for ``names`` (raises on unknown names)."""
+    out: Dict[str, MetricFn] = {}
+    for name in names:
+        try:
+            out[name] = _METRICS[name]
+        except KeyError:
+            known = ", ".join(metric_names())
+            raise ValueError(f"unknown metric {name!r}; registered: {known}")
+    return out
+
+
+def extract_sample(
+    extractors: Dict[str, MetricFn], trace: "RunResultTrace", cell: "SweepCell"
+) -> Dict[str, object]:
+    """One trial's metric mapping (fed to ``AccumulatorSet.observe``)."""
+    return {name: fn(trace, cell) for name, fn in extractors.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Built-in metrics: the headline quantities the theorems bound.
+# --------------------------------------------------------------------------- #
+@register_metric("success")
+def _success(trace, cell):
+    return float(trace.completed)
+
+
+@register_metric("completion_round")
+def _completion_round(trace, cell):
+    return float(trace.completion_round) if trace.completed else None
+
+
+@register_metric("rounds_executed")
+def _rounds_executed(trace, cell):
+    return float(trace.rounds_executed)
+
+
+@register_metric("total_tx")
+def _total_tx(trace, cell):
+    return float(trace.energy.total_transmissions)
+
+
+@register_metric("max_tx_per_node")
+def _max_tx_per_node(trace, cell):
+    return float(trace.energy.max_per_node)
+
+
+@register_metric("mean_tx_per_node")
+def _mean_tx_per_node(trace, cell):
+    return float(trace.energy.mean_per_node)
+
+
+@register_metric("informed_fraction")
+def _informed_fraction(trace, cell):
+    return float(trace.informed_count or 0) / float(trace.n)

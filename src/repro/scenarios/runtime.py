@@ -1,0 +1,488 @@
+"""Scenario execution: compile cells to plans, stream trials into accumulators.
+
+This is the seam where the declarative layer meets the PR 2–4 execution
+stack.  Each **jobs** cell compiles — through
+:func:`repro.experiments.runner.build_repetition_plan`, the same seed
+spawning ``repeat_job`` uses — to an
+:class:`~repro.experiments.runner.ExecutionPlan`, and executes through
+:meth:`~repro.experiments.runner.ExecutionPlan.execute_streaming`: every
+completed trial is reduced into the cell's
+:class:`~repro.analysis.streaming.AccumulatorSet` the moment its shard (or
+store lookup) delivers it, and the trace is dropped.  **Probe** cells
+generate their per-trial samples directly.  Nothing holds more than one
+shard of traces at a time, which is what makes 10⁵⁺-trial sweeps
+memory-flat in the trial count.
+
+When a result store is attached the running aggregation is *itself*
+checkpointed (per cell, under a content digest of cell + seed + execution
+context + metric set — the cell's store-key prefix recipe) into the store's
+:class:`~repro.store.AggregateStore`.  A resumed sweep reloads the state,
+skips every trial already folded in **without re-reading its trace**, and
+continues aggregating the rest.  Exact-mode trials are pure functions of
+their job spec, so a resumed aggregation is bit-identical to an
+uninterrupted one; fast-mode state is only reusable whole (cohort-wide rng),
+so partial fast-mode checkpoints are discarded rather than extended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.statistics import SummaryStatistics
+from repro.analysis.streaming import AccumulatorSet
+from repro.experiments.runner import _resolve_store, build_repetition_plan
+from repro.scenarios.metrics import extract_sample, resolve_metrics
+from repro.scenarios.probes import get_probe
+from repro.scenarios.spec import ScenarioSpec, SweepCell, SweepGrid
+from repro.store import trial_digest
+
+__all__ = [
+    "CellResult",
+    "run_cell",
+    "run_grid",
+    "run_scenario",
+    "results_table",
+]
+
+#: Above this repetition count a cell defaults to bounded-size shards so the
+#: batch engine's stacked state (and the per-shard trace list) stays flat in
+#: the total trial count.  ``shards`` overrides per call.  The value trades
+#: per-shard fixed overhead (batch assembly, round-loop startup) against the
+#: peak-memory bound and the resume-checkpoint granularity; measured on the
+#: aggregation bench cell, 1024 keeps tiny-n sweeps within ~1.6x of the
+#: unsharded throughput while still capping shard memory.
+DEFAULT_SHARD_TRIALS = 1024
+
+#: Checkpoint the running aggregation every this many freshly consumed
+#: trials (plus once at the end of every cell).
+_CHECKPOINT_EVERY = 64
+
+
+@dataclass
+class CellResult:
+    """One cell's reduced outcome: its accumulators plus execution counters."""
+
+    cell: SweepCell
+    accumulators: AccumulatorSet
+    counts: Dict[str, int] = field(default_factory=dict)
+    aggregation_key: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def coords(self) -> Dict[str, object]:
+        return self.cell.coords
+
+    @property
+    def trials(self) -> int:
+        return self.accumulators.trials
+
+    def summary(self, name: str) -> Optional[SummaryStatistics]:
+        return self.accumulators.summary_or_none(name)
+
+    def mean(self, name: str) -> Optional[float]:
+        return self.accumulators.mean(name)
+
+    def maximum(self, name: str) -> Optional[float]:
+        accumulator = self.accumulators.metrics.get(name)
+        if accumulator is None or accumulator.count == 0:
+            return None
+        return accumulator.maximum
+
+    def minimum(self, name: str) -> Optional[float]:
+        accumulator = self.accumulators.metrics.get(name)
+        if accumulator is None or accumulator.count == 0:
+            return None
+        return accumulator.minimum
+
+    def count(self, name: str) -> int:
+        accumulator = self.accumulators.metrics.get(name)
+        return accumulator.count if accumulator is not None else 0
+
+    @property
+    def success_rate(self) -> Optional[float]:
+        return self.mean("success")
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation checkpoints
+# --------------------------------------------------------------------------- #
+def _aggregation_key(
+    cell: SweepCell,
+    seed: int,
+    context: Dict[str, object],
+    metrics,
+    sketch_capacity: int,
+) -> str:
+    """The content digest a cell's running aggregation is checkpointed
+    under — the same recipe as the per-trial store keys, so the aggregate
+    state lives under the cell's key prefix in content-address space.
+
+    ``sketch_capacity`` is part of the digest because it changes the
+    reduction's *fidelity*: resuming a 1024-centroid checkpoint into a
+    sweep that asked for 65536-centroid quantiles would silently keep the
+    coarser (possibly already lossy) sketch.
+    """
+    return trial_digest(
+        {
+            "aggregation": {
+                "cell": cell.as_dict(),
+                "seed": seed,
+                "context": dict(context),
+                "metrics": sorted(metrics),
+                "sketch_capacity": sketch_capacity,
+            }
+        }
+    )
+
+
+def _mask_to_indices(mask_hex: str, total: int) -> List[int]:
+    mask = int(mask_hex, 16) if mask_hex else 0
+    return [i for i in range(total) if mask >> i & 1]
+
+
+def _indices_to_mask(indices) -> str:
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return format(mask, "x")
+
+
+def _load_checkpoint(
+    store, key: str, metric_names, total_trials: int
+):
+    """A compatible ``(AccumulatorSet, done_indices)`` checkpoint, if any."""
+    if store is None:
+        return None
+    state = store.aggregates.load(key)
+    if state is None:
+        return None
+    if sorted(state.get("metrics", [])) != sorted(metric_names):
+        return None
+    if int(state.get("trials_total", -1)) != total_trials:
+        return None
+    done = _mask_to_indices(state.get("done_mask", "0"), total_trials)
+    accumulators = AccumulatorSet.from_state(state.get("accumulators", {}))
+    if accumulators.trials != len(done):
+        return None
+    return accumulators, done
+
+
+def _save_checkpoint(
+    store,
+    key: str,
+    *,
+    cell: SweepCell,
+    seed: int,
+    metric_names,
+    total_trials: int,
+    done_indices,
+    accumulators: AccumulatorSet,
+) -> None:
+    store.aggregates.save(
+        key,
+        {
+            "cell": cell.as_dict(),
+            "seed": seed,
+            "metrics": sorted(metric_names),
+            "trials_total": total_trials,
+            "done_mask": _indices_to_mask(done_indices),
+            "accumulators": accumulators.state_dict(),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Cell execution
+# --------------------------------------------------------------------------- #
+def run_cell(
+    cell: SweepCell,
+    *,
+    seed: int = 0,
+    metrics=(),
+    processes: Optional[int] = None,
+    store=None,
+    batch=None,
+    batch_mode: Optional[str] = None,
+    state_backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    sketch_capacity: int = 1024,
+) -> CellResult:
+    """Execute one sweep cell, streaming its trials into fresh accumulators.
+
+    ``store`` follows :func:`~repro.experiments.runner.repeat_job`'s
+    convention (``None``: process-wide default, ``False``: disabled, or an
+    explicit store/path); with a store attached, both the per-trial results
+    *and* the running aggregation are checkpointed, and a rerun resumes the
+    aggregation without re-reading stored traces.
+    """
+    metric_names = tuple(cell.metrics if cell.metrics is not None else metrics)
+    if not metric_names:
+        raise ValueError(f"cell {cell.label()} has an empty metric set")
+    cell_seed = cell.seed if cell.seed is not None else seed
+    accumulators = AccumulatorSet(metric_names, sketch_capacity=sketch_capacity)
+
+    if cell.kind == "probe":
+        # Probe metric names are the keys of the samples the probe yields —
+        # they need no registered trace extractor.
+        return _run_probe_cell(
+            cell,
+            accumulators,
+            seed=cell_seed,
+            metric_names=metric_names,
+            store=_resolve_store(store),
+            sketch_capacity=sketch_capacity,
+        )
+    extractors = resolve_metrics(metric_names)
+
+    if shards is None and cell.repetitions > DEFAULT_SHARD_TRIALS:
+        shards = -(-cell.repetitions // DEFAULT_SHARD_TRIALS)
+    plan = build_repetition_plan(
+        cell.graph,
+        cell.protocol,
+        repetitions=cell.repetitions,
+        seed=cell_seed,
+        processes=processes,
+        batch=batch,
+        batch_mode=batch_mode,
+        state_backend=state_backend,
+        store=store,
+        shards=shards,
+        **cell.job_options,
+    )
+    context = plan.cache_context()
+    key = _aggregation_key(cell, cell_seed, context, metric_names, sketch_capacity)
+    done: List[int] = []
+    checkpoint = _load_checkpoint(plan.store, key, metric_names, len(plan.jobs))
+    if checkpoint is not None:
+        restored, restored_done = checkpoint
+        partial = len(restored_done) < len(plan.jobs)
+        if partial and context.get("batch_mode") == "fast":
+            # Cohort-wide draws: a partial fast-mode aggregation cannot be
+            # extended bit-faithfully, so start the reduction over.
+            pass
+        else:
+            accumulators = restored
+            done = restored_done
+
+    done_set = set(done)
+    fresh = 0
+
+    def consume(index: int, trace) -> None:
+        nonlocal fresh
+        accumulators.observe(extract_sample(extractors, trace, cell))
+        done_set.add(index)
+        fresh += 1
+        if plan.store is not None and fresh % _CHECKPOINT_EVERY == 0:
+            _save_checkpoint(
+                plan.store,
+                key,
+                cell=cell,
+                seed=cell_seed,
+                metric_names=metric_names,
+                total_trials=len(plan.jobs),
+                done_indices=done_set,
+                accumulators=accumulators,
+            )
+
+    counts = plan.execute_streaming(consume, skip_indices=done)
+    if plan.store is not None and fresh:
+        _save_checkpoint(
+            plan.store,
+            key,
+            cell=cell,
+            seed=cell_seed,
+            metric_names=metric_names,
+            total_trials=len(plan.jobs),
+            done_indices=done_set,
+            accumulators=accumulators,
+        )
+    return CellResult(
+        cell=cell, accumulators=accumulators, counts=counts, aggregation_key=key
+    )
+
+
+def _run_probe_cell(
+    cell: SweepCell,
+    accumulators: AccumulatorSet,
+    *,
+    seed: int,
+    metric_names,
+    store,
+    sketch_capacity: int,
+) -> CellResult:
+    """Run a probe cell, streaming each yielded sample into the reduction.
+
+    Probe trials are not individually content-addressed, so the aggregation
+    checkpoint is reused only when it covers the *whole* cell (a completed
+    earlier run, flagged ``probe_completed``); anything partial recomputes
+    from scratch.  A probe may legitimately discard repetitions (e.g.
+    disconnected graph samples), so the observed-trial count can be below
+    ``cell.repetitions`` in a complete checkpoint.
+    """
+    key = _aggregation_key(
+        cell, seed, {"kind": "probe"}, metric_names, sketch_capacity
+    )
+    if store is not None:
+        state = store.aggregates.load(key)
+        if (
+            state is not None
+            and state.get("probe_completed")
+            and sorted(state.get("metrics", [])) == sorted(metric_names)
+            and int(state.get("trials_total", -1)) == cell.repetitions
+        ):
+            counts = {
+                "total": cell.repetitions,
+                "skipped": cell.repetitions,
+                "served": 0,
+                "executed": 0,
+            }
+            return CellResult(
+                cell=cell,
+                accumulators=AccumulatorSet.from_state(
+                    state.get("accumulators", {})
+                ),
+                counts=counts,
+                aggregation_key=key,
+            )
+    probe = get_probe(cell.probe)
+    executed = 0
+    for sample in probe(dict(cell.params), seed, cell.repetitions):
+        accumulators.observe(sample)
+        executed += 1
+    if store is not None:
+        store.aggregates.save(
+            key,
+            {
+                "cell": cell.as_dict(),
+                "seed": seed,
+                "metrics": sorted(metric_names),
+                "trials_total": cell.repetitions,
+                "probe_completed": True,
+                "accumulators": accumulators.state_dict(),
+            },
+        )
+    # ``total`` is the *requested* repetition count on both the cold and the
+    # cached path; a probe that discards samples shows executed < total.
+    counts = {
+        "total": cell.repetitions,
+        "skipped": 0,
+        "served": 0,
+        "executed": executed,
+    }
+    return CellResult(
+        cell=cell, accumulators=accumulators, counts=counts, aggregation_key=key
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Grid / scenario execution
+# --------------------------------------------------------------------------- #
+def run_grid(
+    grid: SweepGrid,
+    *,
+    seed: int = 0,
+    metrics=(),
+    processes: Optional[int] = None,
+    store=None,
+    batch=None,
+    batch_mode: Optional[str] = None,
+    state_backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    sketch_capacity: int = 1024,
+) -> List[CellResult]:
+    """Execute every cell of ``grid`` in order (streaming reduction each)."""
+    return [
+        run_cell(
+            cell,
+            seed=seed,
+            metrics=metrics,
+            processes=processes,
+            store=store,
+            batch=batch,
+            batch_mode=batch_mode,
+            state_backend=state_backend,
+            shards=shards,
+            sketch_capacity=sketch_capacity,
+        )
+        for cell in grid
+    ]
+
+
+#: The per-metric statistics columns shared by every accumulator table
+#: (``repro sweep --grid`` and ``repro report --accumulators``).
+METRIC_SUMMARY_COLUMNS = ["metric", "count", "mean", "std", "min", "median", "max"]
+
+
+def metric_summary_rows(prefix, accumulators: AccumulatorSet, *, sort=False):
+    """One row per metric of ``accumulators``: ``prefix`` cells followed by
+    the :data:`METRIC_SUMMARY_COLUMNS` statistics (``None``-padded for
+    metrics that never observed a value)."""
+    names = sorted(accumulators.metrics) if sort else list(accumulators.metrics)
+    rows = []
+    for name in names:
+        summary = accumulators.metrics[name].summary_or_none()
+        if summary is None:
+            rows.append(list(prefix) + [name, 0] + [None] * 5)
+            continue
+        rows.append(
+            list(prefix)
+            + [
+                name,
+                summary.count,
+                summary.mean,
+                summary.std,
+                summary.minimum,
+                summary.median,
+                summary.maximum,
+            ]
+        )
+    return rows
+
+
+def results_table(results) -> tuple:
+    """A generic ``(columns, rows)`` summary of cell results — one row per
+    (cell, metric) with the accumulator's reduced statistics.  This is what
+    ``repro sweep --grid`` prints for ad-hoc grids, which have no
+    experiment-specific derived columns."""
+    columns = ["cell", "trials"] + METRIC_SUMMARY_COLUMNS
+    rows = []
+    for result in results:
+        rows.extend(
+            metric_summary_rows(
+                [result.cell.label(), result.trials], result.accumulators
+            )
+        )
+    return columns, rows
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    processes: Optional[int] = None,
+    store=None,
+    batch=None,
+    batch_mode: Optional[str] = None,
+    state_backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    sketch_capacity: int = 1024,
+) -> List[CellResult]:
+    """Execute a scenario: its grid, under its seed and metric set.
+
+    Execution knobs left at ``None`` fall back to the process-wide defaults
+    (:func:`~repro.experiments.runner.configure_execution`), exactly like
+    ``repeat_job`` — so the CLI's ``--batch-mode`` / ``--state-backend`` /
+    cache flags govern scenario sweeps too.
+    """
+    return run_grid(
+        spec.grid,
+        seed=spec.seed,
+        metrics=spec.metrics,
+        processes=processes,
+        store=store,
+        batch=batch,
+        batch_mode=batch_mode,
+        state_backend=state_backend,
+        shards=shards,
+        sketch_capacity=sketch_capacity,
+    )

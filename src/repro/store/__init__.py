@@ -9,13 +9,17 @@ trials that are actually missing.
 * :mod:`repro.store.keys` — canonical digests (:func:`trial_digest`) and the
   :data:`ENGINE_VERSION` constant that gates them;
 * :mod:`repro.store.result_store` — :class:`ResultStore`, append-only JSONL
-  shards under a cache directory.
+  shards under a cache directory;
+* :mod:`repro.store.aggregates` — :class:`AggregateStore`, checkpointed
+  streaming-aggregation state so resumed sweeps continue their running
+  reduction without re-reading stored traces.
 
 The experiment runner (:mod:`repro.experiments.runner`) owns the mapping
 from jobs to digests and payloads; this package deliberately knows nothing
 about jobs or traces — it stores opaque JSON payloads under opaque keys.
 """
 
+from repro.store.aggregates import AggregateStore
 from repro.store.keys import (
     ENGINE_VERSION,
     canonical_dumps,
@@ -26,6 +30,7 @@ from repro.store.result_store import ResultStore
 
 __all__ = [
     "ENGINE_VERSION",
+    "AggregateStore",
     "ResultStore",
     "canonical_dumps",
     "canonicalize",

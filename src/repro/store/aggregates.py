@@ -1,0 +1,112 @@
+"""Persisted running-aggregation state for resumable streaming sweeps.
+
+The scenario runtime (:mod:`repro.scenarios.runtime`) aggregates per-trial
+metrics on the fly instead of materialising traces.  When a sweep is backed
+by a :class:`~repro.store.ResultStore`, the running
+:class:`~repro.analysis.streaming.AccumulatorSet` of every sweep cell is
+checkpointed here under the cell's aggregation digest (a content address
+over the cell spec, the execution context and the metric set — the same
+recipe as the per-trial store keys).  A resumed sweep reloads the state and
+*continues* aggregating from the trials it has not consumed yet; the trials
+already folded in are skipped entirely — their traces are never re-read.
+
+Records are one JSON file per aggregation key under ``<root>/aggregates``
+(atomic ``tmp`` + ``rename`` writes, so a crash mid-checkpoint leaves the
+previous state intact).  Every file carries the
+:data:`~repro.store.keys.ENGINE_VERSION` it was computed under and is
+ignored on load under any other version.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.store.keys import ENGINE_VERSION
+
+__all__ = ["AggregateStore"]
+
+
+class AggregateStore:
+    """Keyed JSON checkpoints of streaming-aggregation state."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"aggregation key must be a hex digest, got {key!r}")
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        """The checkpointed state for ``key``, or ``None``.
+
+        Corrupt files (torn writes from a crash without the atomic rename
+        having happened — or manual tampering) and states written under a
+        different engine version read as missing.
+        """
+        path = self._path(key)
+        try:
+            state = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(state, dict):
+            return None
+        if state.get("engine_version") != ENGINE_VERSION:
+            return None
+        return state
+
+    def save(self, key: str, state: Dict[str, object]) -> Path:
+        """Atomically checkpoint ``state`` under ``key``."""
+        path = self._path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        body = dict(state)
+        body["engine_version"] = ENGINE_VERSION
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(body, separators=(",", ":"), sort_keys=True),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Drop the state for ``key``; returns whether anything was removed."""
+        try:
+            self._path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    def keys(self) -> List[str]:
+        """Every aggregation key with checkpointed state."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Every loadable checkpoint (current engine version only)."""
+        out = []
+        for key in self.keys():
+            state = self.load(key)
+            if state is not None:
+                state = dict(state)
+                state["aggregation_key"] = key
+                out.append(state)
+        return out
+
+    def clear(self) -> int:
+        """Delete every checkpoint; returns how many files were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AggregateStore({str(self.root)!r})"

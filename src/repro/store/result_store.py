@@ -9,9 +9,15 @@ the first digest byte) so that
   most the final line of one shard, which the loader skips, leaving every
   previously completed trial intact (this is what makes interrupted sweeps
   resumable);
-* reads only parse the shards actually touched (an in-memory index per shard
-  is built lazily on first access);
+* reads only parse the shards actually touched (a per-shard index is built
+  lazily on first access);
 * the whole store remains greppable/debuggable with standard tools.
+
+The in-memory index maps each key to its **file offset**, not to its parsed
+payload: ``put`` and ``__contains__`` only need key presence, and a sweep
+over huge shards must not pin every previously stored trace in process
+memory just because it *touched* the shard.  ``get`` seeks to the recorded
+offset and parses one line on demand; nothing read this way is retained.
 
 Only the parent process of a sweep writes (workers hand results back over the
 queue), so single-writer append semantics hold in normal operation; each
@@ -56,16 +62,32 @@ class ResultStore:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self._shards: Dict[str, Dict[str, dict]] = {}
+        #: Lazy per-shard index: first-digest-byte prefix -> {key -> offset}.
+        self._shards: Dict[str, Dict[str, int]] = {}
+        #: Cached read handles, one per shard actually read from — a warm
+        #: 10⁵-trial streaming resume does one seek+readline per trial, not
+        #: one open/close round trip.
+        self._handles: Dict[str, object] = {}
+        self._aggregates = None
         self.hits = 0
         self.misses = 0
+
+    @property
+    def aggregates(self):
+        """The co-located :class:`~repro.store.aggregates.AggregateStore`
+        (streaming-aggregation checkpoints under ``<root>/aggregates``)."""
+        if self._aggregates is None:
+            from repro.store.aggregates import AggregateStore
+
+            self._aggregates = AggregateStore(self.root / "aggregates")
+        return self._aggregates
 
     # ------------------------------------------------------------------ #
     # Lookup / insert
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[dict]:
         """The stored payload for ``key``, or ``None`` (counts hit/miss)."""
-        payload = self._index_for(key).get(key)
+        payload = self._load_payload(key)
         if payload is None:
             self.misses += 1
             return None
@@ -97,17 +119,22 @@ class ResultStore:
             self._shard_path(key), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         try:
+            # Under single-writer operation the record lands exactly at the
+            # pre-write end of the file, which is what the offset index
+            # records; a concurrent writer can invalidate this, in which
+            # case ``get`` falls back to a shard rescan (see _load_payload).
+            offset = os.lseek(fd, 0, os.SEEK_END)
             os.write(fd, line.encode("utf-8"))
         finally:
             os.close(fd)
-        index[key] = payload
+        index[key] = offset
         return True
 
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Entry/file/byte counts over the whole store (loads every shard)."""
+        """Entry/file/byte counts over the whole store (scans every shard)."""
         entries = 0
         stale = 0
         total_bytes = 0
@@ -125,16 +152,19 @@ class ResultStore:
             "stale_entries": stale,
             "shard_files": files,
             "bytes": total_bytes,
+            "aggregate_checkpoints": len(self.aggregates.keys()),
             "engine_version": ENGINE_VERSION,
         }
 
     def clear(self) -> int:
-        """Delete every stored result; returns the number of entries removed."""
+        """Delete every stored result (and every aggregation checkpoint —
+        their inputs are gone); returns the number of trial entries removed."""
         removed = 0
         for path, records in self._iter_shard_files():
             removed += sum(1 for _ in records)
             path.unlink()
-        self._shards.clear()
+        self._invalidate_all()
+        self.aggregates.clear()
         return removed
 
     def prune(self) -> int:
@@ -166,7 +196,7 @@ class ResultStore:
                         + "\n"
                     )
             os.replace(tmp, path)
-        self._shards.clear()
+        self._invalidate_all()
         return removed
 
     def reset_counters(self) -> None:
@@ -184,39 +214,108 @@ class ResultStore:
     def _shard_path(self, key: str) -> Path:
         return self.root / f"results-{self._prefix(key)}.jsonl"
 
-    def _index_for(self, key: str) -> Dict[str, dict]:
+    def _index_for(self, key: str) -> Dict[str, int]:
+        """The shard's key -> file-offset map (built lazily, payload-free)."""
         prefix = self._prefix(key)
         index = self._shards.get(prefix)
         if index is None:
             index = {}
             path = self.root / f"results-{prefix}.jsonl"
-            for record in self._read_records(path):
+            for offset, record in self._read_records(path, with_offsets=True):
                 record_key = record.get("key")
                 # First write wins: same key means same content, and a
                 # version-mismatched record can never be asked for (its key
                 # embeds the version it was written under).
                 if record_key and record_key not in index:
-                    index[record_key] = record.get("payload")
+                    index[record_key] = offset
             self._shards[prefix] = index
         return index
 
+    def _load_payload(self, key: str) -> Optional[dict]:
+        """Parse one record's payload at its indexed offset (lazy load)."""
+        offset = self._index_for(key).get(key)
+        if offset is None:
+            return None
+        record = self._record_at(key, offset)
+        if record is not None and record.get("key") == key:
+            return record.get("payload")
+        # The offset lied (an external writer moved things around, or the
+        # shard was rewritten behind our back): rebuild this shard's index
+        # — and drop the cached handle, which may point at a replaced
+        # inode — then try once more.
+        self._invalidate_shard(self._prefix(key))
+        offset = self._index_for(key).get(key)
+        if offset is None:
+            return None
+        record = self._record_at(key, offset)
+        if record is not None and record.get("key") == key:
+            return record.get("payload")
+        return None
+
+    def _read_handle(self, key: str):
+        prefix = self._prefix(key)
+        handle = self._handles.get(prefix)
+        if handle is None:
+            handle = open(self._shard_path(key), "r", encoding="utf-8")
+            self._handles[prefix] = handle
+        return handle
+
+    def _record_at(self, key: str, offset: int) -> Optional[dict]:
+        try:
+            handle = self._read_handle(key)
+            handle.seek(offset)
+            line = handle.readline().strip()
+        except OSError:
+            self._close_handle(self._prefix(key))
+            return None
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _close_handle(self, prefix: str) -> None:
+        handle = self._handles.pop(prefix, None)
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - close best-effort
+                pass
+
+    def _invalidate_shard(self, prefix: str) -> None:
+        """Forget the in-memory view of one shard (index + read handle)."""
+        self._shards.pop(prefix, None)
+        self._close_handle(prefix)
+
+    def _invalidate_all(self) -> None:
+        self._shards.clear()
+        for prefix in list(self._handles):
+            self._close_handle(prefix)
+
     @staticmethod
-    def _read_records(path: Path) -> Iterator[dict]:
+    def _read_records(
+        path: Path, *, with_offsets: bool = False
+    ) -> Iterator:
         if not path.exists():
             return
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+        with open(path, "rb") as handle:
+            offset = 0
+            for raw in handle:
+                line_start = offset
+                offset += len(raw)
+                line = raw.strip()
                 if not line:
                     continue
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+                    record = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
                     # A process killed mid-append leaves at most one torn
                     # final line; everything before it is still good.
                     continue
                 if isinstance(record, dict):
-                    yield record
+                    yield (line_start, record) if with_offsets else record
 
     def _iter_shard_files(self) -> Iterator[Tuple[Path, list]]:
         for path in sorted(self.root.glob("results-??.jsonl")):

@@ -72,3 +72,83 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestGridCli:
+    """``repro sweep --grid`` and ``repro report --accumulators``."""
+
+    def _write_grid(self, tmp_path):
+        from repro.experiments.protocols import ProtocolSpec
+        from repro.graphs.builders import GraphSpec
+        from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid
+
+        spec = ScenarioSpec(
+            scenario_id="cli-demo",
+            grid=SweepGrid(
+                cells=(
+                    SweepCell(
+                        coords={"n": 32},
+                        graph=GraphSpec("gnp", {"n": 32, "p": 0.2}),
+                        protocol=ProtocolSpec("algorithm1", {"p": 0.2}),
+                        repetitions=3,
+                    ),
+                )
+            ),
+            metrics=("success", "total_tx"),
+            seed=1,
+        )
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(spec.as_dict()))
+        return path
+
+    def test_sweep_grid_runs_and_prints_summary(self, tmp_path, capsys):
+        grid = self._write_grid(tmp_path)
+        cache = tmp_path / "cache"
+        code = main(
+            ["sweep", "--grid", str(grid), "--cache-dir", str(cache)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario cli-demo" in out
+        assert "total_tx" in out
+        assert "3 trials executed" in out
+
+    def test_sweep_grid_warm_rerun_skips_aggregated_trials(self, tmp_path, capsys):
+        grid = self._write_grid(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["sweep", "--grid", str(grid), "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--grid", str(grid), "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "3 already aggregated" in out
+
+    def test_sweep_without_experiment_or_grid_errors(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_report_accumulators(self, tmp_path, capsys):
+        grid = self._write_grid(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["sweep", "--grid", str(grid), "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        code = main(["report", "--accumulators", "--cache-dir", str(cache)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregation checkpoint" in out
+        assert "total_tx" in out
+
+    def test_report_accumulators_empty_store(self, tmp_path, capsys):
+        code = main(
+            ["report", "--accumulators", "--cache-dir", str(tmp_path / "empty")]
+        )
+        assert code == 0
+        assert "no aggregation checkpoints" in capsys.readouterr().out
+
+    def test_cache_stats_reports_checkpoints(self, tmp_path, capsys):
+        grid = self._write_grid(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["sweep", "--grid", str(grid), "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "1 checkpoint(s)" in out
