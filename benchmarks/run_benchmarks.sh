@@ -23,6 +23,7 @@ echo "== engine micro-benchmarks =="
 python -m pytest -q \
     benchmarks/test_bench_engine_micro.py \
     benchmarks/test_bench_batch_engine.py \
+    benchmarks/test_bench_environment.py \
     benchmarks/test_bench_store.py \
     benchmarks/test_bench_aggregation.py \
     --benchmark-json="$RAW"

@@ -49,4 +49,6 @@ if __name__ == "__main__":
     for name, entry in sorted(result["benchmarks"].items()):
         extra = entry.get("extra_info", {})
         speed = f"  speedup={extra['speedup']:.1f}x" if "speedup" in extra else ""
+        if "environment_overhead_ratio" in extra:
+            speed += f"  null-env overhead={extra['environment_overhead_ratio']:.3f}x"
         print(f"{name}: min={entry['min_seconds'] * 1e3:.1f} ms{speed}")

@@ -12,6 +12,7 @@ __all__ = [
     "check_probability",
     "check_in_range",
     "check_node_index",
+    "check_sorted_nondecreasing",
 ]
 
 
@@ -64,6 +65,18 @@ def check_in_range(
         if not ok:
             raise ValueError(f"{name} must be {'<=' if inclusive else '<'} {high}, got {value}")
     return value
+
+
+def check_sorted_nondecreasing(values, name: str):
+    """Raise ``ValueError`` unless ``values`` is sorted non-decreasingly."""
+    values = list(values)
+    for i in range(1, len(values)):
+        if values[i] < values[i - 1]:
+            raise ValueError(
+                f"{name} must be sorted in non-decreasing order, but "
+                f"{values[i]!r} follows {values[i - 1]!r}"
+            )
+    return values
 
 
 def check_node_index(node: int, n: int, name: str = "node") -> int:

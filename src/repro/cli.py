@@ -65,6 +65,7 @@ from typing import List, Optional
 from repro.experiments.figures import ascii_chart
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.experiments.runner import configure_execution
+from repro.radio.environment import parse_environment_option
 from repro.store import ResultStore
 
 __all__ = ["main", "build_parser"]
@@ -102,6 +103,18 @@ def _add_execution_flags(
         "workload, 'dense' boolean arrays, 'bitset' packed uint64 words "
         "(8x smaller gossip knowledge), 'sparse' frontier index pools "
         "(decay/flooding at large n); results are identical either way",
+    )
+    parser.add_argument(
+        "--env",
+        metavar="SPEC",
+        default=None,
+        help="faulty-world environment applied to every run: comma-separated "
+        "key=value entries — loss=P (delivery loss), tx_loss=P (charged "
+        "transmitter-side loss), burst=PB:PG (Gilbert-Elliott), "
+        "churn=F@A[:B] (crash fraction F at round A, recover at B), "
+        "jam=K / jam_targets=3+7 / jam_window=A:B, wake=D (staggered "
+        "start); e.g. --env loss=0.1,churn=0.2@5:40 "
+        "[default: perfectly reliable radio]",
     )
     parser.add_argument(
         "--cache-dir",
@@ -455,12 +468,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     store: Optional[ResultStore] = None
     if hasattr(args, "no_batch"):
         store = _store_from_args(args)
-        configure_execution(
+        execution_kwargs = dict(
             batch=False if args.no_batch else True,
             batch_mode=args.batch_mode,
             state_backend=args.state_backend,
             store=store,
         )
+        if getattr(args, "env", None) is not None:
+            execution_kwargs["environment"] = parse_environment_option(args.env)
+        configure_execution(**execution_kwargs)
     if args.command == "list":
         return _command_list()
     if args.command == "run":

@@ -1,0 +1,184 @@
+"""E17 — Robustness vs energy: broadcast under faulty worlds.
+
+The paper's headline trade-off — near-optimal broadcast time at ``O(log n)``
+transmissions per node — is proved for a perfectly reliable radio model.
+This experiment asks what that energy frugality costs when the world
+misbehaves: Algorithm 1 is run against the redundancy-heavy Bernoulli
+flooding baseline across the fault families of
+:mod:`repro.radio.environment` —
+
+* i.i.d. delivery loss at increasing rates,
+* Gilbert–Elliott burst loss,
+* a crash/recovery churn event (a quarter of the nodes go dark mid-run),
+* adversarial jamming of the loudest channels —
+
+and the registered ``recovery_rounds`` / ``work_wasted`` metrics quantify
+how long each protocol needs to re-complete after the last fault and how
+much of its energy the environment destroyed.  The expectation (mirroring
+the self-stabilisation literature's recovery-time lens): flooding buys
+fault tolerance with energy, while the energy-optimal schedule degrades
+earlier but wastes far fewer transmissions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import pick, threshold_p
+from repro.experiments.protocols import ProtocolSpec
+from repro.experiments.results import ExperimentResult
+from repro.graphs.builders import GraphSpec
+from repro.scenarios import ScenarioSpec, SweepCell, SweepGrid, run_scenario
+
+EXPERIMENT_ID = "E17"
+TITLE = "Robustness vs energy: broadcast under loss, churn and jamming"
+CLAIM = (
+    "Section 1.2 assumes a reliable synchronous radio; the energy-optimal "
+    "schedule of Algorithm 1 (Theorem 1.2) concentrates progress in few "
+    "transmissions, so message loss, churn and jamming should delay or "
+    "defeat it sooner than redundancy-heavy flooding — but with far less "
+    "energy wasted on destroyed slots."
+)
+
+METRICS = (
+    "success",
+    "completion_round",
+    "mean_tx_per_node",
+    "recovery_rounds",
+    "work_wasted",
+)
+
+
+def _fault_axis(churn_round: int, recover_round: int) -> Dict[str, Optional[dict]]:
+    """World name -> environment spec (None = the reliable baseline)."""
+    return {
+        "reliable": None,
+        "loss 10%": {"name": "iid_loss", "params": {"rx_loss": 0.1}},
+        "loss 30%": {"name": "iid_loss", "params": {"rx_loss": 0.3}},
+        "burst loss": {
+            "name": "burst_loss",
+            "params": {"p_bad": 0.08, "p_good": 0.25},
+        },
+        "churn 25%": {
+            "name": "churn",
+            "params": {
+                "events": [
+                    {"round": churn_round, "crash_fraction": 0.25},
+                    {"round": recover_round, "recover_all": True},
+                ]
+            },
+        },
+        "jam k=2": {"name": "jam", "params": {"k": 2}},
+    }
+
+
+def scenario(scale: str = "quick", seed: int = 0) -> ScenarioSpec:
+    """The E17 grid: fault world × protocol on threshold-regime G(n, p)."""
+    n = pick(scale, quick=96, full=256)
+    repetitions = pick(scale, quick=3, full=10)
+    max_rounds = pick(scale, quick=600, full=1500)
+    churn_round = pick(scale, quick=8, full=20)
+    recover_round = pick(scale, quick=24, full=60)
+
+    p = threshold_p(n)
+    graph_spec = GraphSpec("gnp", {"n": n, "p": p})
+    protocols = {
+        "algorithm1": ProtocolSpec("algorithm1", {"p": p}),
+        "bernoulli_flood": ProtocolSpec("bernoulli_flood", {"q": 0.1}),
+    }
+
+    cells: List[SweepCell] = []
+    for world, environment in _fault_axis(churn_round, recover_round).items():
+        for label, protocol in protocols.items():
+            job_options: Dict[str, object] = {"max_rounds": max_rounds}
+            if environment is not None:
+                job_options["environment"] = environment
+            cells.append(
+                SweepCell(
+                    coords={"world": world, "protocol": label, "n": n},
+                    graph=graph_spec,
+                    protocol=protocol,
+                    repetitions=repetitions,
+                    job_options=job_options,
+                )
+            )
+
+    return ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        grid=SweepGrid(cells=tuple(cells)),
+        metrics=METRICS,
+        seed=seed,
+        parameters={
+            "scale": scale,
+            "n": n,
+            "p": p,
+            "repetitions": repetitions,
+            "max_rounds": max_rounds,
+            "seed": seed,
+        },
+    )
+
+
+def run(
+    scale: str = "quick", seed: int = 0, processes: Optional[int] = None
+) -> ExperimentResult:
+    """Measure completion, recovery time and wasted work per fault world."""
+    spec = scenario(scale, seed)
+    cells = run_scenario(spec, processes=processes)
+
+    columns = [
+        "world",
+        "protocol",
+        "success_rate",
+        "rounds (mean)",
+        "mean tx/node",
+        "recovery rounds (mean)",
+        "work wasted (mean)",
+    ]
+    rows: List[List[object]] = []
+    for cell in cells:
+        rows.append(
+            [
+                cell.coords["world"],
+                cell.coords["protocol"],
+                cell.success_rate,
+                cell.mean("completion_round"),
+                cell.mean("mean_tx_per_node"),
+                cell.mean("recovery_rounds"),
+                cell.mean("work_wasted"),
+            ]
+        )
+
+    # Compare each protocol's degradation against its own reliable-world row.
+    baseline = {
+        row[1]: row[3] for row in rows if row[0] == "reliable" and row[3] is not None
+    }
+    notes: List[str] = [
+        "recovery_rounds counts rounds from the last fault event to "
+        "completion; work_wasted counts charged transmissions lost in "
+        "flight plus deliveries destroyed by the environment.",
+    ]
+    for label in ("algorithm1", "bernoulli_flood"):
+        worst = [
+            (row[0], row[3] / baseline[label])
+            for row in rows
+            if row[1] == label and row[0] != "reliable"
+            and row[3] is not None and baseline.get(label)
+        ]
+        if worst:
+            world, factor = max(worst, key=lambda item: item[1])
+            notes.append(
+                f"{label}: worst slowdown {factor:.1f}x (under {world}) "
+                "relative to its reliable-world completion time."
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=columns,
+        rows=rows,
+        notes=notes,
+        parameters=dict(spec.parameters),
+    )

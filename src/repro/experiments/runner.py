@@ -71,6 +71,11 @@ from repro.radio.collision import (
     WithCollisionDetectionModel,
 )
 from repro.radio.engine import SimulationEngine
+from repro.radio.environment import (
+    build_batch_environment,
+    build_environment,
+    validate_environment_spec,
+)
 from repro.radio.trace import RunResultTrace
 from repro.store import ResultStore, canonicalize, trial_digest
 
@@ -110,10 +115,11 @@ class Job:
     max_rounds: Optional[int] = None
     collision_model: str = "standard"
     erasure_probability: float = 0.0
+    environment: Optional[Dict[str, object]] = None
     label: str = ""
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "graph": self.graph.as_dict(),
             "protocol": self.protocol.as_dict(),
             "seed": self.seed,
@@ -125,6 +131,11 @@ class Job:
             "erasure_probability": self.erasure_probability,
             "label": self.label,
         }
+        # Only faulty-world jobs carry the key, so every digest computed
+        # before the environment axis existed stays valid.
+        if self.environment is not None:
+            out["environment"] = dict(self.environment)
+        return out
 
 
 def _collision_model_for(job: Job) -> CollisionModel:
@@ -155,6 +166,7 @@ def execute_job(job: Job) -> RunResultTrace:
         record_rounds=job.record_rounds,
         keep_arrays=job.keep_arrays,
         run_to_quiescence=job.run_to_quiescence,
+        environment=build_environment(job.environment),
     )
     result = engine.run(network, protocol, rng=protocol_rng, max_rounds=job.max_rounds)
     result.metadata.setdefault("job", job.as_dict())
@@ -349,6 +361,7 @@ class _ExecutionDefaults:
     batch_mode: str = "fast"
     state_backend: str = "auto"
     store: Optional[ResultStore] = None
+    environment: Optional[Dict[str, object]] = None
 
 
 _EXECUTION_DEFAULTS = _ExecutionDefaults()
@@ -363,6 +376,7 @@ def configure_execution(
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
     store=_UNSET,
+    environment=_UNSET,
 ) -> None:
     """Set process-wide execution defaults (the CLI's ``--no-batch`` /
     ``--batch-mode`` / ``--state-backend`` / cache flags land here).
@@ -377,6 +391,11 @@ def configure_execution(
     sweeps consult (a :class:`~repro.store.ResultStore`, a cache-dir path,
     or ``None`` to disable caching); omit the argument to leave the current
     store unchanged.
+
+    ``environment`` installs a process-wide faulty-world environment spec
+    (the CLI's ``--env`` flag lands here): every job built without its own
+    ``environment`` job option then runs under it.  Pass ``None`` to
+    disable; omit the argument to leave the current default unchanged.
     """
     global _EXECUTION_DEFAULTS
     updates: Dict[str, object] = {}
@@ -390,6 +409,8 @@ def configure_execution(
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         updates["store"] = store
+    if environment is not _UNSET:
+        updates["environment"] = validate_environment_spec(environment)
     _EXECUTION_DEFAULTS = replace(_EXECUTION_DEFAULTS, **updates)
 
 
@@ -435,6 +456,7 @@ def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
         keep_arrays=template.keep_arrays,
         run_to_quiescence=template.run_to_quiescence,
         state_backend=shard.state_backend,
+        environment=build_batch_environment(template.environment),
     )
     protocol = build_batch_protocol(template.protocol)
     if shard.mode == "exact":
@@ -829,8 +851,20 @@ class ExecutionPlan:
                     for offset, trace in enumerate(shard_results):
                         sink(base + offset, trace)
 
+            # Name each shard by its first trial's cell digest, so a
+            # poisoned shard is identifiable (WorkerPoolError) and
+            # reproducible straight from the error message.
+            context = self.cache_context()
+            labels = [
+                f"shard[{k}]:{job_store_key(shard.jobs[0], context)[:16]}"
+                for k, shard in enumerate(shards)
+            ]
             parts = queue.run(
-                _execute_batch_shard, shards, on_result=on_shard, collect=collect
+                _execute_batch_shard,
+                shards,
+                on_result=on_shard,
+                collect=collect,
+                task_labels=labels,
             )
             return [result for part in parts for result in part]
         return _run_jobs_queued(
@@ -873,6 +907,15 @@ def build_repetition_plan(
         batch_mode = _EXECUTION_DEFAULTS.batch_mode
     if state_backend is None:
         state_backend = _EXECUTION_DEFAULTS.state_backend
+    if "environment" not in job_options:
+        if _EXECUTION_DEFAULTS.environment is not None:
+            job_options["environment"] = _EXECUTION_DEFAULTS.environment
+    else:
+        # Normalise to canonical form here so all spellings of the same
+        # environment share one store digest.
+        job_options["environment"] = validate_environment_spec(
+            job_options["environment"]
+        )
     base = np.random.SeedSequence(seed)
     # The extra child seeds the fast-mode batch generator; the first
     # ``repetitions`` children are identical to what the serial path spawns.

@@ -13,6 +13,7 @@ from repro.jobs.queue import (
     ProcessPoolBackend,
     QueueStats,
     WorkerBackend,
+    WorkerPoolError,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "ProcessPoolBackend",
     "QueueStats",
     "WorkerBackend",
+    "WorkerPoolError",
 ]

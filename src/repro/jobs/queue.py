@@ -29,6 +29,7 @@ submits).
 from __future__ import annotations
 
 import abc
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -40,10 +41,22 @@ __all__ = [
     "WorkerBackend",
     "InProcessBackend",
     "ProcessPoolBackend",
+    "WorkerPoolError",
 ]
 
 #: Callback invoked as each task completes: ``on_result(task_index, result)``.
 ResultCallback = Callable[[int, object], None]
+
+
+class WorkerPoolError(RuntimeError):
+    """Worker pool kept dying and retries are exhausted.
+
+    Raised (instead of silently falling back to in-process execution) when
+    the backend was built with ``in_process_fallback=False``.  The message
+    names the tasks that were pending when the pool died for the last time
+    — with the runner's labels these are the poisoned cell digests, which
+    is the first thing needed to reproduce a worker-killing shard.
+    """
 
 
 @dataclass
@@ -83,8 +96,14 @@ class WorkerBackend(abc.ABC):
         on_result: Optional[ResultCallback] = None,
         *,
         collect: bool = True,
+        task_labels: Optional[Sequence[str]] = None,
     ) -> List[object]:
-        """Apply ``fn`` to every task; ``on_result`` fires per completion."""
+        """Apply ``fn`` to every task; ``on_result`` fires per completion.
+
+        ``task_labels`` (same length as ``tasks``) gives each task a stable
+        human-readable name — e.g. the runner's cell digests — used in
+        terminal errors when a task cannot be completed.
+        """
 
 
 class InProcessBackend(WorkerBackend):
@@ -97,6 +116,7 @@ class InProcessBackend(WorkerBackend):
         on_result: Optional[ResultCallback] = None,
         *,
         collect: bool = True,
+        task_labels: Optional[Sequence[str]] = None,
     ) -> List[object]:
         tasks = list(tasks)
         self.stats.submitted += len(tasks)
@@ -116,19 +136,34 @@ class ProcessPoolBackend(WorkerBackend):
 
     A :class:`BrokenProcessPool` (a worker was killed, not a Python exception
     in the task — those propagate unchanged) marks every not-yet-completed
-    task for retry on a freshly built pool.  After ``max_retries`` pool
-    deaths the remaining tasks run in-process, so a pathological environment
-    degrades to serial execution instead of failing the sweep.
+    task for retry on a freshly built pool, sleeping ``retry_backoff *
+    2**(deaths - 1)`` seconds first so a machine under memory pressure gets
+    room to recover.  After ``max_retries`` pool deaths the remaining tasks
+    run in-process (a pathological environment degrades to serial execution
+    instead of failing the sweep) — or, with ``in_process_fallback=False``,
+    the run aborts with a :class:`WorkerPoolError` naming the poisoned
+    tasks.
     """
 
-    def __init__(self, max_workers: int, *, max_retries: int = 2) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        in_process_fallback: bool = True,
+    ) -> None:
         super().__init__()
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.max_workers = int(max_workers)
         self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.in_process_fallback = bool(in_process_fallback)
 
     def run(
         self,
@@ -137,6 +172,7 @@ class ProcessPoolBackend(WorkerBackend):
         on_result: Optional[ResultCallback] = None,
         *,
         collect: bool = True,
+        task_labels: Optional[Sequence[str]] = None,
     ) -> List[object]:
         tasks = list(tasks)
         self.stats.submitted += len(tasks)
@@ -146,6 +182,18 @@ class ProcessPoolBackend(WorkerBackend):
         deaths = 0
         while pending:
             if deaths > self.max_retries:
+                if not self.in_process_fallback:
+                    names = ", ".join(
+                        task_labels[index]
+                        if task_labels is not None
+                        else f"task[{index}]"
+                        for index in pending
+                    )
+                    raise WorkerPoolError(
+                        f"worker pool died {deaths} times "
+                        f"(max_retries={self.max_retries}); "
+                        f"{len(pending)} task(s) poisoned: {names}"
+                    )
                 self.stats.in_process_fallbacks += len(pending)
                 for index in pending:
                     result = fn(tasks[index])
@@ -157,6 +205,8 @@ class ProcessPoolBackend(WorkerBackend):
                         on_result(index, result)
                 pending = []
                 break
+            if deaths and self.retry_backoff > 0:
+                time.sleep(self.retry_backoff * 2 ** (deaths - 1))
             broke = False
             try:
                 with ProcessPoolExecutor(
@@ -230,20 +280,35 @@ class JobQueue:
         on_result: Optional[ResultCallback] = None,
         chunksize: int = 1,
         collect: bool = True,
+        task_labels: Optional[Sequence[str]] = None,
     ) -> List[object]:
         """Apply ``fn`` to every task; returns results in task order.
 
         ``collect=False`` streams: ``on_result`` still fires once per task,
         but nothing is retained and the return value is an empty list.
+        ``task_labels`` names tasks (e.g. cell digests) in terminal errors.
         """
         tasks = list(tasks)
+        if task_labels is not None and len(task_labels) != len(tasks):
+            raise ValueError(
+                f"task_labels must have one entry per task "
+                f"({len(tasks)}), got {len(task_labels)}"
+            )
         if chunksize <= 1 or len(tasks) <= 1:
-            return self.backend.run(fn, tasks, on_result, collect=collect)
+            return self.backend.run(
+                fn, tasks, on_result, collect=collect, task_labels=task_labels
+            )
         bounds = list(range(0, len(tasks), chunksize)) + [len(tasks)]
         chunks = [
             (fn, tasks[bounds[i] : bounds[i + 1]])
             for i in range(len(bounds) - 1)
         ]
+        chunk_labels = None
+        if task_labels is not None:
+            chunk_labels = [
+                ", ".join(task_labels[bounds[i] : bounds[i + 1]])
+                for i in range(len(bounds) - 1)
+            ]
 
         def on_chunk(chunk_index: int, chunk_results) -> None:
             if on_result is not None:
@@ -251,7 +316,9 @@ class JobQueue:
                 for offset, result in enumerate(chunk_results):
                     on_result(base + offset, result)
 
-        parts = self.backend.run(_call_chunk, chunks, on_chunk, collect=collect)
+        parts = self.backend.run(
+            _call_chunk, chunks, on_chunk, collect=collect, task_labels=chunk_labels
+        )
         return [result for part in parts for result in part]
 
     def __repr__(self) -> str:

@@ -32,6 +32,10 @@ Public surface:
   boolean arrays, bitset-packed ``uint64`` words, sparse frontier index
   pools) behind the :class:`~repro.radio.nodesets.NodeSetKernel` the batch
   protocols bind against.
+* :mod:`~repro.radio.environment` — composable faulty-world layers (i.i.d.
+  and burst message loss, crash/churn schedules, adversarial jamming,
+  wake-up asynchrony) wrapped around collision resolution, with scalar and
+  batched mirrors pinned bit-identical in exact mode.
 """
 
 from repro.radio.batch import (
@@ -66,6 +70,23 @@ from repro.radio.nodesets import (
     select_backend,
 )
 from repro.radio.engine import SimulationEngine, run_protocol
+from repro.radio.environment import (
+    ENVIRONMENT_FAMILIES,
+    BatchEnvironment,
+    BurstLossEnvironment,
+    ChurnEnvironment,
+    ComposedEnvironment,
+    Environment,
+    IidLossEnvironment,
+    JamEnvironment,
+    NullEnvironment,
+    WakeupEnvironment,
+    as_batch_environment,
+    build_batch_environment,
+    build_environment,
+    parse_environment_option,
+    validate_environment_spec,
+)
 from repro.radio.network import RadioNetwork
 from repro.radio.protocol import BroadcastProtocol, GossipProtocol, Protocol
 from repro.radio.trace import RoundRecord, RunResultTrace
@@ -104,6 +125,21 @@ __all__ = [
     "NodeSetKernel",
     "resolve_kernel",
     "select_backend",
+    "Environment",
+    "NullEnvironment",
+    "IidLossEnvironment",
+    "BurstLossEnvironment",
+    "ChurnEnvironment",
+    "JamEnvironment",
+    "WakeupEnvironment",
+    "ComposedEnvironment",
+    "BatchEnvironment",
+    "ENVIRONMENT_FAMILIES",
+    "build_environment",
+    "build_batch_environment",
+    "as_batch_environment",
+    "validate_environment_spec",
+    "parse_environment_option",
     "RoundRecord",
     "RunResultTrace",
 ]

@@ -66,6 +66,7 @@ from repro.radio.collision import (
     as_batch_collision_model,
 )
 from repro.radio.energy import BatchEnergyAccountant
+from repro.radio.environment import BatchEnvironment, as_batch_environment
 from repro.radio.network import RadioNetwork
 from repro.radio.nodesets import (
     KnowledgeState,
@@ -802,6 +803,14 @@ class BatchEngine:
         results (bit-identical in exact rng mode); the knob trades memory
         (packed gossip knowledge) against per-round bookkeeping (sparse
         frontiers).
+    environment:
+        Optional faulty-world layer (a
+        :class:`~repro.radio.environment.BatchEnvironment`, a scalar
+        :class:`~repro.radio.environment.Environment`, or a spec dict) that
+        perturbs each round around collision resolution for every trial.
+        An active environment disables interest trimming and scheduled
+        mega-gather resolution (it must see the full delivery set and
+        perturbs non-deterministically); a null environment costs nothing.
     """
 
     #: Rounds resolved per scheduled-resolution slice: small enough that the
@@ -818,11 +827,15 @@ class BatchEngine:
         run_to_quiescence: bool = False,
         scheduled_resolution: bool = True,
         state_backend: str = "auto",
+        environment=None,
     ):
         if collision_model is None:
             self.collision_model: BatchCollisionModel = BatchStandardCollisionModel()
         else:
             self.collision_model = as_batch_collision_model(collision_model)
+        if environment is not None and not isinstance(environment, BatchEnvironment):
+            environment = as_batch_environment(environment)
+        self.environment = environment
         self.record_rounds = bool(record_rounds)
         self.keep_arrays = bool(keep_arrays)
         self.run_to_quiescence = bool(run_to_quiescence)
@@ -874,6 +887,11 @@ class BatchEngine:
         else:
             rng_source = BatchRandomSource.fast(rng)
 
+        environment = self.environment
+        env_active = environment is not None and not environment.is_null
+        if env_active:
+            environment.bind(batch, rng_source)
+
         kernel = resolve_kernel(
             self.state_backend,
             batch.trials,
@@ -902,7 +920,9 @@ class BatchEngine:
         # collision resolution) are observably equivalent only when nobody
         # records per-round delivery counts and no per-trial stream has to
         # match the serial engine call for call.
-        use_interest = not self.record_rounds and not rng_source.exact_mode
+        use_interest = (
+            not self.record_rounds and not rng_source.exact_mode and not env_active
+        )
         # Mega-gather fast path: legal only when resolution is deterministic
         # (pre-resolving would skip erasure draws), collision-free feedback is
         # not part of the outcome (scheduled outcomes carry receivers only —
@@ -928,7 +948,20 @@ class BatchEngine:
             tx_flat = np.asarray(
                 protocol.transmit_flat(round_index, running), dtype=np.int64
             )
+            if env_active:
+                environment.begin_round(round_index, running)
+                # Gated radios (crashed/asleep) are not energy-charged;
+                # in-flight loss below is charged-but-lost, and ``observe``
+                # still sees the pre-loss (gated) transmit set.
+                tx_flat = environment.gate_transmit_flat(
+                    round_index, tx_flat, running
+                )
             transmitters = accountant.record_flat(tx_flat)
+            air_flat = tx_flat
+            if env_active:
+                air_flat = environment.perturb_transmissions(
+                    round_index, tx_flat, running
+                )
             cached = None
             if plan is not None:
                 j = round_index - plan.first_round
@@ -965,12 +998,16 @@ class BatchEngine:
             else:
                 outcome = self.collision_model.resolve(
                     batch,
-                    tx_flat,
+                    air_flat,
                     rng_source,
                     listener_filter=(
                         protocol.listener_interest() if use_interest else None
                     ),
                 )
+                if env_active:
+                    outcome = environment.filter_deliveries(
+                        round_index, outcome, running
+                    )
 
             informed_before = (
                 protocol.informed_counts() if self.record_rounds else None
@@ -1002,7 +1039,7 @@ class BatchEngine:
             running = running & ~stop
 
         completion_round[~completed] = rounds_executed[~completed]
-        return self._assemble_results(
+        results = self._assemble_results(
             batch,
             protocol,
             accountant,
@@ -1011,6 +1048,10 @@ class BatchEngine:
             rounds_executed,
             round_log,
         )
+        if env_active:
+            for t, result in enumerate(results):
+                result.metadata["environment"] = environment.trial_report(t)
+        return results
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -1104,6 +1145,7 @@ def run_protocol_batch(
     keep_arrays: bool = False,
     run_to_quiescence: bool = False,
     state_backend: str = "auto",
+    environment=None,
 ) -> List[RunResultTrace]:
     """Convenience wrapper: build a :class:`BatchEngine` and run once.
 
@@ -1124,6 +1166,7 @@ def run_protocol_batch(
         keep_arrays=keep_arrays,
         run_to_quiescence=run_to_quiescence,
         state_backend=state_backend,
+        environment=environment,
     )
     return engine.run(
         networks,

@@ -315,6 +315,7 @@ class BatchCollisionOutcome:
         "_tx_flat",
         "_delivered_mask",
         "_hear_dense",
+        "_trial_offsets",
     )
 
     def __init__(
@@ -343,6 +344,7 @@ class BatchCollisionOutcome:
         self._tx_flat = tx_flat
         self._delivered_mask = delivered_mask
         self._hear_dense = hear_dense
+        self._trial_offsets = None
 
     @property
     def receiver_counts(self) -> np.ndarray:
@@ -356,6 +358,7 @@ class BatchCollisionOutcome:
     @receiver_counts.setter
     def receiver_counts(self, value: np.ndarray) -> None:
         self._receiver_counts = value
+        self._trial_offsets = None
 
     @property
     def sender_flat(self) -> np.ndarray:
@@ -427,7 +430,14 @@ class BatchCollisionOutcome:
         return self.sender_flat[start:stop] - trial * self.n
 
     def _trial_slice(self, trial: int) -> tuple:
-        offsets = np.concatenate([[0], np.cumsum(self.receiver_counts)])
+        # receiver_flat is immutable once handed out per trial, so the prefix
+        # sums are computed once and reused by all R receivers_of/senders_of
+        # calls (the setter above invalidates them if the counts are rebound).
+        if self._trial_offsets is None:
+            self._trial_offsets = np.concatenate(
+                [[0], np.cumsum(self.receiver_counts)]
+            )
+        offsets = self._trial_offsets
         return int(offsets[trial]), int(offsets[trial + 1])
 
 

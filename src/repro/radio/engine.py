@@ -16,7 +16,7 @@ never hits it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro._util.rng import SeedLike, as_generator
 from repro._util.validation import check_positive_int
 from repro.radio.collision import CollisionModel, StandardCollisionModel
 from repro.radio.energy import EnergyAccountant
+from repro.radio.environment import Environment, build_environment
 from repro.radio.network import RadioNetwork
 from repro.radio.protocol import BroadcastProtocol, GossipProtocol, Protocol
 from repro.radio.trace import RoundRecord, RunResultTrace
@@ -45,6 +46,13 @@ class SimulationEngine:
     keep_arrays:
         Keep per-node arrays (transmission counts, informed rounds) on the
         result.
+    environment:
+        Optional faulty-world layer (an
+        :class:`~repro.radio.environment.Environment` or a spec dict) that
+        perturbs each round around collision resolution: crashed/asleep
+        radios are gated before energy accounting, transmitter-side loss is
+        applied after it (charged but lost), deliveries are filtered after
+        resolution.  A null environment is skipped entirely.
     """
 
     def __init__(
@@ -54,11 +62,20 @@ class SimulationEngine:
         record_rounds: bool = False,
         keep_arrays: bool = False,
         run_to_quiescence: bool = False,
+        environment=None,
     ):
         self.collision_model = collision_model or StandardCollisionModel()
         self.record_rounds = bool(record_rounds)
         self.keep_arrays = bool(keep_arrays)
         self.run_to_quiescence = bool(run_to_quiescence)
+        if environment is not None and not isinstance(environment, Environment):
+            if not isinstance(environment, Mapping):
+                raise TypeError(
+                    "environment must be an Environment or a spec dict, "
+                    f"got {type(environment).__name__}"
+                )
+            environment = build_environment(environment)
+        self.environment = environment
 
     def run(
         self,
@@ -82,6 +99,11 @@ class SimulationEngine:
             max_rounds = protocol.suggested_max_rounds()
         max_rounds = check_positive_int(max_rounds, "max_rounds")
 
+        environment = self.environment
+        env_active = environment is not None and not environment.is_null
+        if env_active:
+            environment.reset(network)
+
         accountant = EnergyAccountant(network.n)
         rounds: list = []
         completed = protocol.is_complete()
@@ -91,8 +113,25 @@ class SimulationEngine:
         if not (completed and not self.run_to_quiescence):
             for round_index in range(max_rounds):
                 mask = np.asarray(protocol.transmit_mask(round_index), dtype=bool)
+                if env_active:
+                    environment.begin_round(round_index, generator)
+                    # Gated radios (crashed/asleep) never key the transmitter,
+                    # so gate *before* energy accounting...
+                    mask = environment.gate_transmitters(round_index, mask)
                 transmitters = accountant.record_round(mask)
-                outcome = self.collision_model.resolve(network, mask, generator)
+                air_mask = mask
+                if env_active:
+                    # ...while in-flight loss is charged-but-lost: perturb
+                    # *after* accounting, and the protocol still believes it
+                    # transmitted (``observe`` sees the pre-loss mask).
+                    air_mask = environment.perturb_transmissions(
+                        round_index, mask, generator
+                    )
+                outcome = self.collision_model.resolve(network, air_mask, generator)
+                if env_active:
+                    outcome = environment.filter_deliveries(
+                        round_index, outcome, generator
+                    )
 
                 informed_before = _informed_count(protocol)
                 protocol.observe(round_index, mask, outcome)
@@ -143,6 +182,8 @@ class SimulationEngine:
             rounds=rounds,
             metadata=dict(getattr(protocol, "run_metadata", {}) or {}),
         )
+        if env_active:
+            result.metadata["environment"] = environment.report()
         if self.keep_arrays:
             result.per_node_transmissions = accountant.per_node()
             if isinstance(protocol, BroadcastProtocol):
@@ -160,6 +201,7 @@ def run_protocol(
     record_rounds: bool = False,
     keep_arrays: bool = False,
     run_to_quiescence: bool = False,
+    environment=None,
 ) -> RunResultTrace:
     """Convenience wrapper: build an engine and run once.
 
@@ -177,6 +219,7 @@ def run_protocol(
         record_rounds=record_rounds,
         keep_arrays=keep_arrays,
         run_to_quiescence=run_to_quiescence,
+        environment=environment,
     )
     return engine.run(network, protocol, rng=rng, max_rounds=max_rounds)
 

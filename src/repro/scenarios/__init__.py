@@ -9,7 +9,7 @@ and reduces per-trial results **streamingly** into
 :class:`~repro.analysis.streaming.MetricAccumulator`\\ s as shards complete,
 so a sweep's memory footprint is flat in its trial count.
 
-The sixteen experiment modules each expose their workload as a
+The seventeen experiment modules each expose their workload as a
 ``scenario(scale, seed)`` spec and keep only their claim-specific derived
 columns; new workloads are new grids, not new code — serialise a spec with
 ``ScenarioSpec.as_dict()`` and run it with ``repro sweep --grid``.

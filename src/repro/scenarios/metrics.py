@@ -114,3 +114,33 @@ def _mean_tx_per_node(trace, cell):
 @register_metric("informed_fraction")
 def _informed_fraction(trace, cell):
     return float(trace.informed_count or 0) / float(trace.n)
+
+
+# --------------------------------------------------------------------------- #
+# Faulty-world metrics: read the environment report the engines merge into
+# trace metadata.  Under a null (or no) environment they are identically 0,
+# so they can sit in any metric list without gating on the sweep's axes.
+# --------------------------------------------------------------------------- #
+@register_metric("recovery_rounds")
+def _recovery_rounds(trace, cell):
+    """Rounds from the last fault event to completion (None if never done)."""
+    if not trace.completed:
+        return None
+    env = trace.metadata.get("environment")
+    if not env:
+        return 0.0
+    last = int(env.get("last_fault_round", 0))
+    if last <= 0:
+        return 0.0
+    return float(max(0, trace.completion_round - last))
+
+
+@register_metric("work_wasted")
+def _work_wasted(trace, cell):
+    """Charged transmissions lost in flight plus deliveries destroyed."""
+    env = trace.metadata.get("environment")
+    if not env:
+        return 0.0
+    return float(
+        int(env.get("lost_transmissions", 0)) + int(env.get("lost_deliveries", 0))
+    )

@@ -44,6 +44,7 @@ _JOB_OPTION_KEYS = frozenset(
         "max_rounds",
         "collision_model",
         "erasure_probability",
+        "environment",
     }
 )
 

@@ -49,6 +49,12 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "rumour coverage" in proc.stdout
 
+    def test_broadcast_under_churn_runs(self):
+        proc = _run("broadcast_under_churn.py", "96", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "work wasted" in proc.stdout
+        assert "churn 25%" in proc.stdout
+
 
 class TestPackaging:
     def test_version_exposed(self):

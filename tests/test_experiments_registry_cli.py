@@ -11,7 +11,7 @@ from repro.experiments.registry import all_experiments, get_experiment, run_expe
 class TestRegistry:
     def test_all_experiments_listed(self):
         ids = [m.EXPERIMENT_ID for m in all_experiments()]
-        assert ids == [f"E{i}" for i in range(1, 17)]
+        assert ids == [f"E{i}" for i in range(1, 18)]
 
     def test_every_module_has_metadata(self):
         for module in all_experiments():

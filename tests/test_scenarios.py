@@ -1,5 +1,5 @@
 """The declarative scenario layer: specs, grids, probes, and the ports of
-all sixteen experiment modules onto them."""
+all seventeen experiment modules onto them."""
 
 import json
 
@@ -178,7 +178,7 @@ class TestRegistryAutoDiscovery:
     def test_discovered_id_set_is_pinned(self):
         """Module-scan discovery must find exactly E1..E16, in order."""
         ids = [module.EXPERIMENT_ID for module in all_experiments()]
-        assert ids == [f"E{i}" for i in range(1, 17)]
+        assert ids == [f"E{i}" for i in range(1, 18)]
 
     def test_every_module_exposes_a_scenario(self):
         for module in all_experiments():

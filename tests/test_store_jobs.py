@@ -32,7 +32,13 @@ from repro.experiments.runner import (
     run_jobs,
 )
 from repro.graphs.builders import GraphSpec
-from repro.jobs import InProcessBackend, JobQueue, ProcessPoolBackend
+import repro.jobs.queue as queue_module
+from repro.jobs import (
+    InProcessBackend,
+    JobQueue,
+    ProcessPoolBackend,
+    WorkerPoolError,
+)
 from repro.radio.energy import EnergyReport
 from repro.radio.trace import RoundRecord, RunResultTrace
 from repro.store import ResultStore, canonical_dumps, trial_digest
@@ -283,6 +289,38 @@ class TestJobQueue:
         queue = JobQueue(ProcessPoolBackend(2, max_retries=2))
         with pytest.raises(ZeroDivisionError):
             queue.run(_reciprocal, [1, 0])
+
+    def test_exhausted_retries_name_poisoned_tasks(self):
+        backend = ProcessPoolBackend(
+            2, max_retries=1, retry_backoff=0.0, in_process_fallback=False
+        )
+        tasks = [(os.getpid(), i) for i in range(2)]
+        with pytest.raises(WorkerPoolError) as excinfo:
+            JobQueue(backend).run(
+                _die_outside_parent, tasks, task_labels=["cell-aaaa", "cell-bbbb"]
+            )
+        message = str(excinfo.value)
+        assert "max_retries=1" in message
+        assert "cell-aaaa" in message and "cell-bbbb" in message
+
+    def test_retry_backoff_is_exponential(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(queue_module.time, "sleep", sleeps.append)
+        backend = ProcessPoolBackend(2, max_retries=3, retry_backoff=0.25)
+        tasks = [(os.getpid(), i) for i in range(2)]
+        results = JobQueue(backend).run(_die_outside_parent, tasks)
+        assert results == [0, 1]
+        assert sleeps == [0.25, 0.5, 1.0]
+
+    def test_backend_parameter_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ProcessPoolBackend(2, max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            ProcessPoolBackend(2, retry_backoff=-0.5)
+        with pytest.raises(ValueError, match="task_labels"):
+            JobQueue(InProcessBackend()).run(
+                _square, [1, 2, 3], task_labels=["only-one"]
+            )
 
 
 def _reciprocal(x):
