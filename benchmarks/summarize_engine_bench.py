@@ -51,4 +51,14 @@ if __name__ == "__main__":
         speed = f"  speedup={extra['speedup']:.1f}x" if "speedup" in extra else ""
         if "environment_overhead_ratio" in extra:
             speed += f"  null-env overhead={extra['environment_overhead_ratio']:.3f}x"
+        if "collision_kernel_speedup" in extra:
+            speed += (
+                f"  compiled/numpy={extra['collision_kernel_speedup']:.2f}x"
+                f" (numba={'yes' if extra.get('compiled_available') else 'no'})"
+            )
+        if "aggregation_throughput_ratio" in extra:
+            speed += (
+                "  streaming/materialised="
+                f"{extra['aggregation_throughput_ratio']:.2f}x"
+            )
         print(f"{name}: min={entry['min_seconds'] * 1e3:.1f} ms{speed}")

@@ -3,7 +3,12 @@
 The unit of work is a 10⁴-trial Decay sweep on a small ``G(n, p)`` — big
 enough in the repetition axis that holding every
 :class:`~repro.radio.trace.RunResultTrace` is the dominant memory cost, small
-enough per trial that the cell finishes in CI time.  Two children measure the
+enough per trial that the cell finishes in CI time.  ``p`` sits at the
+δ=4 connectivity threshold — the regime every experiment sweeps.  (It was
+0.3 before PR 7, *below* the n=24 threshold, which put ~0.5% of trials on
+disconnected graphs; those never complete, so every bounded shard burned
+the full ``suggested_max_rounds`` cap and the cell measured the round cap,
+not the aggregation paths.)  Two children measure the
 same sweep end to end (``spawn`` start method; peak RSS is tracked by an
 in-child VmRSS sampler, since ``ru_maxrss`` is inherited across fork/exec on
 recent kernels and would read the pytest parent's high-water mark back):
@@ -22,23 +27,27 @@ summary.  The assertion is deliberately loose — the *sweep-attributable*
 RSS (each path's peak minus a small-R baseline child's) must stay below
 half the materialised path's, where the measured ratio is ~0.2 — because
 the point recorded is the *shape*: materialised grows linearly in R,
-streaming does not.
+streaming does not.  A second, local-only gate pins throughput: streaming
+must run within 5% of the materialised sweep in the best of three paired
+runs, so the flat-memory path never quietly becomes the slow path.
 """
 
 import multiprocessing
+import os
 import time
 
 N = 24
-P = 0.3
 TRIALS = 10_000
 _METRICS = ("success", "completion_round", "total_tx", "mean_tx_per_node")
 
 
 def _workload():
+    from repro.experiments.common import threshold_p
     from repro.experiments.protocols import ProtocolSpec
     from repro.graphs.builders import GraphSpec
 
-    return GraphSpec("gnp", {"n": N, "p": P}), ProtocolSpec("decay", {})
+    p = round(threshold_p(N), 4)
+    return GraphSpec("gnp", {"n": N, "p": p}), ProtocolSpec("decay", {})
 
 
 class _PeakRssSampler:
@@ -163,6 +172,21 @@ def test_bench_streaming_aggregation_memory_flat(benchmark):
     benchmark.pedantic(target, rounds=1, iterations=1)
     materialised = _run_child(_measure_materialised)
     baseline = _run_child(_measure_baseline)
+    # Wall-clock on a shared box jitters a few percent run to run, so the
+    # throughput claim is made on paired runs: each (streaming, materialised)
+    # pair runs back to back and the gate takes the best pair ratio, while
+    # the reported trials/s come from each path's best run.  The RSS
+    # comparison keeps the first runs — peak memory is stable.
+    pairs = [(streaming["elapsed"], materialised["elapsed"])]
+    for _ in range(2):
+        pairs.append(
+            (
+                _run_child(_measure_streaming)["elapsed"],
+                _run_child(_measure_materialised)["elapsed"],
+            )
+        )
+    streaming_best = min(s for s, _ in pairs)
+    materialised_best = min(m for _, m in pairs)
 
     assert streaming["trials"] == materialised["trials"] == TRIALS
     # Same workload, same per-trial seeds (fast-mode draws differ by shard
@@ -173,28 +197,37 @@ def test_bench_streaming_aggregation_memory_flat(benchmark):
     streaming_delta = max(streaming["peak_rss_mb"] - floor, 0.1)
     materialised_delta = max(materialised["peak_rss_mb"] - floor, 0.1)
     ratio = streaming_delta / materialised_delta
+    streaming_tps = TRIALS / streaming_best
+    materialised_tps = TRIALS / materialised_best
+    throughput_ratio = max(m / s for s, m in pairs)
     print(
         f"\nbaseline (R=64): {floor:.0f} MiB peak"
         f"\nstreaming:    {streaming['peak_rss_mb']:.0f} MiB peak "
-        f"(+{streaming_delta:.0f}), {TRIALS / streaming['elapsed']:.0f} trials/s"
+        f"(+{streaming_delta:.0f}), {streaming_tps:.0f} trials/s"
         f"\nmaterialised: {materialised['peak_rss_mb']:.0f} MiB peak "
         f"(+{materialised_delta:.0f}), "
-        f"{TRIALS / materialised['elapsed']:.0f} trials/s"
+        f"{materialised_tps:.0f} trials/s"
         f"\nsweep-attributable RSS ratio: {ratio:.2f}"
+        f"\nthroughput ratio (streaming / materialised, best of "
+        f"{len(pairs)} pairs): {throughput_ratio:.2f}"
     )
     benchmark.extra_info["aggregation_trials"] = TRIALS
     benchmark.extra_info["baseline_peak_rss_mb"] = floor
     benchmark.extra_info["streaming_peak_rss_mb"] = streaming["peak_rss_mb"]
     benchmark.extra_info["materialised_peak_rss_mb"] = materialised["peak_rss_mb"]
-    benchmark.extra_info["streaming_trials_per_second"] = (
-        TRIALS / streaming["elapsed"]
-    )
-    benchmark.extra_info["materialised_trials_per_second"] = (
-        TRIALS / materialised["elapsed"]
-    )
+    benchmark.extra_info["streaming_trials_per_second"] = streaming_tps
+    benchmark.extra_info["materialised_trials_per_second"] = materialised_tps
     benchmark.extra_info["aggregation_rss_ratio"] = ratio
+    benchmark.extra_info["aggregation_throughput_ratio"] = throughput_ratio
 
     # The recorded claim: the streaming reduction does not pay the
     # R-proportional trace-list cost the materialised path does — the
     # sweep-attributable part of its peak stays a small fraction.
     assert ratio < 0.5, (streaming["peak_rss_mb"], materialised["peak_rss_mb"], floor)
+    # And it pays no throughput tax for the flat memory: with buffered
+    # vectorised ingest and shared-batch reuse the streaming cell runs at
+    # parity with the materialised sweep (measured ~0.9-1.2x; the gate
+    # leaves 5% for noise).  Local-only — shared CI runners jitter too
+    # much to gate on wall time.
+    if not os.environ.get("CI"):
+        assert throughput_ratio >= 0.95, (streaming_best, materialised_best)

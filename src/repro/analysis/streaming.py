@@ -31,7 +31,10 @@ import bisect
 import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.analysis.statistics import SummaryStatistics, _normal_quantile
+from repro.radio.kernels import partials_extend
 
 __all__ = [
     "QuantileSketch",
@@ -108,6 +111,58 @@ class QuantileSketch:
             if len(self._values) > self.capacity:
                 self._compact()
         self.count += weight
+
+    def extend(self, values: np.ndarray) -> None:
+        """Add a chunk of unit-weight values in one sorted merge.
+
+        While the sketch is lossless and the merged distinct-value set still
+        fits the capacity, the result is np-bitwise identical to adding the
+        values one at a time (sequential adds would never compact either, so
+        both paths end at the same sorted centroid list; weight bumps are
+        exact integer float additions).  Otherwise — the sketch is already
+        lossy, or the merge would overflow capacity — it falls back to
+        per-value :meth:`add` calls, preserving the order-sensitive
+        compaction semantics exactly.
+        """
+        values = np.ascontiguousarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        unique, counts = np.unique(values, return_counts=True)
+        fits = self._lossless and (
+            len(self._values) == 0 or unique.size <= self.capacity
+        )
+        if fits and len(self._values):
+            existing = np.asarray(self._values, dtype=np.float64)
+            positions = np.searchsorted(existing, unique)
+            clipped = np.minimum(positions, existing.size - 1)
+            duplicate = existing[clipped] == unique
+            new_count = int(unique.size - duplicate.sum())
+            if len(self._values) + new_count > self.capacity:
+                fits = False
+            else:
+                weights = np.asarray(self._weights, dtype=np.float64)
+                if duplicate.any():
+                    weights[positions[duplicate]] += counts[duplicate]
+                if new_count:
+                    insert_at = positions[~duplicate]
+                    existing = np.insert(existing, insert_at, unique[~duplicate])
+                    weights = np.insert(
+                        weights, insert_at, counts[~duplicate].astype(np.float64)
+                    )
+                self._values = existing.tolist()
+                self._weights = weights.tolist()
+                self.count += float(values.size)
+                return
+        if fits:
+            if unique.size > self.capacity:
+                fits = False
+            else:
+                self._values = unique.tolist()
+                self._weights = counts.astype(np.float64).tolist()
+                self.count += float(values.size)
+                return
+        for value in values.tolist():
+            self.add(value)
 
     def _compact(self) -> None:
         """Merge the closest adjacent centroid pair (first such pair wins)."""
@@ -257,9 +312,67 @@ class MetricAccumulator:
             self.maximum = value
         self.sketch.add(value)
 
-    def add_many(self, values: Iterable[float]) -> None:
-        for value in values:
-            self.add(value)
+    def add_many(
+        self,
+        values: Iterable[float],
+        weights: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Accumulate a chunk of observations in vectorised passes.
+
+        The unweighted path is bit-identical to calling :meth:`add` per
+        value: moments are folded through the chunked Shewchuk kernel
+        (:func:`repro.radio.kernels.partials_extend`), min/max reduce over
+        the array, and the sketch takes the chunk via
+        :meth:`QuantileSketch.extend`.  Unlike :meth:`add`, validation is
+        all-or-nothing: a non-finite value raises before anything is
+        accumulated.
+
+        ``weights`` (optional, positive and finite) treats each value as a
+        weighted observation: the count grows by each weight, the moments by
+        ``w·v`` / ``w·v²`` (each product rounded once), and the sketch takes
+        per-value weighted adds.  Weighted ingest is a convenience for
+        pre-reduced inputs; only the unweighted path carries the bit-equality
+        guarantee.
+        """
+        if not isinstance(values, (np.ndarray, list, tuple)):
+            values = list(values)
+        values = np.ascontiguousarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if not np.isfinite(values).all():
+            bad = values[~np.isfinite(values)][0]
+            raise ValueError(f"cannot accumulate non-finite value {bad!r}")
+        if weights is None:
+            self.count += int(values.size)
+            self._sum = partials_extend(self._sum, values)
+            self._sumsq = partials_extend(self._sumsq, values * values)
+            low = float(values.min())
+            high = float(values.max())
+            if low < self.minimum:
+                self.minimum = low
+            if high > self.maximum:
+                self.maximum = high
+            self.sketch.extend(values)
+            return
+        weights = np.ascontiguousarray(weights, dtype=np.float64).ravel()
+        if weights.shape != values.shape:
+            raise ValueError(
+                f"weights must match values ({values.shape}), "
+                f"got {weights.shape}"
+            )
+        if not np.isfinite(weights).all() or (weights <= 0).any():
+            raise ValueError("weights must be positive and finite")
+        self.count += float(weights.sum())
+        self._sum = partials_extend(self._sum, weights * values)
+        self._sumsq = partials_extend(self._sumsq, weights * (values * values))
+        low = float(values.min())
+        high = float(values.max())
+        if low < self.minimum:
+            self.minimum = low
+        if high > self.maximum:
+            self.maximum = high
+        for value, weight in zip(values.tolist(), weights.tolist()):
+            self.sketch.add(value, weight)
 
     def merge(self, other: "MetricAccumulator") -> None:
         """Fold another accumulator in (exact for the moments)."""
@@ -382,6 +495,31 @@ class AccumulatorSet:
                 accumulator.add_many(value)
             else:
                 accumulator.add(value)
+
+    def observe_many(self, samples: Sequence[Dict[str, object]]) -> None:
+        """Consume a buffered chunk of trial samples in one pass per metric.
+
+        Equivalent to calling :meth:`observe` per sample — the moments are
+        exactly rounded either way, and each metric sees its values in the
+        same sample order, so sketches match the sequential path too — but
+        each metric pays one vectorised :meth:`MetricAccumulator.add_many`
+        instead of a Python-level ``add`` per trial.
+        """
+        if not samples:
+            return
+        self.trials += len(samples)
+        for name, accumulator in self.metrics.items():
+            chunk: List[float] = []
+            for sample in samples:
+                value = sample.get(name)
+                if value is None:
+                    continue
+                if isinstance(value, (list, tuple)):
+                    chunk.extend(value)
+                else:
+                    chunk.append(value)
+            if chunk:
+                accumulator.add_many(chunk)
 
     def __getitem__(self, name: str) -> MetricAccumulator:
         return self.metrics[name]

@@ -44,9 +44,12 @@ of a sweep advance together through the vectorised
 ``K`` per-worker batches).  ``--no-batch`` forces the serial per-run engine,
 ``--batch-mode exact`` makes batched runs bit-identical to serial ones
 (one rng stream per trial) instead of the default vectorised ``fast`` mode,
-and ``--state-backend {auto,dense,bitset,sparse}`` pins the node-set state
+``--state-backend {auto,dense,bitset,sparse}`` pins the node-set state
 representation (:mod:`repro.radio.nodesets`) instead of the per-workload
-heuristic.
+heuristic, and ``--kernel {auto,numpy,compiled,edge_sampled}`` selects the
+collision-kernel implementation (:mod:`repro.radio.kernels`) — ``auto``
+runs the compiled kernel when numba is importable, falling back to the
+bit-identical numpy path otherwise.
 
 Caching flags: ``--resume`` turns the result store on for ``run`` / ``chart``
 / ``report`` (they default to uncached), ``--cache-dir DIR`` picks the store
@@ -103,6 +106,16 @@ def _add_execution_flags(
         "workload, 'dense' boolean arrays, 'bitset' packed uint64 words "
         "(8x smaller gossip knowledge), 'sparse' frontier index pools "
         "(decay/flooding at large n); results are identical either way",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["auto", "numpy", "compiled", "edge_sampled"],
+        default="auto",
+        help="collision-kernel implementation: 'auto' picks the compiled "
+        "(numba) kernel when available and the bit-identical numpy path "
+        "otherwise; 'edge_sampled' opts into the O(R*n) mean-field "
+        "approximation for edge-bound graphs (fast mode only, stamped "
+        "into result provenance)",
     )
     parser.add_argument(
         "--env",
@@ -467,11 +480,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     store: Optional[ResultStore] = None
     if hasattr(args, "no_batch"):
+        if args.kernel == "edge_sampled" and args.batch_mode == "exact":
+            parser.error(
+                "--kernel edge_sampled is a collision approximation and "
+                "cannot honour --batch-mode exact; use --batch-mode fast"
+            )
         store = _store_from_args(args)
         execution_kwargs = dict(
             batch=False if args.no_batch else True,
             batch_mode=args.batch_mode,
             state_backend=args.state_backend,
+            kernel=args.kernel,
             store=store,
         )
         if getattr(args, "env", None) is not None:

@@ -34,14 +34,21 @@ def execution_provenance() -> Dict[str, object]:
     # (which all import this one) do not pull the runner in before their
     # own imports are needed.
     from repro.experiments.runner import _EXECUTION_DEFAULTS
+    from repro.radio.kernels import compiled_available, resolve_collision_kernel
     from repro.store import ENGINE_VERSION
 
     defaults = _EXECUTION_DEFAULTS
+    # Provenance reports what *would* run; resolution is mode-independent
+    # here (an illegal edge_sampled x exact combination fails loudly at plan
+    # build, not while stamping a report).
     return {
         "engine_version": ENGINE_VERSION,
         "batch": defaults.batch,
         "batch_mode": defaults.batch_mode,
         "state_backend": defaults.state_backend,
+        "kernel": defaults.kernel,
+        "kernel_resolved": resolve_collision_kernel(defaults.kernel),
+        "compiled_kernels": compiled_available(),
         "result_store": (
             str(defaults.store.root) if defaults.store is not None else None
         ),

@@ -56,8 +56,9 @@ from repro.experiments.protocols import (
     supports_batch,
 )
 from repro.graphs.builders import GraphSpec, build_network, spec_is_deterministic
-from repro.jobs import JobQueue
-from repro.radio.batch import BatchEngine
+from repro.jobs import InProcessBackend, JobQueue
+from repro.radio.batch import BatchEngine, NetworkBatch
+from repro.radio.kernels import resolve_collision_kernel
 from repro.radio.network import RadioNetwork
 from repro.radio.nodesets import STATE_BACKENDS
 from repro.radio.collision import (
@@ -360,6 +361,7 @@ class _ExecutionDefaults:
     batch: Union[bool, str] = True
     batch_mode: str = "fast"
     state_backend: str = "auto"
+    kernel: str = "auto"
     store: Optional[ResultStore] = None
     environment: Optional[Dict[str, object]] = None
 
@@ -375,17 +377,20 @@ def configure_execution(
     batch: Union[bool, str, None] = None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     store=_UNSET,
     environment=_UNSET,
 ) -> None:
     """Set process-wide execution defaults (the CLI's ``--no-batch`` /
-    ``--batch-mode`` / ``--state-backend`` / cache flags land here).
+    ``--batch-mode`` / ``--state-backend`` / ``--kernel`` / cache flags land
+    here).
 
     ``repeat_job`` / :class:`ExecutionPlan` use these whenever the caller
-    does not pass ``batch`` / ``batch_mode`` / ``state_backend`` explicitly,
-    so the whole experiment suite can be switched to serial, exact-mode or a
-    forced node-set state backend without threading flags through every
-    experiment module.
+    does not pass ``batch`` / ``batch_mode`` / ``state_backend`` /
+    ``kernel`` explicitly, so the whole experiment suite can be switched to
+    serial, exact-mode, a forced node-set state backend or a specific
+    collision kernel without threading flags through every experiment
+    module.
 
     ``store`` installs the process-wide content-addressed result store the
     sweeps consult (a :class:`~repro.store.ResultStore`, a cache-dir path,
@@ -405,6 +410,11 @@ def configure_execution(
         updates["batch_mode"] = batch_mode
     if state_backend is not None:
         updates["state_backend"] = state_backend
+    if kernel is not None:
+        # Validate eagerly (mode-independent checks only) so a typo fails at
+        # configuration time, not on the first sweep.
+        resolve_collision_kernel(kernel)
+        updates["kernel"] = kernel
     if store is not _UNSET:
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
@@ -422,33 +432,50 @@ class _BatchShard:
     mode: str
     fast_seed: Optional[np.random.SeedSequence]
     state_backend: str = "auto"
+    kernel: str = "auto"
     #: Plan-level topology cache: for deterministic graph families every
     #: job's sample is the same network, so the plan builds it once and every
     #: shard (and every trial within a shard) shares the object instead of
     #: rebuilding it per job.  ``None`` for random families, whose per-trial
     #: samples are (deliberately) distinct.
     shared_network: Optional[RadioNetwork] = None
+    #: Stacked-CSR reuse on top of the topology cache: in-process plans also
+    #: share the *tiled* :class:`NetworkBatch` across equally-sized shards,
+    #: so a 64-shard resumable sweep builds the block-diagonal CSR once
+    #: instead of 64 times.  ``None`` when fan-out would have to pickle the
+    #: stacked arrays to worker processes (rebuilding there is cheaper).
+    shared_batch: Optional[NetworkBatch] = None
 
 
-def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
+def _execute_batch_shard(
+    shard: _BatchShard, result_sink: Optional[_ResultSink] = None
+) -> List[RunResultTrace]:
     """Run one shard's jobs as a single :class:`NetworkBatch` through the
     batch engine.  Runs in the parent (single shard) or a worker process
-    (sharded fan-out); everything it needs is picklable."""
+    (sharded fan-out); everything it needs is picklable.
+
+    ``result_sink`` streams each trial's trace (with its job metadata
+    attached) out as results are assembled; the return value is then empty
+    and the shard never materialises its full trace list.
+    """
     jobs = shard.jobs
     template = jobs[0]
     collision_model = _batch_collision_model_for(template)
 
-    networks = []
+    networks: Union[NetworkBatch, List[RadioNetwork]] = []
     protocol_rngs = []
     for job in jobs:
         # The graph stream is spawned even when the cached topology makes it
         # unused, so the protocol stream stays identical on every path.
         graph_rng, protocol_rng = spawn_generators(job.seed, 2)
-        if shard.shared_network is not None:
-            networks.append(shard.shared_network)
-        else:
-            networks.append(build_network(job.graph, rng=graph_rng))
+        if isinstance(networks, list):
+            if shard.shared_network is not None:
+                networks.append(shard.shared_network)
+            else:
+                networks.append(build_network(job.graph, rng=graph_rng))
         protocol_rngs.append(protocol_rng)
+    if shard.shared_batch is not None:
+        networks = shard.shared_batch
 
     engine = BatchEngine(
         collision_model,
@@ -457,11 +484,30 @@ def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
         run_to_quiescence=template.run_to_quiescence,
         state_backend=shard.state_backend,
         environment=build_batch_environment(template.environment),
+        kernel=shard.kernel,
     )
     protocol = build_batch_protocol(template.protocol)
+
+    def decorate(trial: int, result: RunResultTrace) -> RunResultTrace:
+        job = jobs[trial]
+        result.metadata.setdefault("job", job.as_dict())
+        if job.label:
+            result.metadata["label"] = job.label
+        return result
+
+    engine_sink: Optional[_ResultSink] = None
+    if result_sink is not None:
+
+        def engine_sink(trial: int, result: RunResultTrace) -> None:
+            result_sink(trial, decorate(trial, result))
+
     if shard.mode == "exact":
         results = engine.run(
-            networks, protocol, rngs=protocol_rngs, max_rounds=template.max_rounds
+            networks,
+            protocol,
+            rngs=protocol_rngs,
+            max_rounds=template.max_rounds,
+            result_sink=engine_sink,
         )
     else:
         results = engine.run(
@@ -469,11 +515,10 @@ def _execute_batch_shard(shard: _BatchShard) -> List[RunResultTrace]:
             protocol,
             rng=np.random.default_rng(shard.fast_seed),
             max_rounds=template.max_rounds,
+            result_sink=engine_sink,
         )
-    for job, result in zip(jobs, results):
-        result.metadata.setdefault("job", job.as_dict())
-        if job.label:
-            result.metadata["label"] = job.label
+    for trial, result in enumerate(results):
+        decorate(trial, result)
     return results
 
 
@@ -519,6 +564,16 @@ class ExecutionPlan:
     :mod:`repro.radio.nodesets`); results are identical under every backend
     (bit-identical in exact mode), so this is purely a space/time knob.
 
+    ``kernel`` selects the collision-kernel implementation
+    (:data:`repro.radio.kernels.COLLISION_KERNELS`): ``"auto"`` (default)
+    runs the compiled kernel when numba is importable and the bit-identical
+    numpy path otherwise, ``"numpy"`` / ``"compiled"`` force a side,
+    and ``"edge_sampled"`` opts into the O(R·n) mean-field approximation
+    for edge-bound graphs — fast mode only (the plan rejects it under
+    ``batch_mode="exact"`` at construction), stamped into trace metadata
+    and into the sweep's store digests.  The exact kernels all share one
+    digest space, so flipping between them never invalidates a cache.
+
     Deterministic graph families (paths, grids, the lower-bound gadgets …)
     sample to the same network under every seed, so the plan builds that
     topology **once** and hands every shard a shared view instead of
@@ -549,6 +604,7 @@ class ExecutionPlan:
     batch_mode: str = "fast"
     fast_seed: Optional[np.random.SeedSequence] = None
     state_backend: str = "auto"
+    kernel: str = "auto"
     store: Optional[ResultStore] = None
     queue: Optional[JobQueue] = None
     shard_count: Optional[int] = None
@@ -570,6 +626,12 @@ class ExecutionPlan:
                 f"state_backend must be one of {known}, "
                 f"got {self.state_backend!r}"
             )
+        # Fails fast on unknown kernels and on the illegal
+        # edge_sampled x exact combination (an approximation cannot honour
+        # the bit-exactness contract) at plan-build time.
+        resolve_collision_kernel(
+            self.kernel, exact_mode=self.batch_mode == "exact"
+        )
         if self.shard_count is not None and self.shard_count < 1:
             raise ValueError(
                 f"shard_count must be >= 1, got {self.shard_count}"
@@ -635,13 +697,32 @@ class ExecutionPlan:
                 fast_seeds = [fast_seed]
             else:
                 fast_seeds = list(fast_seed.spawn(count))
+        # Stacked-CSR reuse: an in-process shared-topology plan tiles the
+        # block-diagonal batch once per distinct shard size and every shard
+        # of that size shares the arrays.  Skipped under process fan-out,
+        # where the shard would have to pickle the stacked CSR to its worker
+        # (rebuilding from the n-node network there is cheaper than the
+        # IPC).
+        shared_batches: Dict[int, NetworkBatch] = {}
+        if (
+            shared_network is not None
+            and _worker_count(self.processes, len(jobs)) == 1
+        ):
+            for size in {
+                int(bounds[k + 1] - bounds[k])
+                for k in range(count)
+                if bounds[k] < bounds[k + 1]
+            }:
+                shared_batches[size] = NetworkBatch.shared(shared_network, size)
         return [
             _BatchShard(
                 jobs=jobs[bounds[k] : bounds[k + 1]],
                 mode=self.batch_mode,
                 fast_seed=fast_seeds[k],
                 state_backend=self.state_backend,
+                kernel=self.kernel,
                 shared_network=shared_network,
+                shared_batch=shared_batches.get(int(bounds[k + 1] - bounds[k])),
             )
             for k in range(count)
             if bounds[k] < bounds[k + 1]
@@ -667,6 +748,15 @@ class ExecutionPlan:
             "batch_mode": self.batch_mode,
             "state_backend": self.state_backend,
         }
+        resolved_kernel = resolve_collision_kernel(
+            self.kernel, exact_mode=self.batch_mode == "exact"
+        )
+        if resolved_kernel == "edge_sampled":
+            # Only the approximation changes the result distribution; the
+            # exact kernels (numpy/compiled/auto) are interchangeable bit
+            # for bit, so they share the historical digests — the key is
+            # omitted entirely to keep every pre-kernel store valid.
+            context["kernel"] = "edge_sampled"
         if self.batch_mode == "fast":
             fast_seed = self._fast_seed_or_derived()
             context["fast_cohort"] = {
@@ -859,6 +949,31 @@ class ExecutionPlan:
                 f"shard[{k}]:{job_store_key(shard.jobs[0], context)[:16]}"
                 for k, shard in enumerate(shards)
             ]
+            if (
+                not collect
+                and sink is not None
+                and isinstance(queue.backend, InProcessBackend)
+            ):
+                # In-process streaming: hand the sink through to the engine
+                # so traces flow out one trial at a time and not even one
+                # shard's trace list is ever materialised.  (Process fan-out
+                # keeps the per-shard list — the traces have to cross the
+                # IPC boundary as a batch anyway.)
+                def run_streaming(item) -> None:
+                    index, shard = item
+                    base = int(starts[index])
+                    _execute_batch_shard(
+                        shard,
+                        result_sink=lambda t, trace: sink(base + t, trace),
+                    )
+
+                queue.run(
+                    run_streaming,
+                    list(enumerate(shards)),
+                    collect=False,
+                    task_labels=labels,
+                )
+                return []
             parts = queue.run(
                 _execute_batch_shard,
                 shards,
@@ -886,6 +1001,7 @@ def build_repetition_plan(
     batch: Union[bool, str, None] = None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     store=None,
     queue: Optional[JobQueue] = None,
     shards: Optional[int] = None,
@@ -907,6 +1023,8 @@ def build_repetition_plan(
         batch_mode = _EXECUTION_DEFAULTS.batch_mode
     if state_backend is None:
         state_backend = _EXECUTION_DEFAULTS.state_backend
+    if kernel is None:
+        kernel = _EXECUTION_DEFAULTS.kernel
     if "environment" not in job_options:
         if _EXECUTION_DEFAULTS.environment is not None:
             job_options["environment"] = _EXECUTION_DEFAULTS.environment
@@ -931,6 +1049,7 @@ def build_repetition_plan(
         batch_mode=batch_mode,
         fast_seed=children[-1],
         state_backend=state_backend,
+        kernel=kernel,
         store=_resolve_store(store),
         queue=queue,
         shard_count=shards,
@@ -947,6 +1066,7 @@ def repeat_job(
     batch: Union[bool, str, None] = None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     store=None,
     queue: Optional[JobQueue] = None,
     shards: Optional[int] = None,
@@ -965,9 +1085,10 @@ def repeat_job(
     instead of the silent fallback.  The returned ``List[RunResultTrace]``
     has the same shape either way.
 
-    ``batch`` / ``batch_mode`` / ``state_backend`` default to the
-    process-wide settings of :func:`configure_execution` (out of the box:
-    batched, ``"fast"``, ``"auto"`` node-set state).
+    ``batch`` / ``batch_mode`` / ``state_backend`` / ``kernel`` default to
+    the process-wide settings of :func:`configure_execution` (out of the
+    box: batched, ``"fast"``, ``"auto"`` node-set state, ``"auto"``
+    collision kernel).
 
     * ``batch_mode="fast"``: one shared generator per shard with vectorised
       draws — statistically identical to serial, not bit-identical.
@@ -995,6 +1116,7 @@ def repeat_job(
         batch=batch,
         batch_mode=batch_mode,
         state_backend=state_backend,
+        kernel=kernel,
         store=store,
         queue=queue,
         shards=shards,

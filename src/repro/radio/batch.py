@@ -67,6 +67,7 @@ from repro.radio.collision import (
 )
 from repro.radio.energy import BatchEnergyAccountant
 from repro.radio.environment import BatchEnvironment, as_batch_environment
+from repro.radio.kernels import COLLISION_KERNELS, resolve_collision_kernel
 from repro.radio.network import RadioNetwork
 from repro.radio.nodesets import (
     KnowledgeState,
@@ -105,7 +106,15 @@ class NetworkBatch:
         run every trial on one shared topology.
     """
 
-    __slots__ = ("networks", "trials", "n", "total_nodes", "out_indptr", "out_indices")
+    __slots__ = (
+        "networks",
+        "trials",
+        "n",
+        "total_nodes",
+        "out_indptr",
+        "out_indices",
+        "_in_degrees",
+    )
 
     def __init__(self, networks: Sequence[RadioNetwork]):
         networks = list(networks)
@@ -123,12 +132,36 @@ class NetworkBatch:
         self.trials = trials
         self.n = n
         self.total_nodes = trials * n
+        self._in_degrees = None
 
         if trials * n > np.iinfo(np.int32).max:
             raise ValueError(
                 f"batch of {trials} x {n} nodes exceeds the int32 id space; "
                 "split the repetitions into smaller batches"
             )
+        first = networks[0]
+        if trials > 1 and all(net is first for net in networks):
+            # Shared-topology tiling: one broadcast add per array instead of
+            # a Python loop over R identical blocks.  Produces arrays
+            # bit-identical to the general path below.
+            num_edges = first.num_edges
+            indptr = np.empty(self.total_nodes + 1, dtype=np.int64)
+            indptr[0] = 0
+            edge_offsets = np.arange(trials, dtype=np.int64) * num_edges
+            indptr[1:] = (
+                first.out_indptr[1:][None, :] + edge_offsets[:, None]
+            ).reshape(-1)
+            indices = np.empty(trials * num_edges, dtype=np.int32)
+            node_offsets = np.arange(trials, dtype=np.int64) * n
+            np.add(
+                first.out_indices[None, :],
+                node_offsets[:, None],
+                out=indices.reshape(trials, num_edges),
+                casting="unsafe",
+            )
+            self.out_indptr = indptr
+            self.out_indices = indices
+            return
         total_edges = sum(net.num_edges for net in networks)
         indptr = np.empty(self.total_nodes + 1, dtype=np.int64)
         indptr[0] = 0
@@ -155,6 +188,19 @@ class NetworkBatch:
         """Fraction of possible (directed, loop-free) edges present."""
         possible = self.trials * self.n * max(self.n - 1, 1)
         return self.out_indices.size / possible
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """Flat per-node in-degrees (built on first access, then cached).
+
+        Consumed by the edge-sampled collision kernel, whose per-listener
+        delivery probability depends only on the listener's in-degree.
+        """
+        if self._in_degrees is None:
+            self._in_degrees = np.bincount(
+                self.out_indices, minlength=self.total_nodes
+            )
+        return self._in_degrees
 
     def __repr__(self) -> str:
         return f"NetworkBatch(trials={self.trials}, n={self.n})"
@@ -410,6 +456,8 @@ class _ScheduledOutcome(BatchCollisionOutcome):
     presamples a schedule and consults collision feedback.  Fail loudly
     instead.
     """
+
+    tracks_senders = False
 
     _UNAVAILABLE = (
         "{field} is not available on a scheduled-resolution outcome; "
@@ -803,6 +851,14 @@ class BatchEngine:
         results (bit-identical in exact rng mode); the knob trades memory
         (packed gossip knowledge) against per-round bookkeeping (sparse
         frontiers).
+    kernel:
+        Collision-kernel selection (:data:`repro.radio.kernels.
+        COLLISION_KERNELS`): ``"auto"`` (default — compiled when numba is
+        available, numpy otherwise), ``"numpy"``, ``"compiled"`` (silently
+        falls back to the bit-identical numpy path without numba) or
+        ``"edge_sampled"`` (an O(R·n)-per-round approximation for
+        edge-bound graphs; fast mode only, stamped into each trace's
+        metadata as ``collision_kernel``).
     environment:
         Optional faulty-world layer (a
         :class:`~repro.radio.environment.BatchEnvironment`, a scalar
@@ -828,6 +884,7 @@ class BatchEngine:
         scheduled_resolution: bool = True,
         state_backend: str = "auto",
         environment=None,
+        kernel: str = "auto",
     ):
         if collision_model is None:
             self.collision_model: BatchCollisionModel = BatchStandardCollisionModel()
@@ -846,6 +903,12 @@ class BatchEngine:
                 f"unknown state backend {state_backend!r}; known: {known}"
             )
         self.state_backend = state_backend
+        if kernel not in COLLISION_KERNELS:
+            known = ", ".join(COLLISION_KERNELS)
+            raise ValueError(
+                f"unknown collision kernel {kernel!r}; known: {known}"
+            )
+        self.kernel = kernel
 
     def run(
         self,
@@ -856,6 +919,7 @@ class BatchEngine:
         rngs: Optional[Sequence[SeedLike]] = None,
         trials: Optional[int] = None,
         max_rounds: Optional[int] = None,
+        result_sink=None,
     ) -> List[RunResultTrace]:
         """Run all trials to their individual completion; one trace per trial.
 
@@ -875,6 +939,12 @@ class BatchEngine:
             generators.
         max_rounds:
             Per-trial horizon (defaults to the protocol's suggestion).
+        result_sink:
+            Optional ``(trial_index, trace) -> None`` callback.  When given,
+            each trial's trace is handed to it as results are assembled and
+            the method returns an empty list — a streaming consumer (the
+            sweep aggregation layer) then never holds ``R`` trace objects
+            at once.
         """
         batch = self._coerce_batch(networks, trials)
         if rngs is not None:
@@ -891,6 +961,13 @@ class BatchEngine:
         env_active = environment is not None and not environment.is_null
         if env_active:
             environment.bind(batch, rng_source)
+
+        # Resolve the collision kernel for this run (rejects edge_sampled
+        # under exact mode) and install it on the model for the round loop.
+        collision_kernel = resolve_collision_kernel(
+            self.kernel, exact_mode=rng_source.exact_mode
+        )
+        self.collision_model.kernel = collision_kernel
 
         kernel = resolve_kernel(
             self.state_backend,
@@ -934,6 +1011,9 @@ class BatchEngine:
             and use_interest
             and self.collision_model.resolves_deterministically
             and not self.collision_model.detects_collisions
+            # The edge-sampled kernel draws fresh randomness per round, so
+            # pre-resolving scheduled rounds would skip its draws.
+            and collision_kernel != "edge_sampled"
         )
         plan: Optional[ScheduledTransmissions] = None
         scheduled: Dict[int, np.ndarray] = {}
@@ -1039,7 +1119,7 @@ class BatchEngine:
             running = running & ~stop
 
         completion_round[~completed] = rounds_executed[~completed]
-        results = self._assemble_results(
+        return self._assemble_results(
             batch,
             protocol,
             accountant,
@@ -1047,11 +1127,10 @@ class BatchEngine:
             completion_round,
             rounds_executed,
             round_log,
+            environment=environment if env_active else None,
+            collision_kernel=collision_kernel,
+            result_sink=result_sink,
         )
-        if env_active:
-            for t, result in enumerate(results):
-                result.metadata["environment"] = environment.trial_report(t)
-        return results
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -1077,6 +1156,9 @@ class BatchEngine:
         completion_round: np.ndarray,
         rounds_executed: np.ndarray,
         round_log: List[dict],
+        environment=None,
+        collision_kernel: str = "numpy",
+        result_sink=None,
     ) -> List[RunResultTrace]:
         reports = accountant.reports()
         informed = protocol.informed_counts()
@@ -1128,7 +1210,16 @@ class BatchEngine:
                 result.per_node_transmissions = per_node[t]
             if informed_rounds is not None:
                 result.informed_round = informed_rounds[t].copy()
-            results.append(result)
+            if environment is not None:
+                result.metadata["environment"] = environment.trial_report(t)
+            if collision_kernel == "edge_sampled":
+                # Approximate results must be distinguishable from exact
+                # ones wherever the trace ends up (stores, aggregations).
+                result.metadata["collision_kernel"] = "edge_sampled"
+            if result_sink is not None:
+                result_sink(t, result)
+            else:
+                results.append(result)
         return results
 
 
@@ -1146,6 +1237,7 @@ def run_protocol_batch(
     run_to_quiescence: bool = False,
     state_backend: str = "auto",
     environment=None,
+    kernel: str = "auto",
 ) -> List[RunResultTrace]:
     """Convenience wrapper: build a :class:`BatchEngine` and run once.
 
@@ -1167,6 +1259,7 @@ def run_protocol_batch(
         run_to_quiescence=run_to_quiescence,
         state_backend=state_backend,
         environment=environment,
+        kernel=kernel,
     )
     return engine.run(
         networks,

@@ -32,6 +32,7 @@ from typing import Optional
 import numpy as np
 
 from repro._util.validation import check_probability
+from repro.radio import kernels as _kernels
 from repro.radio.network import RadioNetwork
 
 __all__ = [
@@ -303,6 +304,12 @@ class BatchCollisionOutcome:
         the model detects collisions; lazy).
     """
 
+    #: Whether per-receiver sender identities can be recovered from this
+    #: outcome.  ``False`` on approximation/scheduled outcomes, whose sender
+    #: getters raise — callers that reshape the receiver set (erasure,
+    #: lossy environments) consult this before materialising senders.
+    tracks_senders = True
+
     __slots__ = (
         "receiver_flat",
         "trials",
@@ -441,6 +448,38 @@ class BatchCollisionOutcome:
         return int(offsets[trial]), int(offsets[trial + 1])
 
 
+class _EdgeSampledOutcome(BatchCollisionOutcome):
+    """Outcome of the edge-sampled approximation kernel.
+
+    The approximation draws deliveries per listener without ever gathering
+    edges, so there is no per-receiver sender, no per-edge hear count and no
+    collision flag to report.  Anything that needs them (gossip's sender
+    merge, collision-detection protocols, diagnostics) fails loudly instead
+    of silently reading garbage.
+    """
+
+    __slots__ = ()
+
+    tracks_senders = False
+
+    _MISSING = (
+        "the edge-sampled collision kernel does not track {what}; protocols "
+        "that consume {what} require an exact kernel (auto/numpy/compiled)"
+    )
+
+    @property
+    def sender_flat(self) -> np.ndarray:
+        raise RuntimeError(self._MISSING.format(what="sender identities"))
+
+    @property
+    def hear_counts(self) -> np.ndarray:
+        raise RuntimeError(self._MISSING.format(what="per-node hear counts"))
+
+    @property
+    def collision_flags(self) -> np.ndarray:
+        raise RuntimeError(self._MISSING.format(what="collision flags"))
+
+
 class BatchCollisionModel:
     """Base class: resolve ``R`` trials\' rounds in one vectorised pass.
 
@@ -449,6 +488,12 @@ class BatchCollisionModel:
     """
 
     detects_collisions: bool = False
+
+    #: Resolved collision-kernel name driving :meth:`_batch_exactly_one_rule`
+    #: (``"numpy"``, ``"compiled"`` or ``"edge_sampled"``).  The batch engine
+    #: assigns this at the start of every run from its resolved ``kernel``
+    #: option; direct users of the models get the numpy reference path.
+    kernel: str = "numpy"
 
     #: Whether :meth:`resolve` consumes no randomness — a precondition for
     #: the batch engine's scheduled (mega-gather) resolution, which resolves
@@ -495,18 +540,25 @@ class BatchCollisionModel:
     #: the whole ``R * n`` id space every round.
     _SPARSE_EDGE_THRESHOLD = 8192
 
-    @staticmethod
     def _batch_exactly_one_rule(
-        batch, transmitters, listener_filter=None
+        self, batch, transmitters, listener_filter=None, rng_source=None
     ) -> "BatchCollisionOutcome":
         """Resolve all ``R`` trials\' rounds with one flattened gather.
 
-        Lowers the transmitters of all trials onto the stacked block-diagonal
-        CSR (extending :meth:`CollisionModel._gather_listener_edges`) and
-        counts hearers over ``trial * n + listener`` ids — by one ``bincount``
-        when the round is dense, or by an argsort of the gathered edges when
-        it is sparse.  Both strategies yield receivers in the scalar models\'
-        edge order, which the exact-equivalence mode relies on.
+        Dispatches on :attr:`kernel`: the ``"compiled"`` kernel fuses the
+        gather/count/mask passes into one compiled walk over the stacked
+        CSR, ``"edge_sampled"`` replaces them with a per-listener Bernoulli
+        approximation, and the default ``"numpy"`` path below is the exact
+        reference the others are measured against.
+
+        The numpy reference lowers the transmitters of all trials onto the
+        stacked block-diagonal CSR (extending
+        :meth:`CollisionModel._gather_listener_edges`) and counts hearers
+        over ``trial * n + listener`` ids — by one ``bincount`` when the
+        round is dense, or by an argsort of the gathered edges when it is
+        sparse.  Both strategies — and the fused compiled kernel — yield
+        receivers in the scalar models\' edge order, which the
+        exact-equivalence mode relies on.
         """
         trials, n = batch.trials, batch.n
         transmitters = np.asarray(transmitters)
@@ -519,6 +571,14 @@ class BatchCollisionModel:
             tx_flat = np.flatnonzero(transmitters.reshape(-1))
         else:
             tx_flat = transmitters.astype(np.int64, copy=False)
+
+        kernel = self.kernel
+        if kernel == "edge_sampled":
+            return self._edge_sampled_rule(
+                batch, tx_flat, rng_source, listener_filter
+            )
+        if kernel == "compiled" and _kernels.compiled_available():
+            return self._fused_rule(batch, tx_flat, listener_filter)
 
         listeners, edge_ends = (
             CollisionModel._gather_listener_edges(
@@ -581,6 +641,88 @@ class BatchCollisionModel:
             hear_dense=hear_dense,
         )
 
+    @staticmethod
+    def _fused_rule(batch, tx_flat, listener_filter) -> "BatchCollisionOutcome":
+        """Compiled single-pass resolution (bit-identical to the numpy path)."""
+        trials, n = batch.trials, batch.n
+        filter_arg = (
+            listener_filter
+            if listener_filter is not None
+            else _EMPTY_FILTER
+        )
+        listeners, edge_ends, delivered_mask, flat_counts, receiver_flat = (
+            _kernels.exactly_one_fused(
+                batch.out_indptr,
+                batch.out_indices,
+                tx_flat,
+                batch.total_nodes,
+                filter_arg,
+            )
+            if tx_flat.size
+            else (batch.out_indices[:0], None, None, None, None)
+        )
+        if listeners.size == 0:
+            return BatchCollisionOutcome(
+                receiver_flat=np.empty(0, dtype=np.int64),
+                trials=trials,
+                n=n,
+                receiver_counts=np.zeros(trials, dtype=np.int64),
+                sender_flat=np.empty(0, dtype=np.int64),
+            )
+        return BatchCollisionOutcome(
+            receiver_flat=receiver_flat,
+            trials=trials,
+            n=n,
+            listeners=listeners,
+            edge_ends=edge_ends,
+            tx_flat=tx_flat,
+            delivered_mask=delivered_mask,
+            hear_dense=flat_counts.reshape(trials, n),
+        )
+
+    @staticmethod
+    def _edge_sampled_rule(
+        batch, tx_flat, rng_source, listener_filter
+    ) -> "BatchCollisionOutcome":
+        """Edge-sampled approximation: O(R·n) per-listener Bernoulli draws.
+
+        Replaces the per-edge gather with one delivery draw per listener
+        under a mean-field transmit model (each in-neighbour transmits
+        independently with the trial's transmit fraction).  Fast mode only —
+        the engine never resolves this kernel under exact mode — and the
+        shared fast-path generator supplies the draws.
+        """
+        if rng_source is None:
+            raise ValueError(
+                'kernel "edge_sampled" requires an rng_source for its '
+                "delivery draws"
+            )
+        trials, n = batch.trials, batch.n
+        if tx_flat.size == 0:
+            return _EdgeSampledOutcome(
+                receiver_flat=np.empty(0, dtype=np.int64),
+                trials=trials,
+                n=n,
+                receiver_counts=np.zeros(trials, dtype=np.int64),
+            )
+        tx_counts = np.bincount(tx_flat // n, minlength=trials)
+        probabilities = _kernels.edge_sampled_delivery_probabilities(
+            batch.in_degrees, tx_counts, n
+        )
+        hit = rng_source.generator.random(batch.total_nodes) < probabilities
+        if listener_filter is not None:
+            hit &= listener_filter
+        return _EdgeSampledOutcome(
+            receiver_flat=np.flatnonzero(hit),
+            trials=trials,
+            n=n,
+        )
+
+
+#: Sentinel "no filter" argument for the fused kernel (numba specialises on
+#: dtype, so the no-filter case passes an empty bool array instead of None).
+_EMPTY_FILTER = np.empty(0, dtype=np.bool_)
+
 
 class BatchStandardCollisionModel(BatchCollisionModel):
     """Batched :class:`StandardCollisionModel`."""
@@ -595,7 +737,9 @@ class BatchStandardCollisionModel(BatchCollisionModel):
         rng_source=None,
         listener_filter: Optional[np.ndarray] = None,
     ) -> BatchCollisionOutcome:
-        return self._batch_exactly_one_rule(batch, transmitters, listener_filter)
+        return self._batch_exactly_one_rule(
+            batch, transmitters, listener_filter, rng_source
+        )
 
     def __repr__(self) -> str:
         return "BatchStandardCollisionModel()"
@@ -614,7 +758,9 @@ class BatchWithCollisionDetectionModel(BatchCollisionModel):
         rng_source=None,
         listener_filter: Optional[np.ndarray] = None,
     ) -> BatchCollisionOutcome:
-        outcome = self._batch_exactly_one_rule(batch, transmitters, listener_filter)
+        outcome = self._batch_exactly_one_rule(
+            batch, transmitters, listener_filter, rng_source
+        )
         outcome.detects_collisions = True
         return outcome
 
@@ -647,18 +793,24 @@ class BatchErasureCollisionModel(BatchCollisionModel):
     ) -> BatchCollisionOutcome:
         if rng_source is None:
             raise ValueError("BatchErasureCollisionModel requires an rng_source")
-        outcome = self._batch_exactly_one_rule(batch, transmitters, listener_filter)
+        outcome = self._batch_exactly_one_rule(
+            batch, transmitters, listener_filter, rng_source
+        )
         if outcome.receiver_flat.size and self.erasure_probability > 0.0:
             keep = (
                 rng_source.uniforms_for_counts(outcome.receiver_counts)
                 >= self.erasure_probability
             )
-            # Materialise the senders against the pre-erasure receivers
-            # before reassigning receiver_flat — the lazy getter derives
-            # them from the receiver set, which is about to shrink.
-            senders = outcome.sender_flat
-            outcome.receiver_flat = outcome.receiver_flat[keep]
-            outcome.sender_flat = senders[keep]
+            if not outcome.tracks_senders:
+                # The approximation tracks no senders — erase receivers only.
+                outcome.receiver_flat = outcome.receiver_flat[keep]
+            else:
+                # Materialise the senders against the pre-erasure receivers
+                # before reassigning receiver_flat — the lazy getter derives
+                # them from the receiver set, which is about to shrink.
+                senders = outcome.sender_flat
+                outcome.receiver_flat = outcome.receiver_flat[keep]
+                outcome.sender_flat = senders[keep]
             outcome.receiver_counts = np.bincount(
                 outcome.receiver_flat // batch.n, minlength=batch.trials
             )

@@ -1,0 +1,290 @@
+"""Compiled hot-path kernels behind the batch engine and streaming ingest.
+
+The engine's per-round cost is dominated by two inner loops: the batched
+collision resolution (gather every transmitter's listeners, count hearers,
+mask the exactly-one deliveries) and the per-trial accumulator ingest of the
+streaming aggregation layer.  This module hosts compiled (numba ``@njit``)
+versions of both behind a tiny registry, plus an opt-in *edge-sampled*
+approximation of the collision round for the edge-bound ``G(n, p)`` regime.
+
+Design rules:
+
+* **Optional dependency.**  numba is never required.  Every kernel has a
+  pure-numpy/pure-Python fallback with identical semantics, and
+  :func:`resolve_collision_kernel` silently resolves ``"compiled"`` (and
+  ``"auto"``) to ``"numpy"`` when numba is absent, so the package imports
+  and runs unchanged without it.
+* **Exactness.**  The ``"numpy"`` and ``"compiled"`` collision kernels are
+  bit-identical: the fused pass emits receivers in the scalar models'
+  transmitter-major edge order, the same order the numpy reference produces
+  when no listener filter is installed (exact mode never installs one).
+  The ingest kernel reproduces the Shewchuk partial-sum update float for
+  float, so streaming moments stay exactly rounded and order-independent.
+* **Approximations are loud.**  ``"edge_sampled"`` replaces the per-edge
+  gather with an O(R·n) per-listener Bernoulli draw under a mean-field
+  transmit model.  It is a different distribution, so it can never be
+  resolved under ``batch_mode="exact"`` and is stamped into run provenance
+  by the engine.
+
+This module deliberately imports nothing from the rest of :mod:`repro` so
+that :mod:`repro.radio.collision` and :mod:`repro.analysis.streaming` can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "COLLISION_KERNELS",
+    "DEFAULT_KERNEL",
+    "compiled_available",
+    "resolve_collision_kernel",
+    "exactly_one_fused",
+    "exactly_one_fused_reference",
+    "edge_sampled_delivery_probabilities",
+    "partials_extend",
+    "warm_kernels",
+]
+
+#: Selectable collision-kernel names (``"auto"`` picks compiled when
+#: available, numpy otherwise; it never picks an approximation).
+COLLISION_KERNELS = ("auto", "numpy", "compiled", "edge_sampled")
+
+DEFAULT_KERNEL = "auto"
+
+try:  # pragma: no cover - exercised via the no-numba subprocess test
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover - ImportError in practice
+    _HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs):
+        """No-op ``@njit`` stand-in so kernels stay importable without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def _decorate(function):
+            return function
+
+        return _decorate
+
+
+def compiled_available() -> bool:
+    """Whether numba is importable and the compiled kernels are usable."""
+    return _HAVE_NUMBA
+
+
+def resolve_collision_kernel(name: str, *, exact_mode: bool = False) -> str:
+    """Resolve a requested kernel name to the implementation that will run.
+
+    ``"auto"`` and ``"compiled"`` both resolve to ``"compiled"`` when numba
+    is available and fall back to the bit-identical ``"numpy"`` path when it
+    is not (the fallback is silent because the two are interchangeable).
+    ``"edge_sampled"`` resolves to itself but is rejected under exact mode:
+    it samples a different delivery distribution, so it can never honour the
+    serial-equivalence contract.
+    """
+    if name not in COLLISION_KERNELS:
+        raise ValueError(
+            f"unknown collision kernel {name!r}; expected one of "
+            f"{COLLISION_KERNELS}"
+        )
+    if name == "edge_sampled":
+        if exact_mode:
+            raise ValueError(
+                'kernel "edge_sampled" is a collision approximation and '
+                'cannot be used with batch_mode="exact"; run in fast mode '
+                "or pick an exact kernel (auto/numpy/compiled)"
+            )
+        return "edge_sampled"
+    if name == "numpy":
+        return "numpy"
+    return "compiled" if _HAVE_NUMBA else "numpy"
+
+
+# --------------------------------------------------------------------------- #
+# Fused exactly-one collision kernel
+# --------------------------------------------------------------------------- #
+def _exactly_one_fused_impl(indptr, indices, tx_flat, total_nodes, filter_mask):
+    """Single-pass exactly-one resolution over a stacked CSR.
+
+    Fuses the listener gather, the hear-count accumulation and the
+    delivered-edge masking of the numpy reference
+    (:meth:`BatchCollisionModel._batch_exactly_one_rule`) into one walk over
+    the transmitters' adjacency rows.  ``filter_mask`` is either a
+    ``total_nodes``-bool interest filter or an empty array meaning "no
+    filter".
+
+    Returns ``(listeners, edge_ends, delivered_mask, flat_counts,
+    receiver_flat)`` with the exact dtypes and orderings of the reference:
+    receivers come out in transmitter-major edge order, which is what the
+    exact-equivalence mode pins against the scalar engine.
+    """
+    num_tx = tx_flat.shape[0]
+    edge_ends = np.empty(num_tx, dtype=np.int64)
+    total = 0
+    for i in range(num_tx):
+        v = tx_flat[i]
+        total += indptr[v + 1] - indptr[v]
+        edge_ends[i] = total
+
+    listeners = np.empty(total, dtype=indices.dtype)
+    flat_counts = np.zeros(total_nodes, dtype=np.int64)
+    pos = 0
+    for i in range(num_tx):
+        v = tx_flat[i]
+        for e in range(indptr[v], indptr[v + 1]):
+            listener = indices[e]
+            listeners[pos] = listener
+            flat_counts[listener] += 1
+            pos += 1
+
+    use_filter = filter_mask.shape[0] != 0
+    delivered_mask = np.empty(total, dtype=np.bool_)
+    delivered = 0
+    for j in range(total):
+        listener = listeners[j]
+        hit = flat_counts[listener] == 1
+        if hit and use_filter:
+            hit = filter_mask[listener]
+        delivered_mask[j] = hit
+        if hit:
+            delivered += 1
+
+    receiver_flat = np.empty(delivered, dtype=np.int64)
+    k = 0
+    for j in range(total):
+        if delivered_mask[j]:
+            receiver_flat[k] = listeners[j]
+            k += 1
+    return listeners, edge_ends, delivered_mask, flat_counts, receiver_flat
+
+
+#: Undecorated reference implementation — importable for algorithmic tests
+#: even when numba is absent (it is plain Python, so only call it on small
+#: inputs).
+exactly_one_fused_reference = _exactly_one_fused_impl
+
+if _HAVE_NUMBA:  # pragma: no cover - requires numba
+    exactly_one_fused = _njit(cache=True, nogil=True)(_exactly_one_fused_impl)
+else:
+    exactly_one_fused = _exactly_one_fused_impl
+
+
+# --------------------------------------------------------------------------- #
+# Edge-sampled collision approximation
+# --------------------------------------------------------------------------- #
+def edge_sampled_delivery_probabilities(
+    in_degrees: np.ndarray, tx_counts: np.ndarray, n: int
+) -> np.ndarray:
+    """Mean-field exactly-one delivery probability per (trial, listener).
+
+    With ``k`` of a trial's ``n`` nodes transmitting, each in-neighbour of a
+    listener is modelled as transmitting independently with probability
+    ``f = k / n``, so a listener of in-degree ``d`` hears exactly one
+    transmitter with probability ``d · f · (1 − f)^(d−1)``.  Cost is
+    O(R·n) regardless of edge count — the point of the kernel on edge-bound
+    ``G(n, p)`` — at the price of ignoring which specific neighbours
+    transmit (correlations with the protocol state are dropped).
+
+    Parameters are flat over the stacked batch: ``in_degrees`` has one entry
+    per ``trial * n + node`` id, ``tx_counts`` one per trial.
+    """
+    fractions = (tx_counts.astype(np.float64) / float(n)).repeat(n)
+    degrees = in_degrees.astype(np.float64)
+    survive = np.power(1.0 - fractions, np.maximum(degrees - 1.0, 0.0))
+    return degrees * fractions * survive
+
+
+# --------------------------------------------------------------------------- #
+# Shewchuk partial-sum chunk ingest
+# --------------------------------------------------------------------------- #
+#: Worst-case number of non-overlapping float64 partials is ~40 (the full
+#: exponent range divided by the mantissa width); 64 leaves slack.
+_PARTIALS_CAPACITY = 64
+
+
+def _partials_merge_impl(buffer, count, values):
+    """Fold ``values`` into a Shewchuk partial buffer, returning the new size.
+
+    Float-for-float identical to ``streaming._partials_add`` applied per
+    value: same swap, same two-sum, same zero-elision — so a chunked ingest
+    leaves exactly the partials a sequential one would.
+    """
+    for k in range(values.shape[0]):
+        x = values[k]
+        i = 0
+        for j in range(count):
+            y = buffer[j]
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo != 0.0:
+                buffer[i] = lo
+                i += 1
+            x = hi
+        buffer[i] = x
+        count = i + 1
+    return count
+
+
+if _HAVE_NUMBA:  # pragma: no cover - requires numba
+    _partials_merge = _njit(cache=True, nogil=True)(_partials_merge_impl)
+else:
+    _partials_merge = None
+
+
+def partials_extend(partials: Sequence[float], values: np.ndarray) -> List[float]:
+    """Add every element of ``values`` into a Shewchuk partial-sum list.
+
+    Returns the new partial list (the input is not mutated).  Uses the
+    compiled chunk kernel when numba is available and an equivalent local
+    Python loop otherwise; both produce bit-identical partials to repeated
+    ``_partials_add`` calls, preserving the exactly-rounded,
+    order-independent moment guarantee of the streaming layer.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return list(partials)
+    if _partials_merge is not None and len(partials) < _PARTIALS_CAPACITY:
+        buffer = np.zeros(_PARTIALS_CAPACITY, dtype=np.float64)
+        count = len(partials)
+        buffer[:count] = partials
+        count = _partials_merge(buffer, count, values)
+        return buffer[:count].tolist()
+    result = list(partials)
+    for x in values.tolist():
+        i = 0
+        for y in result:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                result[i] = lo
+                i += 1
+            x = hi
+        result[i:] = [x]
+    return result
+
+
+def warm_kernels() -> None:
+    """Force JIT compilation of every compiled kernel on toy inputs.
+
+    Benchmark fixtures call this before timing so ``BENCH_engine.json``
+    cells measure steady-state throughput, not first-call compilation.
+    A no-op when numba is absent.
+    """
+    if not _HAVE_NUMBA:  # pragma: no cover - requires numba for the rest
+        return
+    indptr = np.array([0, 1, 2], dtype=np.int64)
+    indices = np.array([1, 0], dtype=np.int32)
+    tx = np.array([0], dtype=np.int64)
+    exactly_one_fused(indptr, indices, tx, 2, np.empty(0, dtype=np.bool_))
+    exactly_one_fused(indptr, indices, tx, 2, np.ones(2, dtype=np.bool_))
+    partials_extend([], np.array([1.0, 2.0]))

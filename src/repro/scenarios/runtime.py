@@ -45,18 +45,41 @@ __all__ = [
     "results_table",
 ]
 
-#: Above this repetition count a cell defaults to bounded-size shards so the
-#: batch engine's stacked state (and the per-shard trace list) stays flat in
-#: the total trial count.  ``shards`` overrides per call.  The value trades
-#: per-shard fixed overhead (batch assembly, round-loop startup) against the
-#: peak-memory bound and the resume-checkpoint granularity; measured on the
-#: aggregation bench cell, 1024 keeps tiny-n sweeps within ~1.6x of the
-#: unsharded throughput while still capping shard memory.
+#: Floor on the default shard size: below this many trials per shard the
+#: per-shard fixed overhead (batch assembly, round-loop startup) dominates
+#: tiny-n cells.  ``shards`` overrides per call.
 DEFAULT_SHARD_TRIALS = 1024
+
+#: Target stacked-state cells (trials x nodes) per shard.  The default shard
+#: size adapts to the cell's node count — small-n cells take many more
+#: trials per shard (the round loop's Python overhead is paid per shard, not
+#: per trial), large-n cells fewer — subject to the floor above and the
+#: trial ceiling below.  The budget is deliberately modest: each shard
+#: materialises its trials' networks and stacked CSR, so the shard size is
+#: exactly what keeps the streaming path's peak memory flat in R (the
+#: aggregation bench pins the sweep-attributable RSS at a fraction of the
+#: materialised path's) while still amortising the per-shard fixed costs.
+SHARD_CELL_BUDGET = 1 << 16
+
+#: Hard ceiling on the default trials-per-shard, whatever the node count —
+#: bounds peak memory and the resume-checkpoint granularity for tiny-n cells.
+MAX_SHARD_TRIALS = 4096
 
 #: Checkpoint the running aggregation every this many freshly consumed
 #: trials (plus once at the end of every cell).
 _CHECKPOINT_EVERY = 64
+
+#: Without a store there is no checkpoint boundary forcing ingest flushes,
+#: so buffered samples are folded into the accumulators in chunks of this
+#: size (vectorised ``observe_many``) instead of one ``observe`` per trial.
+_INGEST_BUFFER_TRIALS = 256
+
+
+def _shard_trials_for(n: object) -> int:
+    """The default trials-per-shard for a cell of ``n``-node graphs."""
+    if not isinstance(n, int) or n < 1:
+        return DEFAULT_SHARD_TRIALS
+    return min(MAX_SHARD_TRIALS, max(DEFAULT_SHARD_TRIALS, SHARD_CELL_BUDGET // n))
 
 
 @dataclass
@@ -205,6 +228,7 @@ def run_cell(
     batch=None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     shards: Optional[int] = None,
     sketch_capacity: int = 1024,
 ) -> CellResult:
@@ -235,8 +259,10 @@ def run_cell(
         )
     extractors = resolve_metrics(metric_names)
 
-    if shards is None and cell.repetitions > DEFAULT_SHARD_TRIALS:
-        shards = -(-cell.repetitions // DEFAULT_SHARD_TRIALS)
+    if shards is None:
+        per_shard = _shard_trials_for(cell.graph.params.get("n"))
+        if cell.repetitions > per_shard:
+            shards = -(-cell.repetitions // per_shard)
     plan = build_repetition_plan(
         cell.graph,
         cell.protocol,
@@ -246,6 +272,7 @@ def run_cell(
         batch=batch,
         batch_mode=batch_mode,
         state_backend=state_backend,
+        kernel=kernel,
         store=store,
         shards=shards,
         **cell.job_options,
@@ -267,25 +294,42 @@ def run_cell(
 
     done_set = set(done)
     fresh = 0
+    # Samples are buffered and folded in chunks (``observe_many`` — bit
+    # identical to per-sample ``observe``, see the streaming layer's
+    # contract) so the per-trial Python cost of the reduction is one dict
+    # append, not a full accumulator update.
+    buffered: List[Dict[str, object]] = []
+
+    def flush() -> None:
+        if buffered:
+            accumulators.observe_many(buffered)
+            buffered.clear()
 
     def consume(index: int, trace) -> None:
         nonlocal fresh
-        accumulators.observe(extract_sample(extractors, trace, cell))
+        buffered.append(extract_sample(extractors, trace, cell))
         done_set.add(index)
         fresh += 1
-        if plan.store is not None and fresh % _CHECKPOINT_EVERY == 0:
-            _save_checkpoint(
-                plan.store,
-                key,
-                cell=cell,
-                seed=cell_seed,
-                metric_names=metric_names,
-                total_trials=len(plan.jobs),
-                done_indices=done_set,
-                accumulators=accumulators,
-            )
+        if plan.store is not None:
+            if fresh % _CHECKPOINT_EVERY == 0:
+                # Flush before checkpointing: the saved done-mask must never
+                # claim trials the accumulators have not folded in yet.
+                flush()
+                _save_checkpoint(
+                    plan.store,
+                    key,
+                    cell=cell,
+                    seed=cell_seed,
+                    metric_names=metric_names,
+                    total_trials=len(plan.jobs),
+                    done_indices=done_set,
+                    accumulators=accumulators,
+                )
+        elif len(buffered) >= _INGEST_BUFFER_TRIALS:
+            flush()
 
     counts = plan.execute_streaming(consume, skip_indices=done)
+    flush()
     if plan.store is not None and fresh:
         _save_checkpoint(
             plan.store,
@@ -388,6 +432,7 @@ def run_grid(
     batch=None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     shards: Optional[int] = None,
     sketch_capacity: int = 1024,
 ) -> List[CellResult]:
@@ -402,6 +447,7 @@ def run_grid(
             batch=batch,
             batch_mode=batch_mode,
             state_backend=state_backend,
+            kernel=kernel,
             shards=shards,
             sketch_capacity=sketch_capacity,
         )
@@ -464,6 +510,7 @@ def run_scenario(
     batch=None,
     batch_mode: Optional[str] = None,
     state_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     shards: Optional[int] = None,
     sketch_capacity: int = 1024,
 ) -> List[CellResult]:
@@ -472,7 +519,7 @@ def run_scenario(
     Execution knobs left at ``None`` fall back to the process-wide defaults
     (:func:`~repro.experiments.runner.configure_execution`), exactly like
     ``repeat_job`` — so the CLI's ``--batch-mode`` / ``--state-backend`` /
-    cache flags govern scenario sweeps too.
+    ``--kernel`` / cache flags govern scenario sweeps too.
     """
     return run_grid(
         spec.grid,
@@ -483,6 +530,7 @@ def run_scenario(
         batch=batch,
         batch_mode=batch_mode,
         state_backend=state_backend,
+        kernel=kernel,
         shards=shards,
         sketch_capacity=sketch_capacity,
     )

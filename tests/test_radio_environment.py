@@ -396,11 +396,11 @@ class TestPipelineThreading:
         real = runner_module._execute_batch_shard
         calls = {"n": 0}
 
-        def dies_on_third_shard(shard):
+        def dies_on_third_shard(shard, result_sink=None):
             calls["n"] += 1
             if calls["n"] == 3:
                 raise KeyboardInterrupt("simulated crash mid-sweep")
-            return real(shard)
+            return real(shard, result_sink)
 
         monkeypatch.setattr(
             runner_module, "_execute_batch_shard", dies_on_third_shard
@@ -413,9 +413,9 @@ class TestPipelineThreading:
         assert 0 < store.stats()["entries"] < 4 * 3
         resume_calls = {"n": 0}
 
-        def counting(shard):
+        def counting(shard, result_sink=None):
             resume_calls["n"] += 1
-            return real(shard)
+            return real(shard, result_sink)
 
         monkeypatch.setattr(runner_module, "_execute_batch_shard", counting)
         resumed = run_scenario(self._grid_spec(), store=store)

@@ -142,6 +142,97 @@ class TestAccumulatorSet:
         assert acc.mean("missing") is None
 
 
+class TestVectorisedIngest:
+    """Chunked ingest (``add_many`` / ``extend`` / ``observe_many``) must be
+    bit-identical to the per-value path — the contract that lets the scenario
+    runtime buffer samples without changing a single reduced digit."""
+
+    def test_add_many_bitwise_equals_sequential_add(self):
+        rng = np.random.default_rng(21)
+        values = (rng.uniform(-1e6, 1e6, size=2000) * rng.normal(size=2000)).tolist()
+        chunked, sequential = MetricAccumulator(), MetricAccumulator()
+        chunked.add_many(values[:700])
+        chunked.add_many(values[700:701])  # single-element chunk
+        chunked.add_many([])  # empty chunk is a no-op
+        chunked.add_many(values[701:])
+        for v in values:
+            sequential.add(v)
+        assert chunked.state_dict() == sequential.state_dict()
+
+    def test_add_many_accepts_generators_and_arrays(self):
+        values = [1.5, -2.25, 3.125]
+        a, b, c = MetricAccumulator(), MetricAccumulator(), MetricAccumulator()
+        a.add_many(iter(values))
+        b.add_many(np.array(values))
+        for v in values:
+            c.add(v)
+        assert a.state_dict() == b.state_dict() == c.state_dict()
+
+    def test_add_many_rejects_non_finite_atomically(self):
+        acc = MetricAccumulator()
+        acc.add_many([1.0, 2.0])
+        before = acc.state_dict()
+        with pytest.raises(ValueError):
+            acc.add_many([3.0, float("nan"), 4.0])
+        # All-or-nothing: the partial chunk must not have been folded in.
+        assert acc.state_dict() == before
+
+    def test_add_many_weighted_totals(self):
+        acc = MetricAccumulator()
+        acc.add_many([2.0, 4.0], weights=[3.0, 1.0])
+        assert acc.count == 4.0
+        assert acc.total == 10.0
+        assert acc.mean == 2.5
+        assert acc.minimum == 2.0 and acc.maximum == 4.0
+        with pytest.raises(ValueError):
+            acc.add_many([1.0], weights=[0.0])
+        with pytest.raises(ValueError):
+            acc.add_many([1.0, 2.0], weights=[1.0])
+
+    def test_sketch_extend_bitwise_exact_below_capacity(self):
+        rng = np.random.default_rng(31)
+        # 10k draws over 200 distinct values: heavy duplication, lossless.
+        values = rng.choice(np.linspace(-5, 5, 200), size=10_000)
+        chunked, sequential = QuantileSketch(capacity=256), QuantileSketch(
+            capacity=256
+        )
+        for start in range(0, values.size, 137):
+            chunked.extend(values[start : start + 137])
+        for v in values:
+            sequential.add(float(v))
+        assert chunked.state_dict() == sequential.state_dict()
+
+    def test_sketch_extend_bitwise_in_lossy_regime(self):
+        rng = np.random.default_rng(33)
+        values = rng.normal(size=500)  # continuous: overflows capacity 64
+        chunked, sequential = QuantileSketch(capacity=64), QuantileSketch(
+            capacity=64
+        )
+        chunked.extend(values)
+        for v in values:
+            sequential.add(float(v))
+        assert not chunked.is_exact
+        assert chunked.state_dict() == sequential.state_dict()
+
+    def test_observe_many_bitwise_equals_observe_loop(self):
+        rng = np.random.default_rng(41)
+        samples = []
+        for t in range(300):
+            samples.append(
+                {
+                    "a": float(rng.normal()),
+                    "b": None if t % 7 == 0 else [float(rng.normal())] * 2,
+                }
+            )
+        chunked, sequential = AccumulatorSet(["a", "b"]), AccumulatorSet(["a", "b"])
+        chunked.observe_many(samples[:100])
+        chunked.observe_many(samples[100:])
+        for sample in samples:
+            sequential.observe(sample)
+        assert chunked.trials == sequential.trials == 300
+        assert chunked.state_dict() == sequential.state_dict()
+
+
 # --------------------------------------------------------------------------- #
 # Streaming == materialised, across every registry protocol (exact mode).
 # --------------------------------------------------------------------------- #
