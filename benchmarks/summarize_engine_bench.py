@@ -51,6 +51,8 @@ if __name__ == "__main__":
         speed = f"  speedup={extra['speedup']:.1f}x" if "speedup" in extra else ""
         if "environment_overhead_ratio" in extra:
             speed += f"  null-env overhead={extra['environment_overhead_ratio']:.3f}x"
+        if "telemetry_overhead_ratio" in extra:
+            speed += f"  telemetry overhead={extra['telemetry_overhead_ratio']:.3f}x"
         if "collision_kernel_speedup" in extra:
             speed += (
                 f"  compiled/numpy={extra['collision_kernel_speedup']:.2f}x"

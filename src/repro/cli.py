@@ -35,6 +35,12 @@ Subcommands
     Inspect or empty the result store (``prune`` drops records written under
     older engine versions; ``clear`` also drops aggregation checkpoints).
 
+``repro telemetry summarize trace.jsonl [--json]``
+    Fold a telemetry trace (written by ``--telemetry PATH`` on any execution
+    command) into a per-layer time/throughput report: seconds and trial
+    counts per layer (sweep / cell / shard / round-phase / engine), event
+    and counter totals, and the span tree.
+
 Execution flags (``run`` / ``chart`` / ``report`` / ``sweep``)
 --------------------------------------------------------------
 
@@ -55,6 +61,13 @@ Caching flags: ``--resume`` turns the result store on for ``run`` / ``chart``
 / ``report`` (they default to uncached), ``--cache-dir DIR`` picks the store
 location (and implies ``--resume``), ``--no-cache`` forces caching off
 (including for ``sweep``).
+
+Observability flags: ``--telemetry PATH`` records a structured JSONL trace
+(hierarchical spans + metrics, :mod:`repro.telemetry`) of the whole
+invocation; ``--progress`` / ``--no-progress`` force the live sweep progress
+reporter on or off (default: on exactly when a telemetry trace is being
+recorded and stderr is not a pipe).  Telemetry never changes any result bit
+or store digest.
 """
 
 from __future__ import annotations
@@ -148,6 +161,30 @@ def _add_execution_flags(
         action="store_true",
         help="disable the result store entirely (overrides --resume / "
         "--cache-dir and the 'sweep' default)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        type=Path,
+        default=None,
+        help="record a structured JSONL telemetry trace (hierarchical "
+        "spans sweep>cell>shard>round-phase + metrics registry) of this "
+        "invocation to PATH; fold it with 'repro telemetry summarize'",
+    )
+    parser.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        default=None,
+        help="show live sweep progress (completed/total trials, cache-hit "
+        "ratio, running metric mean, ETA) on stderr [default: on when "
+        "--telemetry is given and stderr is a terminal]",
+    )
+    parser.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="suppress the live progress reporter",
     )
 
 
@@ -290,6 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
         f"{DEFAULT_CACHE_DIR})",
     )
 
+    telemetry_parser = sub.add_parser(
+        "telemetry", help="work with recorded telemetry traces"
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_action", required=True
+    )
+    summarize_parser = telemetry_sub.add_parser(
+        "summarize",
+        help="fold a JSONL trace into a per-layer time/throughput report",
+    )
+    summarize_parser.add_argument(
+        "trace", type=Path, help="trace file written by --telemetry PATH"
+    )
+    summarize_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the folded summary as JSON instead of the rendered report",
+    )
+
     return parser
 
 
@@ -391,15 +447,24 @@ def _command_sweep_grid(args: argparse.Namespace, store: Optional[ResultStore]) 
     return 0
 
 
+def _cache_summary(store: ResultStore) -> str:
+    """End-of-run result-store line: hits/misses/puts plus checkpoint count."""
+    total = store.hits + store.misses
+    line = (
+        f"[cache] {store.hits}/{total} trials served from "
+        f"{store.root} ({store.misses} missed, {store.puts} stored"
+    )
+    checkpoints = len(store.aggregates.keys())
+    if checkpoints:
+        line += f", {checkpoints} aggregation checkpoint(s)"
+    return line + ")"
+
+
 def _command_sweep(args: argparse.Namespace, store: Optional[ResultStore]) -> int:
     if args.grid is not None:
         code = _command_sweep_grid(args, store)
         if store is not None:
-            total = store.hits + store.misses
-            print(
-                f"[cache] {store.hits}/{total} trials served from "
-                f"{store.root} ({store.misses} computed and stored)"
-            )
+            print(_cache_summary(store))
         return code
     if args.experiment is None:
         raise SystemExit("repro sweep needs an experiment id or --grid FILE")
@@ -421,11 +486,7 @@ def _command_sweep(args: argparse.Namespace, store: Optional[ResultStore]) -> in
             result.save(path)
             print(f"[written] {path}")
     if store is not None:
-        total = store.hits + store.misses
-        print(
-            f"[cache] {store.hits}/{total} trials served from "
-            f"{store.root} ({store.misses} computed and stored)"
-        )
+        print(_cache_summary(store))
     else:
         print("[cache] disabled (--no-cache)")
     return 0
@@ -442,6 +503,12 @@ def _command_cache(args: argparse.Namespace) -> int:
         print(f"shard files:    {stats['shard_files']}")
         print(f"bytes:          {stats['bytes']}")
         print(f"aggregations:   {stats['aggregate_checkpoints']} checkpoint(s)")
+        if stats["stale_entries"]:
+            print(
+                f"[hint] {stats['stale_entries']} entries were written under "
+                "older engine versions and can never be hit; "
+                "'repro cache prune' reclaims them"
+            )
         return 0
     if args.action == "clear":
         removed = store.clear()
@@ -450,6 +517,53 @@ def _command_cache(args: argparse.Namespace) -> int:
     removed = store.prune()
     print(f"[cache] pruned {removed} stale entries from {store.root}")
     return 0
+
+
+def _command_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import fold_trace, load_trace, render_summary
+
+    try:
+        records = load_trace(args.trace)
+    except OSError as exc:
+        print(f"[telemetry] cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"[telemetry] no records in {args.trace}", file=sys.stderr)
+        return 1
+    summary = fold_trace(records)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _telemetry_from_args(args: argparse.Namespace) -> bool:
+    """Install the telemetry pipeline requested by --telemetry/--progress.
+
+    Returns True when a pipeline was configured (the caller owns shutdown).
+    The progress reporter defaults to on exactly when a trace is being
+    recorded and stderr is a terminal — a redirected stderr gets per-cell
+    lines instead of a live rewrite, and a bare ``--progress`` works
+    without a trace file (reporter-only pipeline).
+    """
+    trace_path = getattr(args, "telemetry", None)
+    progress = getattr(args, "progress", None)
+    if trace_path is None and not progress:
+        return False
+    from repro.telemetry import FileSink, ProgressReporter, configure_telemetry
+
+    sinks: list = []
+    if trace_path is not None:
+        sinks.append(FileSink(trace_path))
+    if progress is None:
+        progress = sys.stderr.isatty()
+    if progress:
+        sinks.append(ProgressReporter())
+    configure_telemetry(sinks=sinks)
+    return True
 
 
 def _command_report(args: argparse.Namespace, store: Optional[ResultStore]) -> int:
@@ -496,18 +610,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         if getattr(args, "env", None) is not None:
             execution_kwargs["environment"] = parse_environment_option(args.env)
         configure_execution(**execution_kwargs)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "chart":
-        return _command_chart(args)
-    if args.command == "report":
-        return _command_report(args, store)
-    if args.command == "sweep":
-        return _command_sweep(args, store)
-    if args.command == "cache":
-        return _command_cache(args)
+    telemetry_active = _telemetry_from_args(args)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "chart":
+            return _command_chart(args)
+        if args.command == "report":
+            return _command_report(args, store)
+        if args.command == "sweep":
+            return _command_sweep(args, store)
+        if args.command == "cache":
+            return _command_cache(args)
+        if args.command == "telemetry":
+            return _command_telemetry(args)
+    finally:
+        if telemetry_active:
+            from repro.telemetry import telemetry_shutdown
+
+            telemetry_shutdown()
+            trace_path = getattr(args, "telemetry", None)
+            if trace_path is not None:
+                print(f"[telemetry] trace written to {trace_path}")
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -36,6 +36,7 @@ def execution_provenance() -> Dict[str, object]:
     from repro.experiments.runner import _EXECUTION_DEFAULTS
     from repro.radio.kernels import compiled_available, resolve_collision_kernel
     from repro.store import ENGINE_VERSION
+    from repro.telemetry import telemetry_provenance
 
     defaults = _EXECUTION_DEFAULTS
     # Provenance reports what *would* run; resolution is mode-independent
@@ -52,6 +53,11 @@ def execution_provenance() -> Dict[str, object]:
         "result_store": (
             str(defaults.store.root) if defaults.store is not None else None
         ),
+        # Observability config is stamped for the report reader but never
+        # enters store digests (telemetry cannot change any result bit, so
+        # keying on it would only invalidate caches — the same reasoning
+        # that keeps exact kernels out of cache_context).
+        "telemetry": telemetry_provenance(),
     }
 
 

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro._util.rng import spawn_generators
 from repro.analysis.statistics import summarize
 from repro.experiments.protocols import (
@@ -260,6 +261,9 @@ def _consult_store(
     if all_or_nothing and results and len(results) != len(jobs):
         store.hits -= len(results)
         store.misses += len(results)
+        if telemetry.enabled():
+            telemetry.counter_inc("store.hits", -len(results))
+            telemetry.counter_inc("store.misses", len(results))
         results = {}
     missing = [index for index in range(len(jobs)) if index not in results]
     if missing:
@@ -445,6 +449,9 @@ class _BatchShard:
     #: instead of 64 times.  ``None`` when fan-out would have to pickle the
     #: stacked arrays to worker processes (rebuilding there is cheaper).
     shared_batch: Optional[NetworkBatch] = None
+    #: Telemetry/diagnostic name (``shard[k]:<cell digest prefix>``) set by
+    #: the plan; doubles as the queue task label and the shard span name.
+    label: str = ""
 
 
 def _execute_batch_shard(
@@ -458,6 +465,35 @@ def _execute_batch_shard(
     attached) out as results are assembled; the return value is then empty
     and the shard never materialises its full trace list.
     """
+    if not telemetry.enabled():
+        return _execute_batch_shard_impl(shard, result_sink)
+    with telemetry.span(
+        "shard",
+        shard.label or "shard",
+        trials=len(shard.jobs),
+        mode=shard.mode,
+    ):
+        return _execute_batch_shard_impl(shard, result_sink)
+
+
+def _execute_batch_shard_traced(shard: _BatchShard):
+    """Process-fan-out wrapper: run the shard under a telemetry capture and
+    return ``(results, telemetry_payload)``.
+
+    Workers cannot reach the parent's sink, so their spans/events/counters
+    buffer in-process and ride home on the existing per-completion result
+    channel; the parent's ``on_result`` callback ingests the payload tagged
+    with the shard's cell-digest label (see :meth:`ExecutionPlan._run`).
+    Only dispatched when the parent had telemetry enabled.
+    """
+    with telemetry.capture(shard.label or "shard") as captured:
+        results = _execute_batch_shard(shard)
+    return results, captured.payload()
+
+
+def _execute_batch_shard_impl(
+    shard: _BatchShard, result_sink: Optional[_ResultSink] = None
+) -> List[RunResultTrace]:
     jobs = shard.jobs
     template = jobs[0]
     collision_model = _batch_collision_model_for(template)
@@ -888,6 +924,7 @@ class ExecutionPlan:
             # bit-faithfully, so everything recomputes (and the counters
             # report misses, not discarded probes).
             store.misses += len(candidates)
+            telemetry.counter_inc("store.misses", len(candidates))
             run_missing(candidates)
             return counts
         missing: List[int] = []
@@ -935,20 +972,36 @@ class ExecutionPlan:
                 [[0], np.cumsum([len(shard.jobs) for shard in shards])]
             )
 
-            def on_shard(shard_index: int, shard_results) -> None:
-                if sink is not None:
-                    base = int(starts[shard_index])
-                    for offset, trace in enumerate(shard_results):
-                        sink(base + offset, trace)
-
             # Name each shard by its first trial's cell digest, so a
-            # poisoned shard is identifiable (WorkerPoolError) and
-            # reproducible straight from the error message.
+            # poisoned shard is identifiable (WorkerPoolError), reproducible
+            # straight from the error message, and attributable in the
+            # telemetry stream (the label is also the shard span's name and
+            # the tag relayed events carry home from workers).
             context = self.cache_context()
             labels = [
                 f"shard[{k}]:{job_store_key(shard.jobs[0], context)[:16]}"
                 for k, shard in enumerate(shards)
             ]
+            shards = [
+                replace(shard, label=label)
+                for shard, label in zip(shards, labels)
+            ]
+            # Worker processes buffer their telemetry and ship it back with
+            # the shard results (the parent cannot see their pipelines);
+            # in-process execution emits directly, so no wrapping needed.
+            traced = telemetry.enabled() and not isinstance(
+                queue.backend, InProcessBackend
+            )
+
+            def on_shard(shard_index: int, shard_result) -> None:
+                if traced:
+                    shard_result, payload = shard_result
+                    telemetry.ingest(payload, shard=labels[shard_index])
+                if sink is not None:
+                    base = int(starts[shard_index])
+                    for offset, trace in enumerate(shard_result):
+                        sink(base + offset, trace)
+
             if (
                 not collect
                 and sink is not None
@@ -975,12 +1028,14 @@ class ExecutionPlan:
                 )
                 return []
             parts = queue.run(
-                _execute_batch_shard,
+                _execute_batch_shard_traced if traced else _execute_batch_shard,
                 shards,
                 on_result=on_shard,
                 collect=collect,
                 task_labels=labels,
             )
+            if traced:
+                return [result for part in parts for result in part[0]]
             return [result for part in parts for result in part]
         return _run_jobs_queued(
             self.jobs,

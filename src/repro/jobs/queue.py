@@ -35,6 +35,17 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro import telemetry
+
+
+def _task_name(
+    task_labels: Optional[Sequence[str]], index: int
+) -> str:
+    """The runner's label for a task (a shard cell digest) or a fallback."""
+    if task_labels is not None:
+        return task_labels[index]
+    return f"task[{index}]"
+
 __all__ = [
     "JobQueue",
     "QueueStats",
@@ -184,10 +195,14 @@ class ProcessPoolBackend(WorkerBackend):
             if deaths > self.max_retries:
                 if not self.in_process_fallback:
                     names = ", ".join(
-                        task_labels[index]
-                        if task_labels is not None
-                        else f"task[{index}]"
-                        for index in pending
+                        _task_name(task_labels, index) for index in pending
+                    )
+                    telemetry.event(
+                        "queue.poisoned",
+                        deaths=deaths,
+                        tasks=[
+                            _task_name(task_labels, index) for index in pending
+                        ],
                     )
                     raise WorkerPoolError(
                         f"worker pool died {deaths} times "
@@ -195,6 +210,17 @@ class ProcessPoolBackend(WorkerBackend):
                         f"{len(pending)} task(s) poisoned: {names}"
                     )
                 self.stats.in_process_fallbacks += len(pending)
+                if telemetry.enabled():
+                    telemetry.event(
+                        "queue.fallback",
+                        deaths=deaths,
+                        tasks=[
+                            _task_name(task_labels, index) for index in pending
+                        ],
+                    )
+                    telemetry.counter_inc(
+                        "queue.in_process_fallbacks", len(pending)
+                    )
                 for index in pending:
                     result = fn(tasks[index])
                     if collect:
@@ -236,6 +262,32 @@ class ProcessPoolBackend(WorkerBackend):
                 self.stats.worker_deaths += 1
                 pending = [index for index in pending if not done[index]]
                 self.stats.retried_tasks += len(pending)
+                if telemetry.enabled():
+                    # One death event, then one retry event per affected
+                    # task (labelled with its shard cell digest) — the
+                    # sequence a liveness monitor needs to attribute the
+                    # blast radius of a killed worker.
+                    telemetry.event(
+                        "queue.worker_death",
+                        deaths=deaths,
+                        pending_tasks=len(pending),
+                    )
+                    telemetry.counter_inc("queue.worker_deaths")
+                    will_retry_on_pool = deaths <= self.max_retries
+                    backoff = (
+                        self.retry_backoff * 2 ** (deaths - 1)
+                        if will_retry_on_pool and self.retry_backoff > 0
+                        else 0.0
+                    )
+                    for index in pending:
+                        telemetry.event(
+                            "queue.retry",
+                            task=_task_name(task_labels, index),
+                            attempt=deaths,
+                            backoff_seconds=backoff,
+                            on_pool=will_retry_on_pool,
+                        )
+                        telemetry.counter_inc("queue.retried_tasks")
             else:
                 pending = []
         return results

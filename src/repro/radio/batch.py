@@ -51,11 +51,13 @@ the engine builds:
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro._util.rng import SeedLike, as_generator
 from repro._util.validation import check_node_index, check_positive_int
 from repro.radio.collision import (
@@ -965,7 +967,7 @@ class BatchEngine:
         # Resolve the collision kernel for this run (rejects edge_sampled
         # under exact mode) and install it on the model for the round loop.
         collision_kernel = resolve_collision_kernel(
-            self.kernel, exact_mode=rng_source.exact_mode
+            self.kernel, exact_mode=rng_source.exact_mode, record=True
         )
         self.collision_model.kernel = collision_kernel
 
@@ -1019,10 +1021,20 @@ class BatchEngine:
         scheduled: Dict[int, np.ndarray] = {}
         sched_next = 0  # schedule-relative index of the next unresolved slice
 
+        # Telemetry is hoisted once per run: when disabled, the loop pays
+        # three `if tel:` branch checks per round and nothing else.
+        tel = telemetry.enabled()
+        if tel:
+            clock = time.perf_counter
+            run_start = clock()
+            phase_seconds = {"transmit": 0.0, "resolve": 0.0, "observe": 0.0}
+
         round_log: List[dict] = []
         for round_index in range(max_rounds):
             if not running.any():
                 break
+            if tel:
+                t_mark = clock()
             if can_schedule and plan is None:
                 plan = protocol.presampled_schedule(round_index)
             tx_flat = np.asarray(
@@ -1042,6 +1054,10 @@ class BatchEngine:
                 air_flat = environment.perturb_transmissions(
                     round_index, tx_flat, running
                 )
+            if tel:
+                now = clock()
+                phase_seconds["transmit"] += now - t_mark
+                t_mark = now
             cached = None
             if plan is not None:
                 j = round_index - plan.first_round
@@ -1088,6 +1104,10 @@ class BatchEngine:
                     outcome = environment.filter_deliveries(
                         round_index, outcome, running
                     )
+            if tel:
+                now = clock()
+                phase_seconds["resolve"] += now - t_mark
+                t_mark = now
 
             informed_before = (
                 protocol.informed_counts() if self.record_rounds else None
@@ -1117,7 +1137,19 @@ class BatchEngine:
             else:
                 stop = running & completed_now
             running = running & ~stop
+            if tel:
+                phase_seconds["observe"] += clock() - t_mark
 
+        if tel:
+            self._emit_run_telemetry(
+                batch,
+                protocol,
+                rounds_executed,
+                phase_seconds,
+                clock() - run_start,
+                collision_kernel=collision_kernel,
+                state_backend=kernel.backend,
+            )
         completion_round[~completed] = rounds_executed[~completed]
         return self._assemble_results(
             batch,
@@ -1146,6 +1178,52 @@ class BatchEngine:
                 )
             return NetworkBatch.shared(networks, trials)
         return NetworkBatch(networks)
+
+    @staticmethod
+    def _emit_run_telemetry(
+        batch: NetworkBatch,
+        protocol: BatchProtocol,
+        rounds_executed: np.ndarray,
+        phase_seconds: Dict[str, float],
+        total_seconds: float,
+        *,
+        collision_kernel: str,
+        state_backend: str,
+    ) -> None:
+        """One ``engine.run`` event + per-phase aggregate spans per run.
+
+        Round phases are pre-aggregated (summed seconds across all rounds)
+        rather than one span per round — at thousands of rounds per run,
+        per-round records would dwarf the simulation itself.
+        """
+        trials_count = int(batch.trials)
+        max_rounds_run = int(rounds_executed.max()) if trials_count else 0
+        trial_rounds = int(rounds_executed.sum())
+        for phase, seconds in phase_seconds.items():
+            telemetry.aggregate_span(
+                "round-phase", phase, seconds, rounds=max_rounds_run
+            )
+        telemetry.event(
+            "engine.run",
+            protocol=protocol.name,
+            trials=trials_count,
+            n=int(batch.n),
+            kernel=collision_kernel,
+            state_backend=state_backend,
+            rounds=max_rounds_run,
+            trial_rounds=trial_rounds,
+            seconds=total_seconds,
+            trials_per_second=(
+                trials_count / total_seconds if total_seconds > 0 else None
+            ),
+            rounds_per_second=(
+                trial_rounds / total_seconds if total_seconds > 0 else None
+            ),
+        )
+        telemetry.counter_inc("engine.runs")
+        telemetry.counter_inc("engine.trials", trials_count)
+        telemetry.counter_inc("engine.trial_rounds", trial_rounds)
+        telemetry.histogram_observe("engine.run_seconds", total_seconds)
 
     def _assemble_results(
         self,

@@ -63,6 +63,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro._util.validation import (
     check_node_index,
     check_positive_int,
@@ -212,6 +213,7 @@ class Environment:
     def _record_fault(self, round_index: int) -> None:
         self._fault_events += 1
         self._last_fault_round = round_index + 1
+        telemetry.counter_inc("environment.fault_events")
 
     def report(self) -> Dict[str, object]:
         """JSON-clean fault summary merged into the trace metadata."""
@@ -724,6 +726,10 @@ class BatchEnvironment:
     def _mark_fault(self, round_index: int, trials_mask: np.ndarray) -> None:
         self._fault_events[trials_mask] += 1
         self._last_fault[trials_mask] = round_index + 1
+        if telemetry.enabled():
+            mask = np.asarray(trials_mask)
+            faulted = mask.sum() if mask.dtype == np.bool_ else mask.size
+            telemetry.counter_inc("environment.fault_events", int(faulted))
 
     def trial_report(self, trial: int) -> Dict[str, object]:
         """Trial ``trial``'s fault summary (same keys as the scalar report)."""

@@ -28,7 +28,9 @@ Design rules:
 
 This module deliberately imports nothing from the rest of :mod:`repro` so
 that :mod:`repro.radio.collision` and :mod:`repro.analysis.streaming` can
-depend on it without cycles.
+depend on it without cycles.  (The one exception is
+:mod:`repro.telemetry`, which is itself stdlib-only and imports nothing
+back, so the no-cycle guarantee holds.)
 """
 
 from __future__ import annotations
@@ -36,6 +38,8 @@ from __future__ import annotations
 from typing import List, Sequence
 
 import numpy as np
+
+from repro import telemetry
 
 __all__ = [
     "COLLISION_KERNELS",
@@ -78,7 +82,9 @@ def compiled_available() -> bool:
     return _HAVE_NUMBA
 
 
-def resolve_collision_kernel(name: str, *, exact_mode: bool = False) -> str:
+def resolve_collision_kernel(
+    name: str, *, exact_mode: bool = False, record: bool = False
+) -> str:
     """Resolve a requested kernel name to the implementation that will run.
 
     ``"auto"`` and ``"compiled"`` both resolve to ``"compiled"`` when numba
@@ -87,6 +93,11 @@ def resolve_collision_kernel(name: str, *, exact_mode: bool = False) -> str:
     ``"edge_sampled"`` resolves to itself but is rejected under exact mode:
     it samples a different delivery distribution, so it can never honour the
     serial-equivalence contract.
+
+    ``record=True`` counts the resolution in the telemetry metrics
+    registry (``kernels.resolved.<name>``).  Only the engines pass it —
+    resolution is also called from validation and cache-key paths, which
+    would inflate the counts into noise.
     """
     if name not in COLLISION_KERNELS:
         raise ValueError(
@@ -100,10 +111,14 @@ def resolve_collision_kernel(name: str, *, exact_mode: bool = False) -> str:
                 'cannot be used with batch_mode="exact"; run in fast mode '
                 "or pick an exact kernel (auto/numpy/compiled)"
             )
-        return "edge_sampled"
-    if name == "numpy":
-        return "numpy"
-    return "compiled" if _HAVE_NUMBA else "numpy"
+        resolved = "edge_sampled"
+    elif name == "numpy":
+        resolved = "numpy"
+    else:
+        resolved = "compiled" if _HAVE_NUMBA else "numpy"
+    if record:
+        telemetry.counter_inc(f"kernels.resolved.{resolved}")
+    return resolved
 
 
 # --------------------------------------------------------------------------- #

@@ -53,6 +53,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = [
     "STATE_BACKENDS",
     "NodeSetKernel",
@@ -678,6 +680,11 @@ def resolve_kernel(
         raise ValueError(
             f"unknown state backend {state_backend!r}; known: {known}"
         )
+    requested = state_backend
     if state_backend == "auto":
         state_backend = select_backend(trials, n, profile=profile, density=density)
+    if telemetry.enabled():
+        telemetry.counter_inc(f"nodesets.backend.{state_backend}")
+        if requested == "auto":
+            telemetry.counter_inc("nodesets.auto_selected")
     return NodeSetKernel(backend=state_backend)

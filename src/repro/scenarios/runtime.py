@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.analysis.statistics import SummaryStatistics
 from repro.analysis.streaming import AccumulatorSet
 from repro.experiments.runner import _resolve_store, build_repetition_plan
@@ -74,12 +75,34 @@ _CHECKPOINT_EVERY = 64
 #: size (vectorised ``observe_many``) instead of one ``observe`` per trial.
 _INGEST_BUFFER_TRIALS = 256
 
+#: Emit a telemetry ``progress`` event every this many consumed trials
+#: (served or executed) — the live progress reporter's heartbeat.
+_PROGRESS_EVERY = 256
+
 
 def _shard_trials_for(n: object) -> int:
-    """The default trials-per-shard for a cell of ``n``-node graphs."""
+    """The default trials-per-shard for a cell of ``n``-node graphs.
+
+    When the budget-derived size is clamped (the floor for large ``n``,
+    the ceiling for tiny ``n``) a ``scenario.shard_size`` selection event
+    records the decision — silent capping would otherwise be invisible
+    exactly where it matters (a large-``n`` cell quietly running shards
+    far above its stacked-cell budget).
+    """
     if not isinstance(n, int) or n < 1:
         return DEFAULT_SHARD_TRIALS
-    return min(MAX_SHARD_TRIALS, max(DEFAULT_SHARD_TRIALS, SHARD_CELL_BUDGET // n))
+    budget = SHARD_CELL_BUDGET // n
+    size = min(MAX_SHARD_TRIALS, max(DEFAULT_SHARD_TRIALS, budget))
+    if size != budget and telemetry.enabled():
+        telemetry.event(
+            "scenario.shard_size",
+            n=n,
+            chosen=size,
+            budget_trials=budget,
+            cell_budget=SHARD_CELL_BUDGET,
+            reason="floor" if budget < DEFAULT_SHARD_TRIALS else "ceiling",
+        )
+    return size
 
 
 @dataclass
@@ -218,7 +241,31 @@ def _save_checkpoint(
 # --------------------------------------------------------------------------- #
 # Cell execution
 # --------------------------------------------------------------------------- #
-def run_cell(
+def run_cell(cell: SweepCell, **options) -> CellResult:
+    """Execute one sweep cell, streaming its trials into fresh accumulators.
+
+    ``store`` follows :func:`~repro.experiments.runner.repeat_job`'s
+    convention (``None``: process-wide default, ``False``: disabled, or an
+    explicit store/path); with a store attached, both the per-trial results
+    *and* the running aggregation are checkpointed, and a rerun resumes the
+    aggregation without re-reading stored traces.
+
+    With telemetry enabled the cell runs under a ``cell`` span (named by
+    the cell label, annotated with the execution counters on exit) and
+    emits a ``progress`` event every :data:`_PROGRESS_EVERY` consumed
+    trials — see :func:`_run_cell_impl` for the keyword options.
+    """
+    if not telemetry.enabled():
+        return _run_cell_impl(cell, **options)
+    with telemetry.span(
+        "cell", cell.label(), kind=cell.kind, trials=cell.repetitions
+    ) as cell_span:
+        result = _run_cell_impl(cell, **options)
+        cell_span.annotate(**result.counts)
+        return result
+
+
+def _run_cell_impl(
     cell: SweepCell,
     *,
     seed: int = 0,
@@ -232,14 +279,6 @@ def run_cell(
     shards: Optional[int] = None,
     sketch_capacity: int = 1024,
 ) -> CellResult:
-    """Execute one sweep cell, streaming its trials into fresh accumulators.
-
-    ``store`` follows :func:`~repro.experiments.runner.repeat_job`'s
-    convention (``None``: process-wide default, ``False``: disabled, or an
-    explicit store/path); with a store attached, both the per-trial results
-    *and* the running aggregation are checkpointed, and a rerun resumes the
-    aggregation without re-reading stored traces.
-    """
     metric_names = tuple(cell.metrics if cell.metrics is not None else metrics)
     if not metric_names:
         raise ValueError(f"cell {cell.label()} has an empty metric set")
@@ -299,17 +338,43 @@ def run_cell(
     # contract) so the per-trial Python cost of the reduction is one dict
     # append, not a full accumulator update.
     buffered: List[Dict[str, object]] = []
+    tel = telemetry.enabled()
+    total_trials = len(plan.jobs)
+    primary_metric = metric_names[0]
 
     def flush() -> None:
         if buffered:
             accumulators.observe_many(buffered)
             buffered.clear()
 
+    def emit_progress() -> None:
+        # Flush first so the reported running mean/CI reflects every
+        # consumed trial (the buffer is an ingest optimisation, not part
+        # of the reduction's semantics).
+        flush()
+        attrs: Dict[str, object] = {
+            "completed": len(done_set),
+            "total": total_trials,
+        }
+        store_obj = plan.store
+        if store_obj is not None and (store_obj.hits or store_obj.misses):
+            attrs["cache_hit_ratio"] = store_obj.hits / (
+                store_obj.hits + store_obj.misses
+            )
+        summary = accumulators.metrics[primary_metric].summary_or_none()
+        if summary is not None:
+            attrs["metric"] = primary_metric
+            attrs["mean"] = summary.mean
+            attrs["ci_width"] = summary.ci_high - summary.ci_low
+        telemetry.event("progress", **attrs)
+
     def consume(index: int, trace) -> None:
         nonlocal fresh
         buffered.append(extract_sample(extractors, trace, cell))
         done_set.add(index)
         fresh += 1
+        if tel and len(done_set) % _PROGRESS_EVERY == 0:
+            emit_progress()
         if plan.store is not None:
             if fresh % _CHECKPOINT_EVERY == 0:
                 # Flush before checkpointing: the saved done-mask must never
@@ -435,24 +500,43 @@ def run_grid(
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
     sketch_capacity: int = 1024,
+    telemetry_label: Optional[str] = None,
 ) -> List[CellResult]:
-    """Execute every cell of ``grid`` in order (streaming reduction each)."""
-    return [
-        run_cell(
-            cell,
-            seed=seed,
-            metrics=metrics,
-            processes=processes,
-            store=store,
-            batch=batch,
-            batch_mode=batch_mode,
-            state_backend=state_backend,
-            kernel=kernel,
-            shards=shards,
-            sketch_capacity=sketch_capacity,
-        )
-        for cell in grid
-    ]
+    """Execute every cell of ``grid`` in order (streaming reduction each).
+
+    With telemetry enabled the whole grid runs under one ``sweep`` span
+    (named ``telemetry_label`` or the grid's content digest) so per-cell
+    and per-shard spans nest under it in the trace.
+    """
+    cells = list(grid)
+
+    def run_all() -> List[CellResult]:
+        return [
+            run_cell(
+                cell,
+                seed=seed,
+                metrics=metrics,
+                processes=processes,
+                store=store,
+                batch=batch,
+                batch_mode=batch_mode,
+                state_backend=state_backend,
+                kernel=kernel,
+                shards=shards,
+                sketch_capacity=sketch_capacity,
+            )
+            for cell in cells
+        ]
+
+    if not telemetry.enabled():
+        return run_all()
+    with telemetry.span(
+        "sweep",
+        telemetry_label or f"grid:{grid.digest()[:12]}",
+        cells=len(cells),
+        trials=grid.total_trials,
+    ):
+        return run_all()
 
 
 #: The per-metric statistics columns shared by every accumulator table
@@ -533,4 +617,5 @@ def run_scenario(
         kernel=kernel,
         shards=shards,
         sketch_capacity=sketch_capacity,
+        telemetry_label=spec.scenario_id,
     )

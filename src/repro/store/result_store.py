@@ -38,6 +38,7 @@ import os
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro import telemetry
 from repro.store.keys import ENGINE_VERSION
 
 __all__ = ["ResultStore"]
@@ -53,10 +54,13 @@ class ResultStore:
 
     Attributes
     ----------
-    hits / misses:
-        Running counters of :meth:`get` outcomes since construction (or the
-        last :meth:`reset_counters`) — the CLI's cache summary and the
-        warm-sweep assertions read these.
+    hits / misses / puts:
+        Running counters of :meth:`get` outcomes and successful inserts
+        since construction (or the last :meth:`reset_counters`) — the
+        CLI's cache summary and the warm-sweep assertions read these.
+        Mirrored into the telemetry metrics registry (``store.hits`` /
+        ``store.misses`` / ``store.puts`` / ``store.pruned``) when
+        telemetry is enabled.
     """
 
     def __init__(self, root) -> None:
@@ -71,6 +75,7 @@ class ResultStore:
         self._aggregates = None
         self.hits = 0
         self.misses = 0
+        self.puts = 0
 
     @property
     def aggregates(self):
@@ -90,8 +95,10 @@ class ResultStore:
         payload = self._load_payload(key)
         if payload is None:
             self.misses += 1
+            telemetry.counter_inc("store.misses")
             return None
         self.hits += 1
+        telemetry.counter_inc("store.hits")
         return payload
 
     def __contains__(self, key: str) -> bool:
@@ -128,6 +135,8 @@ class ResultStore:
         finally:
             os.close(fd)
         index[key] = offset
+        self.puts += 1
+        telemetry.counter_inc("store.puts")
         return True
 
     # ------------------------------------------------------------------ #
@@ -197,12 +206,15 @@ class ResultStore:
                     )
             os.replace(tmp, path)
         self._invalidate_all()
+        if removed:
+            telemetry.counter_inc("store.pruned", removed)
         return removed
 
     def reset_counters(self) -> None:
-        """Zero the hit/miss counters."""
+        """Zero the hit/miss/put counters."""
         self.hits = 0
         self.misses = 0
+        self.puts = 0
 
     # ------------------------------------------------------------------ #
     # Internals

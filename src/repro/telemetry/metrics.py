@@ -1,0 +1,97 @@
+"""Metrics registry: counters, gauges, and scalar histograms.
+
+Values live in plain dicts keyed by metric name — no per-metric
+objects, no locks (the simulation stack is single-threaded per
+process; cross-process aggregation happens by snapshotting a worker's
+registry and :meth:`MetricsRegistry.merge`-ing it in the parent, the
+same channel the span relay uses).
+
+Histograms are deliberately scalar summaries (count/total/min/max),
+not bucketed: the streaming layer (``repro.analysis.streaming``)
+already owns exact moments and quantile sketches for *metric values*;
+telemetry histograms only need cheap shape for *operational* values
+like per-run seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Create-on-first-touch registry of named counters/gauges/histograms."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, float]] = {}
+
+    def counter_inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram_observe(self, name: str, value: float) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            self.histograms[name] = {
+                "count": 1,
+                "total": value,
+                "min": value,
+                "max": value,
+            }
+            return
+        h["count"] += 1
+        h["total"] += value
+        if value < h["min"]:
+            h["min"] = value
+        if value > h["max"]:
+            h["max"] = value
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready copy (histograms gain a derived ``mean``)."""
+
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {**h, "mean": h["total"] / h["count"]}
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot in (counters add, gauges
+        last-write-wins, histograms combine)."""
+
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter_inc(name, value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge_set(name, value)
+        for name, other in (snapshot.get("histograms") or {}).items():
+            h = self.histograms.get(name)
+            if h is None:
+                self.histograms[name] = {
+                    "count": other["count"],
+                    "total": other["total"],
+                    "min": other["min"],
+                    "max": other["max"],
+                }
+                continue
+            h["count"] += other["count"]
+            h["total"] += other["total"]
+            h["min"] = min(h["min"], other["min"])
+            h["max"] = max(h["max"], other["max"])
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

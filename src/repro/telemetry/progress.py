@@ -1,0 +1,167 @@
+"""Live sweep progress: a telemetry sink that renders to a terminal.
+
+``ProgressReporter`` is just another pipeline sink — it watches the
+same record stream a :class:`~repro.telemetry.spans.FileSink` would
+persist, so enabling progress costs nothing extra in the hot layers
+and the two sinks can run side by side.
+
+It reacts to:
+
+- ``span_begin``/``span_end`` on the ``sweep`` and ``cell`` layers
+  (run shape, per-cell completion lines),
+- ``progress`` events emitted by the scenario runtime every few
+  hundred trials (completed/total, cache-hit ratio, running mean and
+  CI width of the primary metric from the streaming accumulators),
+
+and renders either a single live ``\\r``-rewritten status line (TTY)
+or plain per-cell completion lines (non-TTY, e.g. CI logs).  ETA is
+extrapolated from the reporter's own monotonic clock and the trial
+completion rate so far.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        *,
+        live: Optional[bool] = None,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            isatty = getattr(self.stream, "isatty", None)
+            live = bool(isatty()) if callable(isatty) else False
+        self.live = live
+        self._start: Optional[float] = None
+        self._total_trials: Optional[int] = None
+        self._sweep_span: Optional[str] = None
+        self._cells_total: Optional[int] = None
+        self._cells_done = 0
+        self._cell_names: Dict[str, str] = {}
+        self._line_open = False
+
+    # -- sink protocol ----------------------------------------------------
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        kind = record.get("type")
+        if kind == "span_begin":
+            self._on_begin(record)
+        elif kind == "span_end":
+            self._on_end(record)
+        elif kind == "event" and record.get("name") == "progress":
+            self._on_progress(record.get("attrs") or {})
+
+    def close(self) -> None:
+        self._finish_line()
+
+    def describe(self) -> str:
+        return "progress"
+
+    # -- record handlers --------------------------------------------------
+
+    def _on_begin(self, record: Dict[str, Any]) -> None:
+        layer = record.get("layer")
+        attrs = record.get("attrs") or {}
+        if layer == "sweep":
+            self._start = time.perf_counter()
+            self._sweep_span = record.get("span")
+            self._total_trials = attrs.get("trials")
+            self._cells_total = attrs.get("cells")
+            self._cells_done = 0
+        elif layer == "cell":
+            self._cell_names[record["span"]] = record.get("name", "cell")
+            if self._start is None:
+                # bare `run` (no sweep span): treat the cell as the run
+                self._start = time.perf_counter()
+                self._total_trials = attrs.get("trials")
+
+    def _on_end(self, record: Dict[str, Any]) -> None:
+        layer = record.get("layer")
+        if layer == "cell":
+            name = self._cell_names.pop(record["span"], record.get("name"))
+            self._cells_done += 1
+            attrs = record.get("attrs") or {}
+            if not self.live:
+                executed = attrs.get("executed")
+                served = attrs.get("served")
+                detail = ""
+                if executed is not None or served is not None:
+                    detail = f" (executed={executed}, cached={served})"
+                self._println(
+                    f"[progress] cell {name} done in "
+                    f"{record.get('seconds', 0.0):.2f}s{detail}"
+                )
+        elif layer == "sweep" and record.get("span") == self._sweep_span:
+            self._finish_line()
+            self._println(
+                f"[progress] sweep done: {self._cells_done} cell(s) in "
+                f"{record.get('seconds', 0.0):.2f}s"
+            )
+            self._sweep_span = None
+            self._start = None
+
+    def _on_progress(self, attrs: Dict[str, Any]) -> None:
+        completed = attrs.get("completed")
+        total = attrs.get("total", self._total_trials)
+        parts = []
+        if completed is not None and total:
+            parts.append(f"{completed}/{total} trials")
+        elif completed is not None:
+            parts.append(f"{completed} trials")
+        ratio = attrs.get("cache_hit_ratio")
+        if ratio is not None:
+            parts.append(f"cache {ratio:.0%}")
+        metric = attrs.get("metric")
+        mean = attrs.get("mean")
+        if metric is not None and mean is not None:
+            ci = attrs.get("ci_width")
+            ci_text = f" ±{ci / 2:.3g}" if ci is not None else ""
+            parts.append(f"{metric}={mean:.4g}{ci_text}")
+        eta = self._eta(completed, total)
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        if not parts:
+            return
+        line = "[progress] " + "  ".join(parts)
+        if self.live:
+            self.stream.write("\r\x1b[2K" + line)
+            self.stream.flush()
+            self._line_open = True
+        else:
+            self._println(line)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _eta(
+        self, completed: Optional[int], total: Optional[int]
+    ) -> Optional[float]:
+        if (
+            self._start is None
+            or not completed
+            or not total
+            or completed >= total
+        ):
+            return None
+        elapsed = time.perf_counter() - self._start
+        if elapsed <= 0:
+            return None
+        return elapsed * (total - completed) / completed
+
+    def _finish_line(self) -> None:
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+    def _println(self, text: str) -> None:
+        self._finish_line()
+        self.stream.write(text + "\n")
+        self.stream.flush()
