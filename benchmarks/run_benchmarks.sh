@@ -24,6 +24,7 @@ python -m pytest -q \
     benchmarks/test_bench_engine_micro.py \
     benchmarks/test_bench_kernels.py \
     benchmarks/test_bench_batch_engine.py \
+    benchmarks/test_bench_compaction.py \
     benchmarks/test_bench_environment.py \
     benchmarks/test_bench_telemetry.py \
     benchmarks/test_bench_store.py \

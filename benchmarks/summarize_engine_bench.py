@@ -24,8 +24,21 @@ def summarize(raw_path: str, out_path: str) -> dict:
             "mean_seconds": bench["stats"]["mean"],
             "rounds": bench["stats"]["rounds"],
         }
-        if bench.get("extra_info"):
-            entry["extra_info"] = bench["extra_info"]
+        extra = bench.get("extra_info")
+        if extra:
+            entry["extra_info"] = extra
+            # A kernel cell measured without numba compares the numpy path
+            # against itself; its "compiled" speedup is dispatch noise, not
+            # a kernel measurement — flag it so nobody reads ~1x (or the
+            # infamous 0.87x) as a compiled-kernel regression.
+            if (
+                "collision_kernel_speedup" in extra
+                and not extra.get("compiled_available", True)
+            ):
+                entry["warning"] = (
+                    "compiled kernel unavailable: speedup is numpy racing "
+                    "itself"
+                )
         benches[bench["name"]] = entry
 
     summary = {
@@ -63,4 +76,15 @@ if __name__ == "__main__":
                 "  streaming/materialised="
                 f"{extra['aggregation_throughput_ratio']:.2f}x"
             )
+        if "compaction_speedup" in extra:
+            speed += (
+                f"  continuous/sharded={extra['compaction_speedup']:.2f}x"
+                f" trials/s"
+            )
+        if "compaction_uniform_ratio" in extra:
+            speed += (
+                f"  uniform-cell ratio={extra['compaction_uniform_ratio']:.2f}x"
+            )
+        if "warning" in entry:
+            speed += f"  [WARNING: {entry['warning']}]"
         print(f"{name}: min={entry['min_seconds'] * 1e3:.1f} ms{speed}")

@@ -78,6 +78,9 @@ class DecayBroadcast(BroadcastProtocol):
         self._frontier = SparseQuotaFrontier(1, n)
         self._informed_phase = np.full(n, -1, dtype=np.int64)
         self._informed_phase[self.source] = 0
+        self._stuck = False
+        self._probe_count = -1
+        self._tested_count = -1
         self.run_metadata = {
             "phase_length": self.phase_length,
             "max_phases_active": self.max_phases_active,
@@ -116,6 +119,49 @@ class DecayBroadcast(BroadcastProtocol):
             phase_index = round_index // self.phase_length
             # Newly informed nodes join from the *next* phase.
             self._informed_phase[newly] = phase_index + 1
+
+    def _frontier_closed(self) -> bool:
+        """True when no informed node has an edge to an uninformed one."""
+        informed = self.informed
+        net = self.network
+        src_informed = np.repeat(informed, np.diff(net.out_indptr))
+        return not (src_informed & ~informed[net.out_indices]).any()
+
+    def is_quiescent(self, round_index: int) -> bool:
+        # Decay nodes transmit forever, so the schedule never runs dry;
+        # instead a run is *dead* exactly when no transmission can change
+        # anything: the informed set has no edge into an uninformed node
+        # (the disconnected sub-threshold case), or the optional retirement
+        # rule has permanently silenced every informed node.  Closure is a
+        # whole-graph test, so it is probed once per phase and only after a
+        # phase made zero progress; the verdict is monotone (an informed
+        # set only grows), so a stuck run stays stuck.
+        if self._stuck:
+            return True
+        if round_index % self.phase_length == 0:
+            count = int(self.informed.sum())
+            if count < self.n:
+                if self.max_phases_active is not None:
+                    phase_index = round_index // self.phase_length
+                    alive = (
+                        self.informed
+                        & (self._informed_phase >= 0)
+                        & (
+                            (phase_index - self._informed_phase)
+                            < self.max_phases_active
+                        )
+                    )
+                    if not alive.any():
+                        self._stuck = True
+                if (
+                    not self._stuck
+                    and count == self._probe_count
+                    and count != self._tested_count
+                ):
+                    self._tested_count = count
+                    self._stuck = self._frontier_closed()
+            self._probe_count = count
+        return self._stuck or self.is_complete()
 
     def suggested_max_rounds(self) -> int:
         log_n = max(1.0, math.log2(max(2, self.n)))
@@ -157,6 +203,9 @@ class BatchDecayBroadcast(BatchBroadcastProtocol):
         self._frontier = self.kernel.quota_frontier(trials, n)
         self._informed_phase = np.full((trials, n), -1, dtype=np.int64)
         self._informed_phase[:, self.source] = 0
+        self._stuck = np.zeros(trials, dtype=bool)
+        self._probe_counts = np.full(trials, -1, dtype=np.int64)
+        self._tested_counts = np.full(trials, -1, dtype=np.int64)
 
     def transmit_flat(self, round_index: int, running: np.ndarray) -> np.ndarray:
         phase_index, within = divmod(round_index, self.phase_length)
@@ -190,6 +239,62 @@ class BatchDecayBroadcast(BatchBroadcastProtocol):
             phase_index = round_index // self.phase_length
             # Newly informed nodes join from the *next* phase.
             self._informed_phase.reshape(-1)[newly] = phase_index + 1
+
+    def _trial_frontier_closed(self, trial: int, informed: np.ndarray) -> bool:
+        """True when trial ``trial`` has no informed-to-uninformed edge."""
+        n = self.n
+        batch = self.batch
+        indptr = batch.out_indptr[trial * n : (trial + 1) * n + 1]
+        targets = batch.out_indices[indptr[0] : indptr[-1]]
+        row = informed[trial]
+        src_informed = np.repeat(row, np.diff(indptr))
+        return not (src_informed & ~row[targets - trial * n]).any()
+
+    def quiescent(self, round_index: int) -> np.ndarray:
+        # Mirrors the serial rule (same probe rounds, same stagnation
+        # trigger) so dead trials retire in the same round under the serial
+        # and batched engines and exact-mode streams stay bit-identical: a
+        # trial is dead when its informed set is closed under out-edges, or
+        # when ``max_phases_active`` silenced every informed node for good.
+        # The O(edges) closure test runs at most once per distinct informed
+        # count, and only at phase boundaries that made zero progress.
+        if round_index % self.phase_length == 0:
+            counts = self._members.counts()
+            n = self.n
+            incomplete = ~self._stuck & (counts < n)
+            if incomplete.any():
+                if self.max_phases_active is not None:
+                    phase_index = round_index // self.phase_length
+                    alive = (
+                        self.informed
+                        & (self._informed_phase >= 0)
+                        & (
+                            (phase_index - self._informed_phase)
+                            < self.max_phases_active
+                        )
+                    )
+                    self._stuck |= incomplete & ~alive.any(axis=1)
+                candidates = np.flatnonzero(
+                    incomplete
+                    & ~self._stuck
+                    & (counts == self._probe_counts)
+                    & (counts != self._tested_counts)
+                )
+                if candidates.size:
+                    informed = self.informed
+                    for trial in candidates:
+                        self._tested_counts[trial] = counts[trial]
+                        if self._trial_frontier_closed(int(trial), informed):
+                            self._stuck[trial] = True
+            self._probe_counts = counts.copy()
+        return self._stuck | self.completed()
+
+    def _compact_broadcast(self, keep: np.ndarray) -> None:
+        self._frontier.select_rows(keep)
+        self._informed_phase = np.ascontiguousarray(self._informed_phase[keep])
+        self._stuck = self._stuck[keep].copy()
+        self._probe_counts = self._probe_counts[keep].copy()
+        self._tested_counts = self._tested_counts[keep].copy()
 
     def suggested_max_rounds(self) -> int:
         log_n = max(1.0, math.log2(max(2, self.n)))

@@ -195,6 +195,12 @@ class BatchElsasserGasieniecBroadcast(BatchBroadcastProtocol):
             self.trials, round_index >= self.D + self.phase3_rounds, dtype=bool
         )
 
+    def _compact_broadcast(self, keep: np.ndarray) -> None:
+        if self._eligible_phase3 is not None:
+            self._eligible_phase3 = np.ascontiguousarray(
+                self._eligible_phase3[keep]
+            )
+
     def suggested_max_rounds(self) -> int:
         return self.D + self.phase3_rounds + 1
 

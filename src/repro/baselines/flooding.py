@@ -79,6 +79,11 @@ class DeterministicFlood(BroadcastProtocol):
         if newly.size:
             self._frontier.admit(newly, self.max_transmissions_per_node)
 
+    def is_quiescent(self, round_index: int) -> bool:
+        # An empty frontier can never refill (nobody transmits, so nobody
+        # new is informed): the deadlocked run is permanently silent.
+        return int(self._frontier.counts()[0]) == 0
+
     def suggested_max_rounds(self) -> int:
         return 4 * self.n + self.max_transmissions_per_node
 
@@ -146,6 +151,14 @@ class BatchDeterministicFlood(BatchBroadcastProtocol):
         newly = self.mark_informed(outcome.receiver_flat, round_index)
         if newly.size:
             self._frontier.admit(newly, self.max_transmissions_per_node)
+
+    def quiescent(self, round_index: int) -> np.ndarray:
+        # Mirrors the serial rule: a trial whose frontier emptied is
+        # permanently silent (an empty frontier can never refill).
+        return self._frontier.counts() == 0
+
+    def _compact_broadcast(self, keep: np.ndarray) -> None:
+        self._frontier.select_rows(keep)
 
     def suggested_max_rounds(self) -> int:
         return 4 * self.n + self.max_transmissions_per_node

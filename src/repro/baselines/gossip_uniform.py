@@ -129,6 +129,14 @@ class BatchUniformScaleGossip(BatchGossipProtocol):
     def quiescent(self, round_index: int) -> np.ndarray:
         return np.full(self.trials, round_index >= self.round_budget, dtype=bool)
 
+    def _compact_gossip(self, keep: np.ndarray) -> None:
+        if self._sequences is not None:
+            # Each sequence owns its trial's generator; the object must
+            # travel so the stream position survives compaction.
+            self._sequences = [
+                seq for seq, k in zip(self._sequences, keep) if k
+            ]
+
     def suggested_max_rounds(self) -> int:
         return self.round_budget
 

@@ -267,6 +267,14 @@ class BatchKnownDiameterBroadcast(BatchBroadcastProtocol):
         # active transmitter, so "no active node" is absorbing per trial.
         return ~self._active_masks(round_index).any(axis=1)
 
+    def _compact_broadcast(self, keep: np.ndarray) -> None:
+        if self._sequences is not None:
+            # Sequence objects travel with their trials (each owns the
+            # trial's generator, whose stream position must survive).
+            self._sequences = [
+                seq for seq, k in zip(self._sequences, keep) if k
+            ]
+
     def suggested_max_rounds(self) -> int:
         return self.round_budget
 

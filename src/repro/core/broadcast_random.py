@@ -42,6 +42,7 @@ from repro._util.logmath import expected_degree, phase1_round_count
 from repro._util.validation import check_positive, check_probability
 from repro.radio.batch import BatchBroadcastProtocol, ScheduledTransmissions
 from repro.radio.collision import BatchCollisionOutcome, CollisionOutcome
+from repro.radio.nodesets import _remap_flat_pool
 from repro.radio.protocol import BroadcastProtocol
 
 __all__ = [
@@ -603,6 +604,28 @@ class BatchEnergyEfficientBroadcast(_Algorithm1Params, BatchBroadcastProtocol):
             self._active_count = self._active_count - np.bincount(
                 tx_flat // n, minlength=trials
             )
+
+    def _compact_broadcast(self, keep: np.ndarray) -> None:
+        n = self.n  # new (compacted) batch is already bound
+        alive, new_ids = _remap_flat_pool(self._active_flat, keep, n)
+        self._active_flat = new_ids
+        self._active_count = self._active_count[keep].copy()
+        # History snapshots predate the compaction, so they row-select with
+        # the same keep mask (entries appended later are already compact).
+        self._history_log = [
+            (running[keep], counts[keep]) for running, counts in self._history_log
+        ]
+        if self._phase3_ids is not None:
+            p3_alive, p3_ids = _remap_flat_pool(self._phase3_ids, keep, n)
+            self._phase3_ids = p3_ids
+            # Bucket offsets shift down by the number of removed entries
+            # before them; removal preserves the by-round ordering.
+            removed = np.concatenate(
+                ([0], np.cumsum(~p3_alive, dtype=np.int64))
+            )
+            self._phase3_offsets = self._phase3_offsets - removed[
+                self._phase3_offsets
+            ]
 
     # ------------------------------------------------------------------ #
     # Engine hooks / introspection

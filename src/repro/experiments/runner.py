@@ -58,7 +58,7 @@ from repro.experiments.protocols import (
 )
 from repro.graphs.builders import GraphSpec, build_network, spec_is_deterministic
 from repro.jobs import InProcessBackend, JobQueue
-from repro.radio.batch import BatchEngine, NetworkBatch
+from repro.radio.batch import BatchEngine, NetworkBatch, PendingTrial
 from repro.radio.kernels import resolve_collision_kernel
 from repro.radio.network import RadioNetwork
 from repro.radio.nodesets import STATE_BACKENDS
@@ -368,6 +368,8 @@ class _ExecutionDefaults:
     kernel: str = "auto"
     store: Optional[ResultStore] = None
     environment: Optional[Dict[str, object]] = None
+    compaction: str = "auto"
+    watermark: float = 0.75
 
 
 _EXECUTION_DEFAULTS = _ExecutionDefaults()
@@ -384,6 +386,8 @@ def configure_execution(
     kernel: Optional[str] = None,
     store=_UNSET,
     environment=_UNSET,
+    compaction: Optional[str] = None,
+    watermark: Optional[float] = None,
 ) -> None:
     """Set process-wide execution defaults (the CLI's ``--no-batch`` /
     ``--batch-mode`` / ``--state-backend`` / ``--kernel`` / cache flags land
@@ -405,6 +409,11 @@ def configure_execution(
     (the CLI's ``--env`` flag lands here): every job built without its own
     ``environment`` job option then runs under it.  Pass ``None`` to
     disable; omit the argument to leave the current default unchanged.
+
+    ``compaction`` / ``watermark`` steer the continuous-batching path (the
+    CLI's ``--compaction`` / ``--watermark`` flags land here): see
+    :class:`ExecutionPlan` for the ``"auto"`` / ``"on"`` / ``"off"``
+    semantics and the occupancy watermark.
     """
     global _EXECUTION_DEFAULTS
     updates: Dict[str, object] = {}
@@ -414,6 +423,16 @@ def configure_execution(
         updates["batch_mode"] = batch_mode
     if state_backend is not None:
         updates["state_backend"] = state_backend
+    if compaction is not None:
+        if compaction not in ("auto", "on", "off"):
+            raise ValueError(
+                f"compaction must be 'auto', 'on' or 'off', got {compaction!r}"
+            )
+        updates["compaction"] = compaction
+    if watermark is not None:
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError(f"watermark must be in (0, 1], got {watermark}")
+        updates["watermark"] = float(watermark)
     if kernel is not None:
         # Validate eagerly (mode-independent checks only) so a typo fails at
         # configuration time, not on the first sweep.
@@ -630,6 +649,20 @@ class ExecutionPlan:
     number of shards from the worker count — more shards mean finer resume
     checkpoints and better load balancing at a small per-shard overhead.
 
+    ``compaction`` selects the continuous-batching execution of the batched
+    in-process path (:meth:`~repro.radio.batch.BatchEngine.run_continuous`):
+    completed and dead trials retire the round they stop, the live batch is
+    compacted when occupancy drops below ``watermark * capacity``, and freed
+    rows refill with pending trials — so a sweep whose completion rounds
+    vary widely stops being billed for its slowest trial's horizon.
+    ``"auto"`` (the default) engages it for in-process exact-mode sweeps,
+    where every trial is bit-identical to the sharded path; ``"on"`` forces
+    it whenever it can run (fast mode then draws from a different — still
+    deterministic — stream than the sharded fast path, so force it only on
+    storeless throughput runs) and raises when it cannot; ``"off"`` keeps
+    the sharded path.  Compaction is an execution detail, not a result
+    axis: it never changes store digests.
+
     The jobs must be a homogeneous sweep: same specs and engine options,
     differing only in seed/label (what :func:`repeat_job` builds).
     """
@@ -644,6 +677,8 @@ class ExecutionPlan:
     store: Optional[ResultStore] = None
     queue: Optional[JobQueue] = None
     shard_count: Optional[int] = None
+    compaction: str = "auto"
+    watermark: float = 0.75
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -655,6 +690,15 @@ class ExecutionPlan:
         if self.batch_mode not in ("fast", "exact"):
             raise ValueError(
                 f"batch_mode must be 'fast' or 'exact', got {self.batch_mode!r}"
+            )
+        if self.compaction not in ("auto", "on", "off"):
+            raise ValueError(
+                f"compaction must be 'auto', 'on' or 'off', "
+                f"got {self.compaction!r}"
+            )
+        if not 0.0 < self.watermark <= 1.0:
+            raise ValueError(
+                f"watermark must be in (0, 1], got {self.watermark}"
             )
         if self.state_backend not in STATE_BACKENDS:
             known = ", ".join(STATE_BACKENDS)
@@ -763,6 +807,122 @@ class ExecutionPlan:
             for k in range(count)
             if bounds[k] < bounds[k + 1]
         ]
+
+    # ------------------------------------------------------------------ #
+    # Continuous batching
+    # ------------------------------------------------------------------ #
+    def _continuous_blocker(self) -> Optional[str]:
+        """Why the continuous-batching path cannot run (``None`` when it
+        can).  Hard blockers only — the ``compaction`` policy (auto/on/off)
+        is applied by :meth:`_run` on top of this."""
+        if not self.batch:
+            return "the sweep is not batched (batch=False)"
+        reason = self.unbatchable_reason()
+        if reason is not None:
+            return reason
+        if self.jobs[0].record_rounds:
+            return (
+                "record_rounds needs a single per-round log; cohorts start "
+                "at different global rounds"
+            )
+        if self.queue is not None:
+            if not self.queue.in_process:
+                return (
+                    "continuous batching is in-process; the queue fans out "
+                    "to workers"
+                )
+        elif _worker_count(self.processes, len(self.jobs)) > 1:
+            return "continuous batching is in-process; processes>1 shards"
+        return None
+
+    def _run_continuous(
+        self, sink: Optional[_ResultSink], *, collect: bool = True
+    ) -> List[RunResultTrace]:
+        """Execute the sweep through one engine's
+        :meth:`~repro.radio.batch.BatchEngine.run_continuous` loop.
+
+        The pending stream pulls jobs lazily in job order — the in-process
+        analogue of shard work-stealing: a row freed by a retired trial is
+        refilled with what would have been a later shard's work, so
+        occupancy stays near ``capacity`` for the whole sweep instead of
+        draining once per shard.  Traces stream out one trial at a time
+        (finer checkpoints than the per-shard sink of the sharded path).
+        """
+        jobs = self.jobs
+        template = jobs[0]
+        exact = self.batch_mode == "exact"
+        shared_network = self.shared_topology()
+        capacity = max(len(shard.jobs) for shard in self.shards())
+        engine = BatchEngine(
+            _batch_collision_model_for(template),
+            keep_arrays=template.keep_arrays,
+            run_to_quiescence=template.run_to_quiescence,
+            state_backend=self.state_backend,
+            environment=build_batch_environment(template.environment),
+            kernel=self.kernel,
+        )
+
+        def pending():
+            for index, job in enumerate(jobs):
+                # The graph stream is spawned even when the cached topology
+                # makes it unused, so the protocol stream stays identical on
+                # every path.
+                graph_rng, protocol_rng = spawn_generators(job.seed, 2)
+                network = (
+                    shared_network
+                    if shared_network is not None
+                    else build_network(job.graph, rng=graph_rng)
+                )
+                yield PendingTrial(
+                    network, rng=protocol_rng if exact else None, tag=index
+                )
+
+        collected: Dict[int, RunResultTrace] = {}
+
+        def consume(index: int, trace: RunResultTrace) -> None:
+            job = jobs[index]
+            trace.metadata.setdefault("job", job.as_dict())
+            if job.label:
+                trace.metadata["label"] = job.label
+            if collect:
+                collected[index] = trace
+            if sink is not None:
+                sink(index, trace)
+
+        label = (
+            f"continuous:{job_store_key(template, self.cache_context())[:16]}"
+        )
+
+        def run_task(_task) -> None:
+            engine.run_continuous(
+                pending(),
+                lambda: build_batch_protocol(template.protocol),
+                capacity=capacity,
+                watermark=self.watermark,
+                max_rounds=template.max_rounds,
+                rng=(
+                    None
+                    if exact
+                    else np.random.default_rng(self._fast_seed_or_derived())
+                ),
+                result_sink=consume,
+            )
+
+        # The single continuous task still goes through the queue so its
+        # dispatch shows up in queue stats/labels like any shard would.
+        queue = self.queue if self.queue is not None else JobQueue.for_workers(1)
+        if telemetry.enabled():
+            with telemetry.span(
+                "shard",
+                label,
+                trials=len(jobs),
+                mode=self.batch_mode,
+                capacity=capacity,
+            ):
+                queue.run(run_task, [0], collect=False, task_labels=[label])
+        else:
+            queue.run(run_task, [0], collect=False, task_labels=[label])
+        return [collected[i] for i in sorted(collected)] if collect else []
 
     # ------------------------------------------------------------------ #
     # Result-store integration
@@ -963,6 +1123,17 @@ class ExecutionPlan:
                     sink=sink,
                     collect=collect,
                 )
+            if self.compaction != "off":
+                blocker = self._continuous_blocker()
+                if blocker is None and (
+                    self.compaction == "on" or self.batch_mode == "exact"
+                ):
+                    return self._run_continuous(sink, collect=collect)
+                if self.compaction == "on":
+                    raise ValueError(
+                        f"compaction='on' but the sweep cannot run "
+                        f"continuously: {blocker}"
+                    )
             shards = self.shards()
             queue = self.queue
             if queue is None:
@@ -1060,6 +1231,8 @@ def build_repetition_plan(
     store=None,
     queue: Optional[JobQueue] = None,
     shards: Optional[int] = None,
+    compaction: Optional[str] = None,
+    watermark: Optional[float] = None,
     **job_options,
 ) -> ExecutionPlan:
     """The :class:`ExecutionPlan` behind :func:`repeat_job`, unexecuted.
@@ -1080,6 +1253,10 @@ def build_repetition_plan(
         state_backend = _EXECUTION_DEFAULTS.state_backend
     if kernel is None:
         kernel = _EXECUTION_DEFAULTS.kernel
+    if compaction is None:
+        compaction = _EXECUTION_DEFAULTS.compaction
+    if watermark is None:
+        watermark = _EXECUTION_DEFAULTS.watermark
     if "environment" not in job_options:
         if _EXECUTION_DEFAULTS.environment is not None:
             job_options["environment"] = _EXECUTION_DEFAULTS.environment
@@ -1108,6 +1285,8 @@ def build_repetition_plan(
         store=_resolve_store(store),
         queue=queue,
         shard_count=shards,
+        compaction=compaction,
+        watermark=watermark,
     )
 
 
@@ -1125,6 +1304,8 @@ def repeat_job(
     store=None,
     queue: Optional[JobQueue] = None,
     shards: Optional[int] = None,
+    compaction: Optional[str] = None,
+    watermark: Optional[float] = None,
     **job_options,
 ) -> List[RunResultTrace]:
     """Run the same (graph, protocol) pair under ``repetitions`` different seeds.
@@ -1175,6 +1356,8 @@ def repeat_job(
         store=store,
         queue=queue,
         shards=shards,
+        compaction=compaction,
+        watermark=watermark,
         **job_options,
     )
     return plan.execute()

@@ -324,6 +324,16 @@ class JobQueue:
         """The backend's execution counters."""
         return self.backend.stats
 
+    @property
+    def in_process(self) -> bool:
+        """Whether tasks run in the calling process.
+
+        The continuous-batching path of the execution plan requires this:
+        its refill loop feeds one live engine, which cannot span process
+        boundaries.
+        """
+        return isinstance(self.backend, InProcessBackend)
+
     def run(
         self,
         fn: Callable[[object], object],

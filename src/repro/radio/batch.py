@@ -68,7 +68,11 @@ from repro.radio.collision import (
     as_batch_collision_model,
 )
 from repro.radio.energy import BatchEnergyAccountant
-from repro.radio.environment import BatchEnvironment, as_batch_environment
+from repro.radio.environment import (
+    BatchEnvironment,
+    as_batch_environment,
+    build_batch_environment,
+)
 from repro.radio.kernels import COLLISION_KERNELS, resolve_collision_kernel
 from repro.radio.network import RadioNetwork
 from repro.radio.nodesets import (
@@ -87,6 +91,7 @@ __all__ = [
     "BatchBroadcastProtocol",
     "BatchGossipProtocol",
     "BatchEngine",
+    "PendingTrial",
     "ScheduledTransmissions",
     "resolve_scheduled_rounds",
     "run_protocol_batch",
@@ -290,6 +295,29 @@ class BatchRandomSource:
             [self._per_trial[t].random(n) for t in np.flatnonzero(rows)]
         )
 
+    def select_trials(self, keep: np.ndarray) -> "BatchRandomSource":
+        """The source for the trials where ``keep`` is True (compaction).
+
+        Exact mode keeps the surviving trials' generator *objects* — their
+        stream positions travel with them, and per-trial streams are
+        position-independent by construction, so neither the row a trial
+        occupies nor who shares its batch can change its draws.  Fast mode
+        returns ``self``: one shared stream serves any row count.
+        """
+        if not self.exact_mode:
+            return self
+        keep = np.asarray(keep, dtype=bool)
+        return BatchRandomSource(
+            per_trial=[g for g, k in zip(self._per_trial, keep) if k]
+        )
+
+    @property
+    def trial_generators(self) -> List[np.random.Generator]:
+        """The per-trial generator objects, in trial order (exact mode only)."""
+        if self._per_trial is None:
+            raise RuntimeError("no per-trial generators in fast mode")
+        return self._per_trial
+
     def geometrics_for_counts(self, p: float, counts: np.ndarray) -> np.ndarray:
         """``counts[t]`` Geometric(p) draws per trial, concatenated in trial order.
 
@@ -480,6 +508,100 @@ class _ScheduledOutcome(BatchCollisionOutcome):
         raise RuntimeError(self._UNAVAILABLE.format(field="collision_flags"))
 
 
+class _RowSliceOutcome(BatchCollisionOutcome):
+    """One cohort's row-slice of a union collision outcome.
+
+    The continuous engine resolves all cohorts in one union gather, then
+    hands each cohort its own rows re-addressed into the cohort's trial
+    space.  Fields the union resolution did not materialise (senders unless
+    a protocol declared :attr:`BatchProtocol.needs_senders` or an
+    environment is active; hear counts unless the model detects collisions)
+    fail loudly instead of lazily fabricating the empty values the base
+    class would.
+    """
+
+    __slots__ = ()
+
+    tracks_senders = False
+
+    _UNAVAILABLE = (
+        "{field} is not available on this row-sliced outcome; the "
+        "continuous engine only materialises senders for cohorts whose "
+        "protocol declares needs_senders (or under an active environment) "
+        "and hear counts under a collision-detecting model"
+    )
+
+    @property
+    def sender_flat(self) -> np.ndarray:
+        raise RuntimeError(self._UNAVAILABLE.format(field="sender_flat"))
+
+    @property
+    def hear_counts(self) -> np.ndarray:
+        if self._hear_dense is None:
+            raise RuntimeError(self._UNAVAILABLE.format(field="hear_counts"))
+        return self._hear_dense
+
+
+class _RowSliceOutcomeWithSenders(_RowSliceOutcome):
+    """Row-sliced outcome whose senders were materialised from the union."""
+
+    __slots__ = ()
+
+    tracks_senders = True
+
+    @property
+    def sender_flat(self) -> np.ndarray:
+        if self._sender_flat is None:
+            raise RuntimeError(self._UNAVAILABLE.format(field="sender_flat"))
+        return self._sender_flat
+
+    @sender_flat.setter
+    def sender_flat(self, value: np.ndarray) -> None:
+        # Environments reshape the delivery set in place (receiver-side
+        # loss); the base-class setter is shadowed by the property above.
+        self._sender_flat = value
+
+
+def _slice_outcome_rows(
+    outcome: BatchCollisionOutcome,
+    row_lo: int,
+    row_hi: int,
+    *,
+    with_senders: bool,
+) -> BatchCollisionOutcome:
+    """Slice a union outcome down to trials ``[row_lo, row_hi)``.
+
+    ``receiver_flat`` is trial-major sorted, so the cohort's block is found
+    with two binary searches; senders are aligned index-for-index with the
+    receivers, so the same slice applies.  The result's ids live in the
+    cohort's own trial space (``trial - row_lo``).
+    """
+    n = outcome.n
+    offset = np.int64(row_lo) * n
+    lo, hi = np.searchsorted(
+        outcome.receiver_flat, [offset, np.int64(row_hi) * n]
+    )
+    receiver = outcome.receiver_flat[lo:hi] - offset
+    hear = (
+        outcome.hear_counts[row_lo:row_hi]
+        if outcome.detects_collisions
+        else None
+    )
+    sender = None
+    cls = _RowSliceOutcome
+    if with_senders and outcome.tracks_senders:
+        cls = _RowSliceOutcomeWithSenders
+        sender = outcome.sender_flat[lo:hi] - offset
+    return cls(
+        receiver_flat=receiver,
+        trials=row_hi - row_lo,
+        n=n,
+        sender_flat=sender,
+        hear_dense=hear,
+        detects_collisions=outcome.detects_collisions,
+    )
+
+
 class BatchProtocol(abc.ABC):
     """Base class for batched protocols: ``R`` trials on stacked state.
 
@@ -513,6 +635,11 @@ class BatchProtocol(abc.ABC):
     #: gossip's ``(R, n, n)`` tensor, ``"frontier"`` for quota/budget-pool
     #: protocols (Decay, deterministic flooding), ``"plain"`` otherwise.
     state_profile: str = "plain"
+
+    #: Whether :meth:`observe` consumes ``outcome.sender_flat``.  The
+    #: continuous engine only materialises (and row-slices) sender
+    #: identities from its union outcomes for cohorts that need them.
+    needs_senders: bool = False
 
     def __init__(self) -> None:
         self._batch: Optional[NetworkBatch] = None
@@ -550,6 +677,30 @@ class BatchProtocol(abc.ABC):
 
     def _setup(self) -> None:
         """Initialise per-run state (called from :meth:`bind`). Override."""
+
+    def compact(
+        self,
+        keep: np.ndarray,
+        batch: NetworkBatch,
+        rng_source: BatchRandomSource,
+    ) -> None:
+        """Shrink per-trial state to the trials where ``keep`` is True.
+
+        The continuous engine compacts a live batch by rebinding the
+        protocol to the row-selected ``batch`` / ``rng_source`` and asking
+        every per-trial state holder to repack itself.  Surviving trials
+        keep their relative order (trial ``t`` lands in row
+        ``keep[:t].sum()``) — the same remapping the engine applies to the
+        stacked CSR, the accountant and the environment.  Subclasses with
+        per-trial state beyond the base classes' override
+        :meth:`_compact_state` (or the broadcast/gossip hooks).
+        """
+        self._batch = batch
+        self._rng_source = rng_source
+        self._compact_state(np.asarray(keep, dtype=bool))
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        """Subclass hook: row-select any additional per-trial state."""
 
     def transmit_flat(self, round_index: int, running: np.ndarray) -> np.ndarray:
         """Sorted flat ids of this round's transmitters (running trials only).
@@ -700,6 +851,14 @@ class BatchBroadcastProtocol(BatchProtocol):
     def _setup_broadcast(self) -> None:
         """Subclass hook for additional per-run state."""
 
+    def _compact_state(self, keep: np.ndarray) -> None:
+        self._members.select_rows(keep)
+        self._informed_round = np.ascontiguousarray(self._informed_round[keep])
+        self._compact_broadcast(keep)
+
+    def _compact_broadcast(self, keep: np.ndarray) -> None:
+        """Subclass hook: row-select additional per-trial broadcast state."""
+
     @property
     def informed(self) -> np.ndarray:
         """Boolean ``(R, n)`` informed matrix (read-only — do not mutate)."""
@@ -760,6 +919,7 @@ class BatchGossipProtocol(BatchProtocol):
 
     name = "gossip"
     state_profile = "knowledge"
+    needs_senders = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -771,6 +931,13 @@ class BatchGossipProtocol(BatchProtocol):
 
     def _setup_gossip(self) -> None:
         """Subclass hook for additional per-run state."""
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        self._knowledge_state.select_rows(keep)
+        self._compact_gossip(keep)
+
+    def _compact_gossip(self, keep: np.ndarray) -> None:
+        """Subclass hook: row-select additional per-trial gossip state."""
 
     @property
     def knowledge_state(self) -> KnowledgeState:
@@ -821,6 +988,62 @@ class BatchGossipProtocol(BatchProtocol):
         return self.knowledge_state.complete()
 
 
+class PendingTrial:
+    """One unit of admissible work for :meth:`BatchEngine.run_continuous`.
+
+    Parameters
+    ----------
+    network:
+        The trial's :class:`RadioNetwork`.  Trials admitted in the same wave
+        that share one network *object* keep the shared-topology CSR tiling.
+    rng:
+        Exact-mode per-trial seed/generator, consumed exactly as the serial
+        engine would.  ``None`` selects fast mode (one shared vectorised
+        stream); a continuous run must be all-exact or all-fast.
+    tag:
+        Opaque identifier handed to ``result_sink`` with the trial's trace
+        (defaults to the admission index).
+    """
+
+    __slots__ = ("network", "rng", "tag")
+
+    def __init__(self, network: RadioNetwork, rng: SeedLike = None, tag=None):
+        self.network = network
+        self.rng = rng
+        self.tag = tag
+
+
+class _Cohort:
+    """One admission wave inside a continuous run.
+
+    Protocols key *all* behaviour on a scalar round index (phase schedules,
+    ``O(log n)`` horizons), so trials admitted at global round ``g`` must see
+    local round ``0`` while older trials see ``g - start_round``.  Each wave
+    therefore keeps its own protocol instance, stacked batch, RNG source,
+    accountant and environment; only collision resolution is unioned across
+    cohorts per global round.
+    """
+
+    __slots__ = (
+        "protocol",
+        "batch",
+        "rng_source",
+        "accountant",
+        "environment",
+        "start_round",
+        "horizon",
+        "tags",
+        "orders",
+        "completed",
+        "completion_round",
+        "rounds_executed",
+        "running",
+        "row_offset",
+        "last_tx",
+        "pending_retired",
+    )
+
+
 class BatchEngine:
     """Runs a batched protocol over ``R`` trials with one loop of vectorised rounds.
 
@@ -839,6 +1062,15 @@ class BatchEngine:
     record_rounds / keep_arrays / run_to_quiescence:
         Same semantics as on :class:`~repro.radio.engine.SimulationEngine`,
         applied per trial.
+    retire_dead:
+        Retire a trial the round it goes *dead* — quiescent (no node will
+        ever transmit again) without completing, or environment-doomed
+        (crashed forever with no recovery scheduled) — instead of spinning
+        it to ``max_rounds``.  A dead trial's outcome can never change, so
+        this only shortens ``rounds_executed`` for trials that would have
+        burned the round cap (disconnected graphs under sub-threshold
+        ``p``).  On by default; mirrored by the serial engine so exact-mode
+        equivalence holds round for round.
     scheduled_resolution:
         When a protocol commits to a fixed future transmission schedule
         (:meth:`BatchProtocol.presampled_schedule`), resolve all scheduled
@@ -883,6 +1115,7 @@ class BatchEngine:
         record_rounds: bool = False,
         keep_arrays: bool = False,
         run_to_quiescence: bool = False,
+        retire_dead: bool = True,
         scheduled_resolution: bool = True,
         state_backend: str = "auto",
         environment=None,
@@ -898,6 +1131,7 @@ class BatchEngine:
         self.record_rounds = bool(record_rounds)
         self.keep_arrays = bool(keep_arrays)
         self.run_to_quiescence = bool(run_to_quiescence)
+        self.retire_dead = bool(retire_dead)
         self.scheduled_resolution = bool(scheduled_resolution)
         if state_backend not in STATE_BACKENDS:
             known = ", ".join(STATE_BACKENDS)
@@ -1021,6 +1255,17 @@ class BatchEngine:
         scheduled: Dict[int, np.ndarray] = {}
         sched_next = 0  # schedule-relative index of the next unresolved slice
 
+        # Dead retirement is gated per protocol class: the base ``quiescent``
+        # just mirrors ``completed()``, so probing it every round would cost
+        # a vector op to learn nothing.  Only protocols with a real liveness
+        # override (transmission schedules that can run dry) participate.
+        retire_dead = (
+            self.retire_dead
+            and not self.run_to_quiescence
+            and type(protocol).quiescent is not BatchProtocol.quiescent
+        )
+        retired_dead = 0
+
         # Telemetry is hoisted once per run: when disabled, the loop pays
         # three `if tel:` branch checks per round and nothing else.
         tel = telemetry.enabled()
@@ -1136,6 +1381,25 @@ class BatchEngine:
                 )
             else:
                 stop = running & completed_now
+                if retire_dead:
+                    # Dead retirement: quiescent-but-incomplete trials can
+                    # never change outcome — cut them loose now instead of
+                    # spinning them to the round cap.
+                    dead = (
+                        running
+                        & ~stop
+                        & np.asarray(protocol.quiescent(round_index + 1), dtype=bool)
+                    )
+                    if dead.any():
+                        stop |= dead
+                        retired_dead += int(dead.sum())
+            if env_active and self.retire_dead:
+                doomed = environment.doomed_trials(round_index)
+                if doomed is not None:
+                    doomed = running & ~stop & np.asarray(doomed, dtype=bool)
+                    if doomed.any():
+                        stop |= doomed
+                        retired_dead += int(doomed.sum())
             running = running & ~stop
             if tel:
                 phase_seconds["observe"] += clock() - t_mark
@@ -1150,6 +1414,8 @@ class BatchEngine:
                 collision_kernel=collision_kernel,
                 state_backend=kernel.backend,
             )
+            if retired_dead:
+                telemetry.counter_inc("engine.retired_dead", retired_dead)
         completion_round[~completed] = rounds_executed[~completed]
         return self._assemble_results(
             batch,
@@ -1163,6 +1429,556 @@ class BatchEngine:
             collision_kernel=collision_kernel,
             result_sink=result_sink,
         )
+
+    # ------------------------------------------------------------------ #
+    # Continuous batching
+    # ------------------------------------------------------------------ #
+    def run_continuous(
+        self,
+        pending,
+        protocol_factory,
+        *,
+        capacity: int,
+        watermark: float = 0.75,
+        max_rounds: Optional[int] = None,
+        rng: SeedLike = None,
+        result_sink=None,
+    ) -> List[RunResultTrace]:
+        """Run a stream of trials at near-constant occupancy.
+
+        The plain :meth:`run` pays for every trial until the *slowest* trial
+        in its batch finishes: completed trials ride along as dead rows in
+        the stacked CSR.  This method instead retires each trial the round
+        it stops, **compacts** the live batch down to surviving rows when
+        occupancy drops below ``watermark * capacity`` (or a quarter of the
+        rows have died), and **refills** the freed rows from ``pending`` —
+        the continuous-batching schedule of inference serving, applied to
+        Monte-Carlo trials.
+
+        Trials admitted at global round ``g`` see their protocol's round
+        ``0`` at ``g``: each admission wave runs as its own *cohort* with a
+        private protocol/batch/RNG/environment, and only collision
+        resolution is unioned across cohorts (one gather per global round).
+        In exact mode (every :class:`PendingTrial` carries an ``rng``) each
+        trial's results are bit-identical to :meth:`run` and to the serial
+        engine — per-trial streams are position-independent by construction.
+
+        Parameters
+        ----------
+        pending:
+            Iterable of :class:`PendingTrial` (consumed lazily — admission
+            pulls only what fits).  All-exact or all-fast; no mixing.
+        protocol_factory:
+            Zero-argument callable producing a fresh protocol per cohort.
+        capacity:
+            Target row count (the analogue of ``trials`` in :meth:`run`).
+        watermark:
+            Refill trigger, as a fraction of ``capacity`` (in ``(0, 1]``).
+        rng:
+            Fast-mode shared seed/generator (ignored in exact mode).
+        result_sink:
+            Optional ``(tag, trace) -> None`` streaming consumer; the tag is
+            the trial's :attr:`PendingTrial.tag` (admission index when
+            unset).  With a sink the method returns an empty list.
+        """
+        if self.record_rounds:
+            raise ValueError(
+                "record_rounds is incompatible with run_continuous: cohorts "
+                "start at different global rounds, so there is no single "
+                "per-round log; use run() for instrumented runs"
+            )
+        capacity = check_positive_int(capacity, "capacity")
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError(f"watermark must be in (0, 1], got {watermark}")
+
+        env_spec = (
+            self.environment.spec()
+            if self.environment is not None and not self.environment.is_null
+            else None
+        )
+
+        queue: List[PendingTrial] = []
+        source = iter(pending)
+        exhausted = False
+
+        def _has_more() -> bool:
+            nonlocal exhausted
+            if queue:
+                return True
+            if exhausted:
+                return False
+            try:
+                queue.append(next(source))
+            except StopIteration:
+                exhausted = True
+                return False
+            return True
+
+        def _pull(limit: int) -> List[PendingTrial]:
+            nonlocal exhausted
+            items: List[PendingTrial] = []
+            while len(items) < limit:
+                if queue:
+                    items.append(queue.pop(0))
+                    continue
+                if exhausted:
+                    break
+                try:
+                    items.append(next(source))
+                except StopIteration:
+                    exhausted = True
+                    break
+            return items
+
+        if not _has_more():
+            return []
+        exact_mode = queue[0].rng is not None
+        n = queue[0].network.n
+        collision_kernel = resolve_collision_kernel(
+            self.kernel, exact_mode=exact_mode, record=True
+        )
+        self.collision_model.kernel = collision_kernel
+        shared_rng = None if exact_mode else BatchRandomSource.fast(rng)
+        # Same legality rule as run(): trimmed outcomes only when no
+        # per-trial stream must match serial draws and no environment can
+        # resurrect interest in a delivery the protocol would ignore.
+        use_interest = not exact_mode and env_spec is None
+
+        cohorts: List[_Cohort] = []
+        union_batch: Optional[NetworkBatch] = None
+        union_rng: Optional[BatchRandomSource] = None
+        union_stale = True
+        results: Dict[int, RunResultTrace] = {}
+        admitted = 0
+        stats = {
+            "retired": 0,
+            "retired_dead": 0,
+            "compactions": 0,
+            "refills": 0,
+            "trial_rounds": 0,
+        }
+        retire = False  # set from the first cohort's protocol class
+        needs_senders = False
+
+        tel = telemetry.enabled()
+        if tel:
+            clock = time.perf_counter
+            run_start = clock()
+            # Same per-phase aggregation as run(): summed seconds across all
+            # rounds, so a traced continuous sweep folds into the identical
+            # round-phase span layer the sharded engine produces.
+            phase_seconds = {"transmit": 0.0, "resolve": 0.0, "observe": 0.0}
+
+        def _note_retired(c: _Cohort, idx: np.ndarray, dead: int = 0) -> None:
+            # A retired trial's state is frozen (it neither transmits nor
+            # draws randomness again), so building its result trace can wait
+            # until its rows are about to move — _flush_retired runs before
+            # compaction, at cohort drop, and therefore before the run
+            # returns.  Retiring trials one round at a time would otherwise
+            # pay the per-call cost of the energy/percentile pass per round.
+            c.pending_retired.extend(int(t) for t in idx)
+            stats["retired"] += len(idx)
+            stats["retired_dead"] += dead
+
+        def _flush_retired(c: _Cohort) -> None:
+            if not c.pending_retired:
+                return
+            idx = np.asarray(c.pending_retired, dtype=np.int64)
+            c.pending_retired = []
+            _materialize_trials(c, idx)
+
+        def _materialize_trials(c: _Cohort, idx: np.ndarray) -> None:
+            informed = c.protocol.informed_counts()
+            per_node = self.keep_arrays
+            informed_rounds = (
+                c.protocol.informed_round
+                if self.keep_arrays
+                and isinstance(c.protocol, BatchBroadcastProtocol)
+                else None
+            )
+            energies = c.accountant.reports_for(idx)
+            for j, t in enumerate(idx):
+                t = int(t)
+                if not c.completed[t]:
+                    c.completion_round[t] = c.rounds_executed[t]
+                result = RunResultTrace(
+                    protocol_name=c.protocol.name,
+                    network_name=c.batch.networks[t].name,
+                    n=n,
+                    completed=bool(c.completed[t]),
+                    completion_round=int(c.completion_round[t]),
+                    rounds_executed=int(c.rounds_executed[t]),
+                    energy=energies[j],
+                    informed_count=(
+                        int(informed[t]) if informed is not None else None
+                    ),
+                    rounds=[],
+                    metadata=dict(c.protocol.trial_metadata(t)),
+                )
+                if per_node:
+                    result.per_node_transmissions = c.accountant.per_node(t)
+                if informed_rounds is not None:
+                    result.informed_round = informed_rounds[t].copy()
+                if c.environment is not None:
+                    result.metadata["environment"] = c.environment.trial_report(t)
+                if collision_kernel == "edge_sampled":
+                    result.metadata["collision_kernel"] = "edge_sampled"
+                if result_sink is not None:
+                    result_sink(c.tags[t], result)
+                else:
+                    results[c.orders[t]] = result
+                stats["trial_rounds"] += int(c.rounds_executed[t])
+
+        def _admit(items: List[PendingTrial], start_round: int) -> _Cohort:
+            nonlocal admitted, retire, needs_senders
+            for it in items:
+                if (it.rng is not None) != exact_mode:
+                    raise ValueError(
+                        "run_continuous cannot mix exact-mode trials "
+                        "(rng set) with fast-mode trials (rng None)"
+                    )
+                if it.network.n != n:
+                    raise ValueError(
+                        f"all continuous trials must share n; "
+                        f"got {it.network.n} and {n}"
+                    )
+            protocol = protocol_factory()
+            batch = NetworkBatch([it.network for it in items])
+            if exact_mode:
+                rng_source = BatchRandomSource.exact([it.rng for it in items])
+            else:
+                rng_source = shared_rng
+            kernel = resolve_kernel(
+                self.state_backend,
+                batch.trials,
+                batch.n,
+                profile=protocol.state_profile,
+                density=batch.edge_density,
+            )
+            protocol.bind(batch, rng_source, kernel)
+            environment = None
+            if env_spec is not None:
+                environment = build_batch_environment(env_spec)
+                environment.bind(batch, rng_source)
+            c = _Cohort()
+            c.protocol = protocol
+            c.batch = batch
+            c.rng_source = rng_source
+            c.accountant = BatchEnergyAccountant(batch.trials, batch.n)
+            c.environment = environment
+            c.start_round = start_round
+            c.horizon = (
+                max_rounds
+                if max_rounds is not None
+                else protocol.suggested_max_rounds()
+            )
+            c.tags = [
+                it.tag if it.tag is not None else admitted + i
+                for i, it in enumerate(items)
+            ]
+            c.orders = list(range(admitted, admitted + batch.trials))
+            admitted += batch.trials
+            c.completed = np.asarray(protocol.completed(), dtype=bool).copy()
+            c.completion_round = np.zeros(batch.trials, dtype=np.int64)
+            c.rounds_executed = np.zeros(batch.trials, dtype=np.int64)
+            if self.run_to_quiescence:
+                c.running = np.ones(batch.trials, dtype=bool)
+            else:
+                c.running = ~c.completed
+            c.row_offset = 0
+            c.last_tx = None
+            c.pending_retired = []
+            retire = (
+                self.retire_dead
+                and not self.run_to_quiescence
+                and type(protocol).quiescent is not BatchProtocol.quiescent
+            )
+            needs_senders = type(protocol).needs_senders
+            cohorts.append(c)
+            # Trials complete at bind never enter the loop (serial rule);
+            # retire them on the spot so their rows can be reclaimed.
+            at_bind = np.flatnonzero(~c.running)
+            if at_bind.size:
+                _note_retired(c, at_bind)
+            return c
+
+        def _compact_cohort(c: _Cohort) -> None:
+            _flush_retired(c)
+            keep = c.running.copy()
+            # Identity-preserving list filter: waves sharing one network
+            # object keep the tiled-CSR fast path after compaction.
+            nets = [net for net, k in zip(c.batch.networks, keep) if k]
+            new_batch = NetworkBatch(nets)
+            new_rng = c.rng_source.select_trials(keep)
+            c.protocol.compact(keep, new_batch, new_rng)
+            c.accountant.select_rows(keep)
+            if c.environment is not None:
+                c.environment.select_rows(keep, new_rng)
+            c.batch = new_batch
+            c.rng_source = new_rng
+            c.completed = c.completed[keep]
+            c.completion_round = c.completion_round[keep]
+            c.rounds_executed = c.rounds_executed[keep]
+            c.running = c.running[keep]
+            c.tags = [tag for tag, k in zip(c.tags, keep) if k]
+            c.orders = [o for o, k in zip(c.orders, keep) if k]
+
+        def _rebuild_union() -> None:
+            nonlocal union_batch, union_rng
+            offset = 0
+            for c in cohorts:
+                c.row_offset = offset
+                offset += c.batch.trials
+            if len(cohorts) == 1:
+                # Single-wave shortcut: reuse the cohort's own batch (keeps
+                # shared-topology tiling) and its rng source directly.
+                union_batch = cohorts[0].batch
+                union_rng = cohorts[0].rng_source
+            else:
+                union_batch = NetworkBatch(
+                    [net for c in cohorts for net in c.batch.networks]
+                )
+                if exact_mode:
+                    union_rng = BatchRandomSource(
+                        per_trial=[
+                            g
+                            for c in cohorts
+                            for g in c.rng_source.trial_generators
+                        ]
+                    )
+                else:
+                    union_rng = shared_rng
+
+        global_round = 0
+        live = 0
+        # Occupancy only moves when a trial retires or a refill lands, so
+        # the liveness scan + compaction/refill triggers run only on rounds
+        # where something stopped (and once at admission).
+        occupancy_dirty = True
+        while True:
+            if occupancy_dirty:
+                occupancy_dirty = False
+                # Dropping a cohort whose every trial has stopped costs
+                # nothing (no CSR rebuild — the whole block just leaves the
+                # union), so it is never gated behind the compaction
+                # thresholds.
+                if any(not c.running.any() for c in cohorts):
+                    for c in cohorts:
+                        if not c.running.any():
+                            _flush_retired(c)
+                    cohorts[:] = [c for c in cohorts if c.running.any()]
+                    union_stale = True
+                live = sum(int(c.running.sum()) for c in cohorts)
+                rows = sum(c.batch.trials for c in cohorts)
+                # Anti-thrash: row-level compaction rebuilds CSR + state
+                # backends, so it must either make room for a refill or
+                # reclaim rows that will actually repay the rebuild.  While
+                # the queue can still refill, a quarter of the rows is
+                # enough (freed rows turn into fresh trials).  Once it runs
+                # dry the batch is draining and every completion frees more
+                # rows for nothing — compacting on each would re-pay the
+                # rebuild O(log rows) times — so the trigger waits until
+                # dead rows dominate (three quarters, and at least half the
+                # configured capacity): one late compaction that collapses
+                # a long straggler tail in a single step.
+                refill_possible = _has_more()
+                refill_needed = live < watermark * capacity and refill_possible
+                if refill_possible:
+                    dead_floor = max(1, rows // 4)
+                else:
+                    dead_floor = max(1, (3 * rows) // 4, capacity // 2)
+                compact_worth = rows > 0 and (rows - live) >= dead_floor
+                if refill_needed or compact_worth:
+                    for c in cohorts:
+                        if not c.running.all():
+                            _compact_cohort(c)
+                    new_rows = sum(c.batch.trials for c in cohorts)
+                    if new_rows != rows:
+                        union_stale = True
+                        stats["compactions"] += 1
+                        if tel:
+                            telemetry.event(
+                                "engine.compaction",
+                                round=global_round,
+                                rows_before=rows,
+                                rows_after=new_rows,
+                                live=live,
+                            )
+                            telemetry.counter_inc("engine.compactions")
+                    if refill_needed:
+                        items = _pull(capacity - live)
+                        if items:
+                            c = _admit(items, global_round)
+                            live += int(c.running.sum())
+                            union_stale = True
+                            occupancy_dirty = True
+                            stats["refills"] += 1
+                            if tel:
+                                telemetry.event(
+                                    "engine.refill",
+                                    round=global_round,
+                                    added=len(items),
+                                    occupancy=live / capacity,
+                                )
+                                telemetry.counter_inc("engine.refills")
+            if not cohorts:
+                if _has_more():
+                    # Capacity is free but the watermark test above already
+                    # admitted what it could; loop to admit the rest.
+                    occupancy_dirty = True
+                    continue
+                break
+            if union_stale:
+                _rebuild_union()
+                union_stale = False
+                if tel:
+                    telemetry.gauge_set("engine.occupancy", live / capacity)
+            elif tel and global_round % 64 == 0:
+                telemetry.gauge_set("engine.occupancy", live / capacity)
+
+            if tel:
+                t_mark = clock()
+            air_parts: List[np.ndarray] = []
+            for c in cohorts:
+                local = global_round - c.start_round
+                tx = np.asarray(
+                    c.protocol.transmit_flat(local, c.running), dtype=np.int64
+                )
+                if c.environment is not None:
+                    c.environment.begin_round(local, c.running)
+                    tx = c.environment.gate_transmit_flat(local, tx, c.running)
+                c.accountant.record_flat(tx)
+                air = tx
+                if c.environment is not None:
+                    air = c.environment.perturb_transmissions(
+                        local, tx, c.running
+                    )
+                c.last_tx = tx
+                if c.row_offset:
+                    air = air + np.int64(c.row_offset) * n
+                air_parts.append(air)
+            air_union = (
+                air_parts[0]
+                if len(air_parts) == 1
+                else np.concatenate(air_parts)
+            )
+
+            listener_filter = None
+            if use_interest:
+                interests = [c.protocol.listener_interest() for c in cohorts]
+                if all(i is not None for i in interests):
+                    listener_filter = (
+                        interests[0]
+                        if len(interests) == 1
+                        else np.concatenate(interests)
+                    )
+
+            if tel:
+                now = clock()
+                phase_seconds["transmit"] += now - t_mark
+                t_mark = now
+            outcome = self.collision_model.resolve(
+                union_batch, air_union, union_rng, listener_filter=listener_filter
+            )
+            with_senders = env_spec is not None or needs_senders
+            if tel:
+                now = clock()
+                phase_seconds["resolve"] += now - t_mark
+                t_mark = now
+
+            for c in cohorts:
+                local = global_round - c.start_round
+                if len(cohorts) == 1:
+                    out_c = outcome
+                else:
+                    out_c = _slice_outcome_rows(
+                        outcome,
+                        c.row_offset,
+                        c.row_offset + c.batch.trials,
+                        with_senders=with_senders,
+                    )
+                if c.environment is not None:
+                    out_c = c.environment.filter_deliveries(
+                        local, out_c, c.running
+                    )
+                c.protocol.observe(local, c.last_tx, out_c, c.running)
+                c.rounds_executed[c.running] = local + 1
+
+                completed_now = np.asarray(c.protocol.completed(), dtype=bool)
+                newly = c.running & completed_now & ~c.completed
+                c.completion_round[newly] = local + 1
+                c.completed |= newly
+                if self.run_to_quiescence:
+                    stop = c.running & np.asarray(
+                        c.protocol.quiescent(local + 1), dtype=bool
+                    )
+                else:
+                    stop = c.running & completed_now
+                    if retire:
+                        stop |= (
+                            c.running
+                            & ~stop
+                            & np.asarray(
+                                c.protocol.quiescent(local + 1), dtype=bool
+                            )
+                        )
+                if c.environment is not None and self.retire_dead:
+                    doomed = c.environment.doomed_trials(local)
+                    if doomed is not None:
+                        stop |= c.running & np.asarray(doomed, dtype=bool)
+                at_horizon = local + 1 >= c.horizon
+                if at_horizon or stop.any():
+                    dead = (
+                        0
+                        if self.run_to_quiescence
+                        else int((stop & ~c.completed).sum())
+                    )
+                    if at_horizon:
+                        stop = stop | c.running
+                    c.running = c.running & ~stop
+                    idx = np.flatnonzero(stop)
+                    if idx.size:
+                        _note_retired(c, idx, dead=dead)
+                        occupancy_dirty = True
+            if tel:
+                phase_seconds["observe"] += clock() - t_mark
+            global_round += 1
+
+        if tel:
+            total_seconds = clock() - run_start
+            for phase, seconds in phase_seconds.items():
+                telemetry.aggregate_span(
+                    "round-phase", phase, seconds, rounds=global_round
+                )
+            telemetry.event(
+                "engine.continuous",
+                trials=stats["retired"],
+                n=n,
+                capacity=capacity,
+                watermark=watermark,
+                kernel=collision_kernel,
+                rounds=global_round,
+                trial_rounds=stats["trial_rounds"],
+                compactions=stats["compactions"],
+                refills=stats["refills"],
+                retired_dead=stats["retired_dead"],
+                seconds=total_seconds,
+                trials_per_second=(
+                    stats["retired"] / total_seconds
+                    if total_seconds > 0
+                    else None
+                ),
+            )
+            telemetry.counter_inc("engine.runs")
+            telemetry.counter_inc("engine.trials", stats["retired"])
+            telemetry.counter_inc("engine.trial_rounds", stats["trial_rounds"])
+            if stats["retired_dead"]:
+                telemetry.counter_inc(
+                    "engine.retired_dead", stats["retired_dead"]
+                )
+        if result_sink is not None:
+            return []
+        return [results[i] for i in sorted(results)]
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -1313,6 +2129,7 @@ def run_protocol_batch(
     record_rounds: bool = False,
     keep_arrays: bool = False,
     run_to_quiescence: bool = False,
+    retire_dead: bool = True,
     state_backend: str = "auto",
     environment=None,
     kernel: str = "auto",
@@ -1335,6 +2152,7 @@ def run_protocol_batch(
         record_rounds=record_rounds,
         keep_arrays=keep_arrays,
         run_to_quiescence=run_to_quiescence,
+        retire_dead=retire_dead,
         state_backend=state_backend,
         environment=environment,
         kernel=kernel,

@@ -183,20 +183,67 @@ class BatchEnergyAccountant:
         self._rounds_recorded += 1
         return np.bincount(tx_flat // self._n, minlength=self._trials)
 
+    def select_rows(self, keep: np.ndarray) -> None:
+        """Shrink to the trials where ``keep`` is True (compaction repack)."""
+        keep = np.asarray(keep, dtype=bool)
+        self._per_node = np.ascontiguousarray(self._per_node[keep])
+        self._trials = int(self._per_node.shape[0])
+
     def per_node(self, trial: Optional[int] = None) -> np.ndarray:
         """Copy of the counts: the full ``(R, n)`` matrix or one trial's row."""
         if trial is None:
             return self._per_node.copy()
         return self._per_node[trial].copy()
 
+    def report_for(self, trial: int) -> "EnergyReport":
+        """One trial's :class:`EnergyReport` (same statistics — and therefore
+        bit-identical values — as the corresponding :meth:`reports` entry)."""
+        counts = self._per_node[trial]
+        return EnergyReport(
+            total_transmissions=int(counts.sum()),
+            max_per_node=int(counts.max()),
+            mean_per_node=float(counts.mean()),
+            median_per_node=float(np.median(counts)),
+            p95_per_node=float(np.percentile(counts, 95)),
+            transmitting_nodes=int((counts > 0).sum()),
+            n=self._n,
+        )
+
+    def reports_for(self, rows: np.ndarray) -> List["EnergyReport"]:
+        """Reports for the selected trial rows, in ``rows`` order.
+
+        Vectorised like :meth:`reports` (bit-identical statistics to
+        :meth:`report_for`); the continuous engine retires several trials at
+        once and per-trial median/percentile passes dominate otherwise.
+        """
+        return self._reports_from(self._per_node[np.asarray(rows, dtype=np.intp)])
+
     def reports(self) -> List["EnergyReport"]:
         """One :class:`EnergyReport` per trial (vectorised across trials)."""
-        counts = self._per_node
+        return self._reports_from(self._per_node)
+
+    def _reports_from(self, counts: np.ndarray) -> List["EnergyReport"]:
+        n = counts.shape[1]
         totals = counts.sum(axis=1)
         maxima = counts.max(axis=1)
-        means = counts.mean(axis=1)
-        medians = np.median(counts, axis=1)
-        p95s = np.percentile(counts, 95, axis=1)
+        means = totals / n
+        # One partition pass supplies both the median and the 95th
+        # percentile: counts are integer transmission tallies, so linear
+        # interpolation between the bracketing order statistics is exact and
+        # matches ``np.median`` / ``np.percentile`` bit for bit while
+        # skipping their per-call dispatch overhead (which dominates when
+        # the continuous engine retires one or two trials at a time).
+        pos = (n - 1) * 0.95
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        mid = n // 2
+        kth = sorted({mid - 1 if n % 2 == 0 else mid, mid, lo, hi})
+        part = np.partition(counts, kth, axis=1)
+        if n % 2 == 0:
+            medians = (part[:, mid - 1] + part[:, mid]) / 2.0
+        else:
+            medians = part[:, mid].astype(np.float64)
+        p95s = part[:, lo] + (part[:, hi] - part[:, lo]) * (pos - lo)
         transmitting = (counts > 0).sum(axis=1)
         return [
             EnergyReport(
@@ -208,7 +255,7 @@ class BatchEnergyAccountant:
                 transmitting_nodes=int(transmitting[t]),
                 n=self._n,
             )
-            for t in range(self._trials)
+            for t in range(counts.shape[0])
         ]
 
     def __repr__(self) -> str:

@@ -46,6 +46,14 @@ class SimulationEngine:
     keep_arrays:
         Keep per-node arrays (transmission counts, informed rounds) on the
         result.
+    retire_dead:
+        Stop a run the round it goes *dead* — quiescent without completing
+        (the transmission schedule ran dry), or environment-doomed (crashed
+        forever with no recovery scheduled) — instead of spinning to
+        ``max_rounds``.  The outcome of a dead run can never change, so
+        this only shortens ``rounds_executed``.  On by default; mirrors
+        :class:`~repro.radio.batch.BatchEngine` so exact-mode equivalence
+        holds round for round.
     environment:
         Optional faulty-world layer (an
         :class:`~repro.radio.environment.Environment` or a spec dict) that
@@ -62,12 +70,14 @@ class SimulationEngine:
         record_rounds: bool = False,
         keep_arrays: bool = False,
         run_to_quiescence: bool = False,
+        retire_dead: bool = True,
         environment=None,
     ):
         self.collision_model = collision_model or StandardCollisionModel()
         self.record_rounds = bool(record_rounds)
         self.keep_arrays = bool(keep_arrays)
         self.run_to_quiescence = bool(run_to_quiescence)
+        self.retire_dead = bool(retire_dead)
         if environment is not None and not isinstance(environment, Environment):
             if not isinstance(environment, Mapping):
                 raise TypeError(
@@ -109,6 +119,14 @@ class SimulationEngine:
         completed = protocol.is_complete()
         completion_round = 0
         rounds_executed = 0
+
+        # Same per-class gate as the batch engine: the base ``is_quiescent``
+        # just mirrors ``is_complete``, so probing it buys nothing.
+        retire_dead = (
+            self.retire_dead
+            and not self.run_to_quiescence
+            and type(protocol).is_quiescent is not Protocol.is_quiescent
+        )
 
         if not (completed and not self.run_to_quiescence):
             for round_index in range(max_rounds):
@@ -163,9 +181,17 @@ class SimulationEngine:
                         round_index + 1
                     ):
                         break
-                elif self.run_to_quiescence and protocol.is_quiescent(round_index + 1):
+                elif (self.run_to_quiescence or retire_dead) and (
+                    protocol.is_quiescent(round_index + 1)
+                ):
                     # The schedule is exhausted without reaching the objective
                     # (a failed run); nothing more will ever be transmitted.
+                    break
+                if env_active and self.retire_dead and environment.is_doomed(
+                    round_index
+                ):
+                    # Crashed forever (e.g. churn with every radio down and
+                    # no recovery scheduled): the outcome can never change.
                     break
         if not completed:
             completion_round = rounds_executed
@@ -201,6 +227,7 @@ def run_protocol(
     record_rounds: bool = False,
     keep_arrays: bool = False,
     run_to_quiescence: bool = False,
+    retire_dead: bool = True,
     environment=None,
 ) -> RunResultTrace:
     """Convenience wrapper: build an engine and run once.
@@ -219,6 +246,7 @@ def run_protocol(
         record_rounds=record_rounds,
         keep_arrays=keep_arrays,
         run_to_quiescence=run_to_quiescence,
+        retire_dead=retire_dead,
         environment=environment,
     )
     return engine.run(network, protocol, rng=rng, max_rounds=max_rounds)

@@ -209,6 +209,16 @@ class Environment:
         """Drop deliveries after resolution."""
         return outcome
 
+    def is_doomed(self, round_index: int) -> bool:
+        """True when the run can never progress again (crashed forever).
+
+        Consulted after round ``round_index``'s events have fired.  The
+        engine retires a doomed run immediately instead of spinning it to
+        the round cap; only environments that can prove doom (churn with
+        every radio down and no recovery scheduled) override this.
+        """
+        return False
+
     # -- bookkeeping ------------------------------------------------------ #
     def _record_fault(self, round_index: int) -> None:
         self._fault_events += 1
@@ -381,6 +391,16 @@ class ChurnEnvironment(Environment):
 
     def _reset(self) -> None:
         self._down = np.zeros(self._n, dtype=bool)
+        # Last round with any recovery action: while the clock is at or
+        # before it, a fully-crashed network may still come back.
+        self._last_recovery_round = max(
+            (
+                int(e["round"])
+                for e in self.events
+                if "recover" in e or e.get("recover_all")
+            ),
+            default=-1,
+        )
         self._schedule = {}
         for event in self.events:
             resolved = dict(event)
@@ -431,6 +451,11 @@ class ChurnEnvironment(Environment):
             return outcome
         keep = ~self._down[receivers]
         return self._drop_deliveries(round_index, outcome, keep)
+
+    def is_doomed(self, round_index: int) -> bool:
+        if round_index < self._last_recovery_round:
+            return False
+        return bool(self._down.all())
 
 
 class JamEnvironment(Environment):
@@ -645,6 +670,9 @@ class ComposedEnvironment(Environment):
             outcome = layer.filter_deliveries(round_index, outcome, rng)
         return outcome
 
+    def is_doomed(self, round_index: int) -> bool:
+        return any(layer.is_doomed(round_index) for layer in self.layers)
+
     def report(self) -> Dict[str, object]:
         reports = [layer.report() for layer in self.layers]
         return {
@@ -721,6 +749,41 @@ class BatchEnvironment:
 
     def filter_deliveries(self, round_index: int, outcome, running: np.ndarray):
         return outcome
+
+    def doomed_trials(self, round_index: int) -> Optional[np.ndarray]:
+        """Per-trial bool: the trial can never progress again, or ``None``.
+
+        Mirror of the scalar :meth:`Environment.is_doomed`, consulted after
+        round ``round_index``'s events fired.  ``None`` (the default, and
+        the cheap common case) means no trial is provably doomed.
+        """
+        return None
+
+    # -- compaction -------------------------------------------------------- #
+    def select_rows(self, keep: np.ndarray, rng_source=None) -> None:
+        """Shrink all per-trial state to the trials where ``keep`` is True.
+
+        The continuous engine's compaction repack: surviving trials keep
+        their relative order, matching the row selection applied to the
+        stacked CSR, the protocol state and the rng source.  ``rng_source``
+        is the *compacted* random source: the environment draws per-trial
+        blocks by row, so it must swap to the new source alongside the
+        protocol or a surviving trial would consume a retired trial's
+        generator (silently corrupting the exact-mode stream).
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if rng_source is not None:
+            self._rng = rng_source
+        self._last_fault = self._last_fault[keep].copy()
+        self._fault_events = self._fault_events[keep].copy()
+        self._lost_tx = self._lost_tx[keep].copy()
+        self._lost_rx = self._lost_rx[keep].copy()
+        self._suppressed = self._suppressed[keep].copy()
+        self._trials = int(self._last_fault.size)
+        self._select_rows(keep)
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        """Subclass hook: row-select any additional per-trial state."""
 
     # -- bookkeeping ------------------------------------------------------ #
     def _mark_fault(self, round_index: int, trials_mask: np.ndarray) -> None:
@@ -831,6 +894,9 @@ class BatchBurstLossEnvironment(BatchEnvironment):
     def _bind(self) -> None:
         self._bad = np.zeros((self._trials, self._n), dtype=bool)
 
+    def _select_rows(self, keep: np.ndarray) -> None:
+        self._bad = np.ascontiguousarray(self._bad[keep])
+
     def begin_round(self, round_index, running):
         # One uniform per node per round, running trials only — a stopped
         # trial's chain freezes exactly where its serial run ended.
@@ -861,6 +927,14 @@ class BatchChurnEnvironment(BatchEnvironment):
 
     def _bind(self) -> None:
         self._down = np.zeros((self._trials, self._n), dtype=bool)
+        self._last_recovery_round = max(
+            (
+                int(e["round"])
+                for e in self.events
+                if "recover" in e or e.get("recover_all")
+            ),
+            default=-1,
+        )
         self._schedule: Dict[int, List[Dict[str, object]]] = {}
         for event in self.events:
             resolved = dict(event)
@@ -912,6 +986,14 @@ class BatchChurnEnvironment(BatchEnvironment):
             return outcome
         keep = ~self._down.reshape(-1)[outcome.receiver_flat]
         return self._drop_deliveries(round_index, outcome, keep)
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        self._down = np.ascontiguousarray(self._down[keep])
+
+    def doomed_trials(self, round_index: int) -> Optional[np.ndarray]:
+        if round_index < self._last_recovery_round or not self._down.any():
+            return None
+        return self._down.all(axis=1)
 
 
 class BatchJamEnvironment(BatchEnvironment):
@@ -1065,6 +1147,23 @@ class BatchComposedEnvironment(BatchEnvironment):
         for layer in self.layers:
             outcome = layer.filter_deliveries(round_index, outcome, running)
         return outcome
+
+    def doomed_trials(self, round_index: int) -> Optional[np.ndarray]:
+        doomed = None
+        for layer in self.layers:
+            layer_doomed = layer.doomed_trials(round_index)
+            if layer_doomed is None:
+                continue
+            doomed = layer_doomed if doomed is None else doomed | layer_doomed
+        return doomed
+
+    def select_rows(self, keep: np.ndarray, rng_source=None) -> None:
+        # bind() above never creates the base per-trial fault arrays (each
+        # layer owns its own), so this is a full override, not a hook.
+        keep = np.asarray(keep, dtype=bool)
+        self._trials = int(keep.sum())
+        for layer in self.layers:
+            layer.select_rows(keep, rng_source)
 
     def trial_report(self, trial: int) -> Dict[str, object]:
         reports = [layer.trial_report(trial) for layer in self.layers]

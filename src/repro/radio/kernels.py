@@ -25,6 +25,12 @@ Design rules:
   transmit model.  It is a different distribution, so it can never be
   resolved under ``batch_mode="exact"`` and is stamped into run provenance
   by the engine.
+* **Statelessness.**  Kernels keep no state between calls: every invocation
+  receives the stacked CSR and transmitter set it operates on.  The
+  continuous-batching engine (:meth:`repro.radio.batch.BatchEngine.
+  run_continuous`) relies on this — its union batch shrinks on compaction
+  and grows on refill, so the row count a kernel sees can change from one
+  round to the next.
 
 This module deliberately imports nothing from the rest of :mod:`repro` so
 that :mod:`repro.radio.collision` and :mod:`repro.analysis.streaming` can

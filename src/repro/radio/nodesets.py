@@ -160,6 +160,23 @@ class NodeSetState(abc.ABC):
         """Per-trial member counts (live array — copy before mutating)."""
         return self._counts
 
+    def select_rows(self, keep: np.ndarray) -> None:
+        """Shrink to the trials where ``keep`` is True (compaction repack).
+
+        ``keep`` is a boolean ``(R,)`` mask; surviving trials keep their
+        relative order, so trial ``t``'s state lands in the row
+        ``keep[:t].sum()`` — the same remapping the engine applies to its
+        stacked CSR and every other per-trial array.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        self._counts = self._counts[keep].copy()
+        self.trials = int(self._counts.size)
+        self._select_rows(keep)
+
+    @abc.abstractmethod
+    def _select_rows(self, keep: np.ndarray) -> None:
+        """Backend hook: repack per-trial state down to ``keep`` rows."""
+
     @abc.abstractmethod
     def add_flat(self, flat_ids: np.ndarray) -> np.ndarray:
         """Add flat ids; return the newly added subset (input order)."""
@@ -181,6 +198,13 @@ class DenseNodeSet(NodeSetState):
     def __init__(self, trials: int, n: int):
         super().__init__(trials, n)
         self._mask = np.zeros((self.trials, self.n), dtype=bool)
+        self._flat = self._mask.reshape(-1)
+        self._complement_flat = ~self._flat
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        # _flat / _complement_flat are views of / derived from _mask — both
+        # must be rebuilt against the repacked array.
+        self._mask = np.ascontiguousarray(self._mask[keep])
         self._flat = self._mask.reshape(-1)
         self._complement_flat = ~self._flat
 
@@ -218,6 +242,11 @@ class BitsetNodeSet(NodeSetState):
         self._words = np.zeros((self.trials, words_for(self.n)), dtype=np.uint64)
         self._mask_cache: Optional[np.ndarray] = None
         self._complement_cache: Optional[np.ndarray] = None
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        self._words = np.ascontiguousarray(self._words[keep])
+        self._mask_cache = None
+        self._complement_cache = None
 
     def add_flat(self, flat_ids: np.ndarray) -> np.ndarray:
         flat_ids = np.asarray(flat_ids, dtype=np.int64)
@@ -271,6 +300,16 @@ class KnowledgeState(abc.ABC):
         self.trials = int(trials)
         self.n = int(n)
 
+    def select_rows(self, keep: np.ndarray) -> None:
+        """Shrink to the trials where ``keep`` is True (compaction repack)."""
+        keep = np.asarray(keep, dtype=bool)
+        self.trials = int(keep.sum())
+        self._select_rows(keep)
+
+    @abc.abstractmethod
+    def _select_rows(self, keep: np.ndarray) -> None:
+        """Backend hook: repack per-trial state down to ``keep`` rows."""
+
     @abc.abstractmethod
     def merge_flat(self, sender_flat: np.ndarray, receiver_flat: np.ndarray) -> None:
         """OR each (unique) receiver row with its sender's round-start row."""
@@ -306,6 +345,10 @@ class DenseKnowledge(KnowledgeState):
         self._tensor = np.broadcast_to(
             np.eye(n, dtype=bool), (self.trials, n, n)
         ).copy()
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        # merge_flat reshapes the tensor, which needs contiguity.
+        self._tensor = np.ascontiguousarray(self._tensor[keep])
 
     def merge_flat(self, sender_flat: np.ndarray, receiver_flat: np.ndarray) -> None:
         if receiver_flat.size == 0:
@@ -352,6 +395,11 @@ class BitsetKnowledge(KnowledgeState):
         # (and therefore every trial) is complete from the start.
         self._full_rows = np.full(self.trials, n if n == 1 else 0, dtype=np.int64)
 
+    def _select_rows(self, keep: np.ndarray) -> None:
+        self._words = np.ascontiguousarray(self._words[keep])
+        self._node_counts = np.ascontiguousarray(self._node_counts[keep])
+        self._full_rows = self._full_rows[keep].copy()
+
     def merge_flat(self, sender_flat: np.ndarray, receiver_flat: np.ndarray) -> None:
         if receiver_flat.size == 0:
             return
@@ -389,6 +437,19 @@ class BitsetKnowledge(KnowledgeState):
 # --------------------------------------------------------------------------- #
 # Transmit frontiers
 # --------------------------------------------------------------------------- #
+def _remap_flat_pool(ids: np.ndarray, keep: np.ndarray, n: int):
+    """Row-select a sorted flat-id pool under the compaction remapping.
+
+    Returns ``(alive, new_ids)``: ``alive`` masks the pool entries whose
+    trial survives, ``new_ids`` are those entries re-addressed into the
+    compacted trial space.  The old-row -> new-row map is monotone, so a
+    sorted pool stays sorted.
+    """
+    rows = ids // n
+    alive = keep[rows]
+    new_row = np.cumsum(keep, dtype=np.int64) - 1
+    old_rows = rows[alive]
+    return alive, new_row[old_rows] * n + (ids[alive] - old_rows * n)
 class QuotaFrontier(abc.ABC):
     """Per-phase transmission quotas (the Decay frontier).
 
@@ -405,6 +466,16 @@ class QuotaFrontier(abc.ABC):
     def __init__(self, trials: int, n: int):
         self.trials = int(trials)
         self.n = int(n)
+
+    def select_rows(self, keep: np.ndarray) -> None:
+        """Shrink to the trials where ``keep`` is True (compaction repack)."""
+        keep = np.asarray(keep, dtype=bool)
+        self.trials = int(keep.sum())
+        self._select_rows(keep)
+
+    @abc.abstractmethod
+    def _select_rows(self, keep: np.ndarray) -> None:
+        """Backend hook: repack per-trial state down to ``keep`` rows."""
 
     @abc.abstractmethod
     def begin_phase(self, participating: np.ndarray, values: np.ndarray) -> None:
@@ -424,6 +495,9 @@ class DenseQuotaFrontier(QuotaFrontier):
     def __init__(self, trials: int, n: int):
         super().__init__(trials, n)
         self._quota = np.zeros((self.trials, self.n), dtype=np.int64)
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        self._quota = np.ascontiguousarray(self._quota[keep])
 
     def begin_phase(self, participating: np.ndarray, values: np.ndarray) -> None:
         quota = np.zeros((self.trials, self.n), dtype=np.int64)
@@ -458,6 +532,11 @@ class SparseQuotaFrontier(QuotaFrontier):
         self._ids = np.empty(0, dtype=np.int64)
         self._values = np.empty(0, dtype=np.int64)
 
+    def _select_rows(self, keep: np.ndarray) -> None:
+        alive, new_ids = _remap_flat_pool(self._ids, keep, self.n)
+        self._ids = new_ids
+        self._values = self._values[alive]
+
     def begin_phase(self, participating: np.ndarray, values: np.ndarray) -> None:
         # flatnonzero of the trial-major mask is exactly the draw order.
         self._ids = np.flatnonzero(np.asarray(participating).reshape(-1))
@@ -489,6 +568,16 @@ class BudgetFrontier(abc.ABC):
         self.trials = int(trials)
         self.n = int(n)
 
+    def select_rows(self, keep: np.ndarray) -> None:
+        """Shrink to the trials where ``keep`` is True (compaction repack)."""
+        keep = np.asarray(keep, dtype=bool)
+        self.trials = int(keep.sum())
+        self._select_rows(keep)
+
+    @abc.abstractmethod
+    def _select_rows(self, keep: np.ndarray) -> None:
+        """Backend hook: repack per-trial state down to ``keep`` rows."""
+
     @abc.abstractmethod
     def admit(self, flat_ids: np.ndarray, budget: int) -> None:
         """Admit (unique, never-before-admitted) flat ids with this budget.
@@ -501,6 +590,15 @@ class BudgetFrontier(abc.ABC):
         """Sorted flat ids transmitting this round (their budgets decrement;
         exhausted nodes are evicted)."""
 
+    @abc.abstractmethod
+    def counts(self) -> np.ndarray:
+        """Per-trial number of nodes still holding budget.
+
+        A trial with zero holders is *quiescent*: nobody transmits, so
+        nobody new is ever informed and nobody is ever re-admitted — the
+        engines use this to retire deadlocked flooding trials early.
+        """
+
 
 class DenseBudgetFrontier(BudgetFrontier):
     """Budgets in a dense ``(R * n,)`` array; one mask comparison per round."""
@@ -510,6 +608,9 @@ class DenseBudgetFrontier(BudgetFrontier):
     def __init__(self, trials: int, n: int):
         super().__init__(trials, n)
         self._remaining = np.zeros((self.trials, self.n), dtype=np.int64)
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        self._remaining = np.ascontiguousarray(self._remaining[keep])
 
     def admit(self, flat_ids: np.ndarray, budget: int) -> None:
         flat_ids = np.asarray(flat_ids, dtype=np.int64)
@@ -525,6 +626,9 @@ class DenseBudgetFrontier(BudgetFrontier):
             self._remaining.reshape(-1)[out] -= 1
         return out
 
+    def counts(self) -> np.ndarray:
+        return (self._remaining > 0).sum(axis=1)
+
 
 class SparseBudgetFrontier(BudgetFrontier):
     """Budgets as a sorted (flat id, remaining) pool.
@@ -539,6 +643,11 @@ class SparseBudgetFrontier(BudgetFrontier):
         super().__init__(trials, n)
         self._ids = np.empty(0, dtype=np.int64)
         self._remaining = np.empty(0, dtype=np.int64)
+
+    def _select_rows(self, keep: np.ndarray) -> None:
+        alive, new_ids = _remap_flat_pool(self._ids, keep, self.n)
+        self._ids = new_ids
+        self._remaining = self._remaining[alive]
 
     def admit(self, flat_ids: np.ndarray, budget: int) -> None:
         flat_ids = np.asarray(flat_ids, dtype=np.int64)
@@ -568,6 +677,9 @@ class SparseBudgetFrontier(BudgetFrontier):
             self._ids = self._ids[keep]
             self._remaining = self._remaining[keep]
         return out
+
+    def counts(self) -> np.ndarray:
+        return np.bincount(self._ids // self.n, minlength=self.trials)
 
 
 # --------------------------------------------------------------------------- #

@@ -277,6 +277,8 @@ def _run_cell_impl(
     state_backend: Optional[str] = None,
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
+    compaction: Optional[str] = None,
+    watermark: Optional[float] = None,
     sketch_capacity: int = 1024,
 ) -> CellResult:
     metric_names = tuple(cell.metrics if cell.metrics is not None else metrics)
@@ -314,6 +316,8 @@ def _run_cell_impl(
         kernel=kernel,
         store=store,
         shards=shards,
+        compaction=compaction,
+        watermark=watermark,
         **cell.job_options,
     )
     context = plan.cache_context()
@@ -499,6 +503,8 @@ def run_grid(
     state_backend: Optional[str] = None,
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
+    compaction: Optional[str] = None,
+    watermark: Optional[float] = None,
     sketch_capacity: int = 1024,
     telemetry_label: Optional[str] = None,
 ) -> List[CellResult]:
@@ -523,6 +529,8 @@ def run_grid(
                 state_backend=state_backend,
                 kernel=kernel,
                 shards=shards,
+                compaction=compaction,
+                watermark=watermark,
                 sketch_capacity=sketch_capacity,
             )
             for cell in cells
@@ -596,6 +604,8 @@ def run_scenario(
     state_backend: Optional[str] = None,
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
+    compaction: Optional[str] = None,
+    watermark: Optional[float] = None,
     sketch_capacity: int = 1024,
 ) -> List[CellResult]:
     """Execute a scenario: its grid, under its seed and metric set.
@@ -616,6 +626,8 @@ def run_scenario(
         state_backend=state_backend,
         kernel=kernel,
         shards=shards,
+        compaction=compaction,
+        watermark=watermark,
         sketch_capacity=sketch_capacity,
         telemetry_label=spec.scenario_id,
     )

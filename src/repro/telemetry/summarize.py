@@ -201,6 +201,12 @@ def render_summary(summary: Dict[str, Any], *, tree: bool = True) -> str:
             shown = int(value) if float(value).is_integer() else value
             lines.append(f"  {name}: {shown}")
 
+    gauges = (summary.get("metrics") or {}).get("gauges") or {}
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name}: {gauges[name]:g}")
+
     if tree and summary["roots"]:
         lines.append("span tree:")
         for root in summary["roots"]:

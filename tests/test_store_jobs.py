@@ -360,15 +360,18 @@ class TestResumableSweeps:
                 raise KeyboardInterrupt("simulated worker death mid-shard")
             return real(shard)
 
+        # compaction="off" pins the sharded path: continuous batching never
+        # calls _execute_batch_shard (it checkpoints per trial instead, which
+        # tests/test_compaction.py covers).
         monkeypatch.setattr(runner_module, "_execute_batch_shard", dies_mid_sweep)
         with pytest.raises(KeyboardInterrupt):
-            _sweep(store=store, shards=3)
+            _sweep(store=store, shards=3, compaction="off")
         monkeypatch.setattr(runner_module, "_execute_batch_shard", real)
 
         # The completed first shard (2 of 6 trials) survived the crash.
         assert store.stats()["entries"] == 2
         store.reset_counters()
-        resumed = _sweep(store=store, shards=3)
+        resumed = _sweep(store=store, shards=3, compaction="off")
         assert store.hits == 2 and store.misses == 4
         for a, b in zip(baseline, resumed):
             assert_traces_equal(a, b)
@@ -562,6 +565,10 @@ class TestCli:
     def test_sweep_command_end_to_end(self, tmp_path, capsys):
         from repro.cli import main
 
+        # The sweep command rewrites every process-wide execution default
+        # (batch_mode="exact", compaction, ...), not just the store —
+        # restore the whole snapshot so later tests see pristine defaults.
+        defaults = runner_module._EXECUTION_DEFAULTS
         try:
             argv = [
                 "sweep",
@@ -574,4 +581,4 @@ class TestCli:
             assert main(argv) == 0
             assert "[cache]" in capsys.readouterr().out
         finally:
-            configure_execution(store=None)
+            runner_module._EXECUTION_DEFAULTS = defaults

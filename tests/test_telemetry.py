@@ -423,6 +423,17 @@ class TestSummarize:
         assert summary["roots"] == ["x"]
         assert summary["layers"]["cell"]["seconds"] == 1.5
 
+    def test_render_includes_gauges_section(self):
+        summary = fold_trace([
+            {"type": "metrics",
+             "metrics": {"counters": {"engine.compactions": 2},
+                         "gauges": {"engine.occupancy": 0.75}}},
+        ])
+        rendered = render_summary(summary)
+        assert "gauges:" in rendered
+        assert "engine.occupancy: 0.75" in rendered
+        assert "engine.compactions: 2" in rendered
+
 
 class TestProgressReporter:
     def _records(self):
